@@ -1,0 +1,146 @@
+// Ablations of WireCAP's design choices (beyond the paper's own
+// figures):
+//
+//   1. the partial-chunk timeout: without the timeout-copy rescue path,
+//      a burst tail shorter than M stays stuck in the receive ring —
+//      measured as packets still undelivered after a long drain;
+//   2. the offload target policy: least-busy buddy (the paper) vs
+//      random vs round-robin under an uneven buddy group;
+//   3. capture batching: chunks moved per capture ioctl (max_chunks).
+#include <cstdio>
+#include <memory>
+
+#include "apps/pkt_handler.hpp"
+#include "bench/bench_util.hpp"
+#include "core/wirecap_engine.hpp"
+#include "nic/wire.hpp"
+
+namespace {
+
+using namespace wirecap;
+
+void ablate_timeout() {
+  bench::title("Ablation 1: partial-chunk timeout (burst tail delivery)");
+  for (const bool rescue_enabled : {true, false}) {
+    sim::Scheduler scheduler;
+    sim::IoBus bus{scheduler};
+    nic::NicConfig nic_config;
+    nic::MultiQueueNic nic{scheduler, bus, nic_config};
+    sim::CostModel costs;
+    if (!rescue_enabled) {
+      costs.partial_chunk_timeout = Nanos::from_seconds(1e6);  // never
+    }
+    core::WirecapConfig engine_config;  // M=256, R=100
+    core::WirecapEngine engine{scheduler, nic, engine_config, costs};
+    sim::SimCore core{scheduler, 0};
+    apps::PktHandler handler{core, engine, 0,
+                             apps::PktHandlerConfig{0, "", false, {}}, costs};
+
+    trace::ConstantRateConfig trace_config;
+    trace_config.packet_count = 1000;  // 3 full chunks + 232-packet tail
+    Xoshiro256 rng{0xAB1};
+    trace_config.flows = {trace::flow_for_queue(rng, 0, 1)};
+    trace::ConstantRateSource source{trace_config};
+    nic::TrafficInjector injector{scheduler, source, nic};
+    injector.start();
+    scheduler.run_until(Nanos::from_seconds(5));
+
+    std::printf("  timeout %-8s delivered %4llu/1000, stuck in ring %4llu\n",
+                rescue_enabled ? "enabled:" : "disabled:",
+                static_cast<unsigned long long>(handler.stats().processed),
+                static_cast<unsigned long long>(
+                    1000 - handler.stats().processed));
+  }
+  std::printf("  -> the rescue path is what bounds delivery latency for "
+              "partial chunks\n");
+}
+
+void ablate_offload_policy() {
+  bench::title("Ablation 2: offload target policy (uneven buddy group)");
+  // Queue 0 overloaded; queue 1 moderately loaded; queue 2 idle.  The
+  // least-busy policy should route to queue 2 and drop least.
+  for (const auto& [name, policy] :
+       std::vector<std::pair<const char*, core::OffloadPolicy>>{
+           {"least-busy (paper)", core::OffloadPolicy::kLeastBusy},
+           {"random buddy", core::OffloadPolicy::kRandomBuddy},
+           {"round-robin", core::OffloadPolicy::kRoundRobin}}) {
+    apps::ExperimentConfig config;
+    config.engine.kind = apps::EngineKind::kWirecapAdvanced;
+    config.engine.cells_per_chunk = 64;
+    config.engine.chunk_count = 50;
+    config.engine.offload_threshold = 0.6;
+    config.engine.offload_policy = policy;
+    config.num_queues = 3;
+    config.x = 300;
+    apps::Experiment experiment{config};
+
+    trace::ConstantRateConfig trace_config;
+    trace_config.packet_count = 200'000;
+    trace_config.link_bits_per_second = 100e3 * 84 * 8;  // 100 kp/s
+    Xoshiro256 rng{0xAB2};
+    // 70% of traffic to queue 0, 30% to queue 1, queue 2 idle.
+    trace_config.flows = {
+        trace::flow_for_queue(rng, 0, 3), trace::flow_for_queue(rng, 0, 3),
+        trace::flow_for_queue(rng, 0, 3), trace::flow_for_queue(rng, 0, 3),
+        trace::flow_for_queue(rng, 0, 3), trace::flow_for_queue(rng, 0, 3),
+        trace::flow_for_queue(rng, 0, 3), trace::flow_for_queue(rng, 1, 3),
+        trace::flow_for_queue(rng, 1, 3), trace::flow_for_queue(rng, 1, 3)};
+    trace::ConstantRateSource source{trace_config};
+    const auto result = experiment.run(
+        source, Nanos::from_seconds(2) + Nanos::from_seconds(30));
+    std::printf("  %-20s drop %7s  offloaded %6llu  q2 processed %7llu\n",
+                name, bench::percent(result.drop_rate()).c_str(),
+                static_cast<unsigned long long>(result.offloaded_chunks),
+                static_cast<unsigned long long>(
+                    result.per_queue[2].processed));
+  }
+}
+
+void ablate_capture_batch() {
+  bench::title("Ablation 3: chunks per capture ioctl (max_chunks)");
+  for (const std::size_t batch : {1u, 4u, 16u, 64u}) {
+    sim::Scheduler scheduler;
+    sim::IoBus bus{scheduler};
+    nic::NicConfig nic_config;
+    nic::MultiQueueNic nic{scheduler, bus, nic_config};
+    const sim::CostModel costs;
+    core::WirecapConfig engine_config;
+    engine_config.cells_per_chunk = 256;
+    engine_config.chunk_count = 100;
+    engine_config.max_chunks_per_capture = batch;
+    core::WirecapEngine engine{scheduler, nic, engine_config, costs};
+    sim::SimCore core{scheduler, 0};
+    apps::PktHandler handler{core, engine, 0,
+                             apps::PktHandlerConfig{0, "", false, {}}, costs};
+
+    trace::ConstantRateConfig trace_config;
+    trace_config.packet_count = 1'000'000;  // 67 ms at wire rate
+    Xoshiro256 rng{0xAB3};
+    trace_config.flows = {trace::flow_for_queue(rng, 0, 1)};
+    trace::ConstantRateSource source{trace_config};
+    nic::TrafficInjector injector{scheduler, source, nic};
+    injector.start();
+    scheduler.run_until(Nanos::from_seconds(2));
+
+    const auto dropped = nic.total_rx_dropped();
+    std::printf("  max_chunks=%2zu  delivered %7llu  dropped %6llu  "
+                "capture-thread util %4.1f%%\n",
+                batch,
+                static_cast<unsigned long long>(handler.stats().processed),
+                static_cast<unsigned long long>(dropped),
+                engine.capture_core_utilization(0) * 100.0);
+  }
+  std::printf("  -> batching keeps the per-chunk ioctl cost amortized; "
+              "tiny batches stall the ring at wire rate\n");
+}
+
+int run() {
+  ablate_timeout();
+  ablate_offload_policy();
+  ablate_capture_batch();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

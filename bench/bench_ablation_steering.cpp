@@ -1,0 +1,118 @@
+// Ablation: the §2.3 steering alternatives.
+//
+// "A first approach is to apply a round-robin traffic steering mechanism
+// at the NIC level to distribute the traffic evenly across the queues.
+// However, this approach cannot preserve the application logic because
+// packets belonging to the same flow can be delivered to different
+// applications."
+//
+// This experiment runs the border trace through three steering policies
+// with DNA capture on six queues (two "applications" own three queues
+// each) and measures both the drop rate AND the application-logic
+// violation: flows whose packets were delivered to more than one
+// application.
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+
+#include "apps/pkt_handler.hpp"
+#include "bench/bench_util.hpp"
+#include "engines/baselines.hpp"
+#include "net/rss.hpp"
+#include "nic/steering.hpp"
+#include "nic/wire.hpp"
+#include "trace/border_router.hpp"
+
+namespace {
+
+using namespace wirecap;
+
+struct SteeringResult {
+  double drop_rate = 0.0;
+  std::uint64_t flows_total = 0;
+  std::uint64_t flows_split_across_apps = 0;
+};
+
+SteeringResult run_steering(std::unique_ptr<nic::SteeringPolicy> policy) {
+  constexpr std::uint32_t kQueues = 6;
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = kQueues;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config, std::move(policy)};
+  engines::Type2Engine engine{nic, engines::dna_config()};
+
+  // Application A owns queues 0-2, application B owns queues 3-5.
+  std::unordered_map<net::FlowKey, std::uint8_t> flow_apps;  // bitmask
+  const sim::CostModel costs;
+  std::vector<std::unique_ptr<sim::SimCore>> cores;
+  std::vector<std::unique_ptr<apps::PktHandler>> handlers;
+  for (std::uint32_t q = 0; q < kQueues; ++q) {
+    cores.push_back(std::make_unique<sim::SimCore>(scheduler, q));
+    apps::PktHandlerConfig config;
+    config.x = 300;
+    config.filter = "";
+    config.execute_filter = false;
+    handlers.push_back(std::make_unique<apps::PktHandler>(
+        *cores.back(), engine, q, config, costs));
+    const std::uint8_t app_bit = q < 3 ? 1 : 2;
+    handlers.back()->set_packet_hook(
+        [&flow_apps, app_bit](const engines::CaptureView& view) {
+          if (const auto flow = net::parse_flow(view.bytes)) {
+            flow_apps[*flow] |= app_bit;
+          }
+        });
+  }
+
+  trace::BorderRouterConfig trace_config;
+  trace_config.duration_s = 8.0;
+  auto source = trace::make_border_router_source(trace_config);
+  nic::TrafficInjector injector{scheduler, *source, nic};
+  injector.start();
+  scheduler.run_until(Nanos::from_seconds(trace_config.duration_s + 5));
+
+  SteeringResult result;
+  result.drop_rate = static_cast<double>(nic.total_rx_dropped()) /
+                     static_cast<double>(injector.injected());
+  result.flows_total = flow_apps.size();
+  for (const auto& [flow, apps_seen] : flow_apps) {
+    if (apps_seen == 3) ++result.flows_split_across_apps;
+  }
+  return result;
+}
+
+int run() {
+  bench::title("Ablation: NIC steering policies (§2.3), DNA, 2 apps x 3 "
+               "queues, x=300");
+
+  struct Row {
+    const char* name;
+    SteeringResult result;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"RSS (per-flow)", run_steering(nic::make_rss_steering())});
+  rows.push_back({"round-robin",
+                  run_steering(std::make_unique<nic::RoundRobinSteering>())});
+  auto fdir = std::make_unique<nic::FlowDirectorSteering>();
+  rows.push_back({"Flow Director (RSS miss)", run_steering(std::move(fdir))});
+
+  std::printf("%-26s %10s %14s %18s\n", "policy", "drop rate", "flows seen",
+              "split across apps");
+  for (const auto& row : rows) {
+    std::printf("%-26s %10s %14llu %15llu\n", row.name,
+                bench::percent(row.result.drop_rate).c_str(),
+                static_cast<unsigned long long>(row.result.flows_total),
+                static_cast<unsigned long long>(
+                    row.result.flows_split_across_apps));
+  }
+  std::printf(
+      "\nreading: round-robin spreads load (lower drops) but splits nearly\n"
+      "every multi-packet flow across both applications — the application-\n"
+      "logic violation that rules it out; per-flow RSS keeps flows whole\n"
+      "and WireCAP fixes its imbalance at the capture layer instead\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

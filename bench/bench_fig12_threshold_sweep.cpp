@@ -1,0 +1,43 @@
+// Figure 12 — "WireCAP packet capture in the advanced mode (R and M are
+// fixed, T is varied)".
+//
+// The offloading percentage threshold T is swept over 60/70/80/90% with
+// WireCAP-A-(256,100) on the border trace.  Paper: "WireCAP performs
+// better when T is set to a relatively lower value" — lower T offloads
+// sooner and drops less.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace wirecap;
+
+int run() {
+  bench::title("Figure 12: offloading threshold sweep (WireCAP-A-(256,100))");
+
+  std::printf("%-26s %10s %10s %10s %12s\n", "overall drop rate", "4 queues",
+              "5 queues", "6 queues", "offloaded");
+  for (const double t : {0.6, 0.7, 0.8, 0.9}) {
+    apps::EngineParams params;
+    params.kind = apps::EngineKind::kWirecapAdvanced;
+    params.cells_per_chunk = 256;
+    params.chunk_count = 100;
+    params.offload_threshold = t;
+    std::printf("WireCAP-A-(256,100,%2.0f%%)  ", t * 100);
+    std::uint64_t offloaded = 0;
+    for (const std::uint32_t queues : {4u, 5u, 6u}) {
+      const auto result = bench::run_border_trace(params, queues, 16.0);
+      std::printf(" %10s", bench::percent(result.drop_rate()).c_str());
+      offloaded = result.offloaded_chunks;
+    }
+    std::printf(" %12llu\n", static_cast<unsigned long long>(offloaded));
+  }
+
+  std::printf("\npaper shape: drop rate rises with T (60%% best, 90%% worst)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

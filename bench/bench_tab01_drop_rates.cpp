@@ -1,0 +1,73 @@
+// Table 1 — "Packet drop rates".
+//
+// Methodology (§2.2 Experiment 2): the border-router trace is replayed
+// into six RSS queues; a pkt_handler with x=300 (38,844 p/s on a 2.4 GHz
+// core) runs on each queue's core; each NIC ring has 1,024 descriptors;
+// PF_RING (mode 2) uses a 10,240-slot pf_ring buffer.  The table reports
+// capture and delivery drop rates for queue 0 (long-term overload) and
+// queue 3 (short-term bursts) under NETMAP, DNA and PF_RING.
+//
+// Paper values:                NETMAP    DNA   PF_RING
+//   q0 capture drops            46.5%  50.1%      0%
+//   q0 delivery drops              0%     0%    56.8%
+//   q3 capture drops            33.4%   9.3%     0.8%
+//   q3 delivery drops              0%     0%       0%
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace wirecap;
+
+int run() {
+  bench::title("Table 1: packet drop rates (border trace, 6 queues, x=300)");
+
+  struct Row {
+    apps::EngineKind kind;
+    apps::ExperimentResult result;
+  };
+  std::vector<Row> rows;
+  for (const auto kind : {apps::EngineKind::kNetmap, apps::EngineKind::kDna,
+                          apps::EngineKind::kPfRing}) {
+    apps::EngineParams params;
+    params.kind = kind;
+    rows.push_back(Row{kind, bench::run_border_trace(params, 6, 32.0)});
+  }
+
+  const auto print_metric = [&](const char* name, auto getter) {
+    std::printf("%-26s", name);
+    for (const auto& row : rows) {
+      std::printf(" %8s", bench::percent(getter(row.result)).c_str());
+    }
+    std::printf("\n");
+  };
+
+  std::printf("%-26s", "");
+  for (const auto& row : rows) {
+    std::printf(" %8s", apps::to_string(row.kind).c_str());
+  }
+  std::printf("\nReceive Queue 0:\n");
+  print_metric("  Packet Capture Drops", [](const auto& r) {
+    return r.per_queue[0].capture_drop_rate();
+  });
+  print_metric("  Packet Delivery Drops", [](const auto& r) {
+    return r.per_queue[0].delivery_drop_rate();
+  });
+  std::printf("Receive Queue 3:\n");
+  print_metric("  Packet Capture Drops", [](const auto& r) {
+    return r.per_queue[3].capture_drop_rate();
+  });
+  print_metric("  Packet Delivery Drops", [](const auto& r) {
+    return r.per_queue[3].delivery_drop_rate();
+  });
+
+  std::printf("\npaper:                       NETMAP      DNA  PF_RING\n");
+  std::printf("  q0 capture / delivery   46.5%%/0%%  50.1%%/0%%  0%%/56.8%%\n");
+  std::printf("  q3 capture / delivery   33.4%%/0%%   9.3%%/0%%   0.8%%/0%%\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,76 @@
+// Shared plumbing for the reproduction benchmarks: the burst and
+// border-trace experiment shapes used by the paper's figures, plus
+// minimal table formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/harness.hpp"
+#include "trace/border_router.hpp"
+#include "trace/constant_rate.hpp"
+#include "trace/flow_gen.hpp"
+
+namespace wirecap::bench {
+
+inline void title(const std::string& text) {
+  std::printf("\n=== %s ===\n", text.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("    %s\n", text.c_str());
+}
+
+/// "The traffic generator transmits P 64-byte packets at the wire rate
+/// (14.88 Mp/s)": single queue, one flow, pkt_handler with the given x.
+inline apps::ExperimentResult run_burst(const apps::EngineParams& engine,
+                                        std::uint64_t packets, unsigned x,
+                                        double drain_s = 5.0) {
+  apps::ExperimentConfig config;
+  config.engine = engine;
+  config.num_queues = 1;
+  config.x = x;
+  apps::Experiment experiment{config};
+
+  trace::ConstantRateConfig trace_config;
+  trace_config.packet_count = packets;
+  Xoshiro256 rng{0xB0B0};
+  trace_config.flows = {trace::flow_for_queue(rng, 0, 1)};
+  trace::ConstantRateSource source{trace_config};
+
+  const Nanos horizon = Nanos::from_seconds(
+      static_cast<double>(packets) / source.rate().per_second() + drain_s);
+  return experiment.run(source, horizon);
+}
+
+/// "The traffic generator replays the captured data at the speed exactly
+/// as recorded": the synthetic border-router trace, n queues, x=300.
+inline apps::ExperimentResult run_border_trace(
+    const apps::EngineParams& engine, std::uint32_t num_queues,
+    double duration_s, bool forward = false, unsigned x = 300,
+    double drain_s = 5.0) {
+  apps::ExperimentConfig config;
+  config.engine = engine;
+  config.num_queues = num_queues;
+  config.x = x;
+  config.forward = forward;
+  apps::Experiment experiment{config};
+
+  trace::BorderRouterConfig trace_config;
+  trace_config.duration_s = duration_s;
+  trace_config.num_queues = num_queues;
+  trace_config.hot_queue = 0;
+  trace_config.bursty_queue = 3 % num_queues;
+  auto source = trace::make_border_router_source(trace_config);
+  return experiment.run(*source,
+                        Nanos::from_seconds(duration_s + drain_s));
+}
+
+inline std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace wirecap::bench

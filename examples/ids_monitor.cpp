@@ -1,0 +1,157 @@
+// IDS-style monitor — the paper's motivating workload (§1: intrusion
+// detection systems are the canonical heavy per-packet consumers that
+// drop packets under load).
+//
+// A multi-queue NIC spreads border-router traffic across six receive
+// queues by RSS; a heavyweight analysis thread (emulating snort-class
+// per-packet work, the paper's x=300 ~ 38,844 p/s) runs per queue.  The
+// six queues form one buddy group, so when the per-flow steering
+// concentrates load on one queue, WireCAP's advanced mode offloads
+// chunks to the idle buddies instead of dropping.
+//
+// The example runs the same trace twice — basic mode, then advanced
+// mode — and reports per-queue counters and simple "alert" statistics
+// from a real BPF signature set.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/pkt_handler.hpp"
+#include "bpf/codegen.hpp"
+#include "bpf/vm.hpp"
+#include "core/wirecap_engine.hpp"
+#include "nic/device.hpp"
+#include "nic/wire.hpp"
+#include "trace/border_router.hpp"
+
+using namespace wirecap;
+
+namespace {
+
+struct Signature {
+  const char* name;
+  bpf::Program program;
+};
+
+struct RunResult {
+  std::uint64_t injected = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t inspected = 0;
+  std::uint64_t offloaded = 0;
+  std::vector<std::uint64_t> per_queue_inspected;
+  std::vector<std::uint64_t> alerts;
+};
+
+RunResult run_ids(bool advanced_mode) {
+  constexpr std::uint32_t kQueues = 6;
+
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = kQueues;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 256;
+  engine_config.chunk_count = 100;
+  if (advanced_mode) engine_config.offload_threshold = 0.6;
+  core::WirecapEngine engine{scheduler, nic, engine_config};
+
+  // Signature set: compiled once, applied to every inspected packet.
+  std::vector<Signature> signatures;
+  signatures.push_back({"udp-to-fermilab", bpf::compile_filter(
+                                               "udp and dst net 131.225.0.0/16")});
+  signatures.push_back({"ssh-traffic", bpf::compile_filter("tcp port 22")});
+  signatures.push_back({"tiny-frames", bpf::compile_filter("len <= 64")});
+
+  RunResult result;
+  result.per_queue_inspected.assign(kQueues, 0);
+  result.alerts.assign(signatures.size(), 0);
+
+  const sim::CostModel costs;
+  std::vector<std::unique_ptr<sim::SimCore>> cores;
+  std::vector<std::unique_ptr<apps::PktHandler>> analysts;
+  for (std::uint32_t q = 0; q < kQueues; ++q) {
+    cores.push_back(std::make_unique<sim::SimCore>(scheduler, q));
+    // x=300 charges the snort-class per-packet CPU cost; the hook runs
+    // the real signature programs on the packet bytes.
+    apps::PktHandlerConfig handler_config;
+    handler_config.x = 300;
+    handler_config.filter = "";
+    handler_config.execute_filter = false;
+    analysts.push_back(std::make_unique<apps::PktHandler>(
+        *cores.back(), engine, q, handler_config, costs));
+    analysts.back()->set_packet_hook(
+        [&result, &signatures, q](const engines::CaptureView& view) {
+          ++result.inspected;
+          ++result.per_queue_inspected[q];
+          for (std::size_t s = 0; s < signatures.size(); ++s) {
+            if (bpf::matches(signatures[s].program, view.bytes,
+                             view.wire_len)) {
+              ++result.alerts[s];
+            }
+          }
+        });
+  }
+  if (advanced_mode) {
+    engine.set_buddy_group({0, 1, 2, 3, 4, 5});
+  }
+
+  trace::BorderRouterConfig trace_config;
+  trace_config.duration_s = 8.0;
+  trace_config.hot_phase_split_s = 1.0;
+  auto source = trace::make_border_router_source(trace_config);
+  nic::TrafficInjector injector{scheduler, *source, nic};
+  injector.start();
+  scheduler.run_until(Nanos::from_seconds(trace_config.duration_s + 10));
+
+  result.injected = injector.injected();
+  result.dropped = nic.total_rx_dropped();
+  for (std::uint32_t q = 0; q < kQueues; ++q) {
+    result.offloaded += engine.queue_stats(q).chunks_offloaded_out;
+  }
+  return result;
+}
+
+void report(const char* mode, const RunResult& result) {
+  std::printf("\n--- %s ---\n", mode);
+  std::printf("packets on the wire: %llu\n",
+              static_cast<unsigned long long>(result.injected));
+  std::printf("dropped before inspection: %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(result.dropped),
+              100.0 * static_cast<double>(result.dropped) /
+                  static_cast<double>(result.injected));
+  std::printf("inspected: %llu; chunks offloaded between cores: %llu\n",
+              static_cast<unsigned long long>(result.inspected),
+              static_cast<unsigned long long>(result.offloaded));
+  std::printf("per-queue inspected:");
+  for (const auto count : result.per_queue_inspected) {
+    std::printf(" %llu", static_cast<unsigned long long>(count));
+  }
+  std::printf("\nalerts: udp-to-fermilab=%llu ssh=%llu tiny=%llu\n",
+              static_cast<unsigned long long>(result.alerts[0]),
+              static_cast<unsigned long long>(result.alerts[1]),
+              static_cast<unsigned long long>(result.alerts[2]));
+}
+
+}  // namespace
+
+int main() {
+  std::puts("IDS monitor on WireCAP: basic vs advanced mode");
+  std::puts("(six RSS queues, snort-class analysis threads, real BPF "
+            "signatures)");
+
+  const RunResult basic = run_ids(/*advanced_mode=*/false);
+  report("basic mode (no offloading)", basic);
+
+  const RunResult advanced = run_ids(/*advanced_mode=*/true);
+  report("advanced mode (buddy-group offloading)", advanced);
+
+  std::printf("\nmissed-alert reduction: %.1f%% of traffic was invisible to "
+              "the IDS in basic mode, %.1f%% in advanced mode\n",
+              100.0 * static_cast<double>(basic.dropped) /
+                  static_cast<double>(basic.injected),
+              100.0 * static_cast<double>(advanced.dropped) /
+                  static_cast<double>(advanced.injected));
+  return 0;
+}

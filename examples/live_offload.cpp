@@ -1,0 +1,160 @@
+// Buddy-group offloading on real threads.
+//
+// live_capture.cpp showed one work-queue pair on real threads; this
+// example runs the full §3.2.2 advanced-mode structure concurrently:
+//
+//   * two capture threads, each owning a ring buffer pool, fed by
+//     deliberately imbalanced generators (queue 0 carries ~8x the load);
+//   * two application threads, each nominally consuming its own queue;
+//   * capture thread 0 monitors its capture queue's fill level and,
+//     past the threshold T, places chunks on its buddy's capture queue
+//     instead — across real threads, through the MPMC work queues;
+//   * recycling routes each chunk back to the pool that owns it,
+//     whichever application processed it.
+//
+// The run asserts chunk conservation and prints how the work split.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "driver/chunk_pool.hpp"
+#include "net/headers.hpp"
+#include "trace/constant_rate.hpp"
+#include "trace/flow_gen.hpp"
+
+using namespace wirecap;
+
+namespace {
+
+constexpr std::uint32_t kCells = 128;       // M
+constexpr std::uint32_t kChunks = 48;       // R
+constexpr double kThreshold = 0.5;          // T
+constexpr std::uint64_t kHotPackets = 3'000'000;
+constexpr std::uint64_t kColdPackets = 400'000;
+
+struct QueueFabric {
+  explicit QueueFabric(std::uint32_t ring_id)
+      : pool(0, ring_id, kCells, kChunks),
+        capture_queue(kChunks * 2),
+        recycle_queue(kChunks) {}
+
+  driver::RingBufferPool pool;
+  MpmcQueue<driver::ChunkMeta> capture_queue;
+  MpmcQueue<driver::ChunkMeta> recycle_queue;
+  std::atomic<std::uint64_t> produced{0};
+  std::atomic<std::uint64_t> offloaded_out{0};
+  std::atomic<std::uint64_t> consumed{0};
+};
+
+void capture_thread(QueueFabric& own, QueueFabric& buddy,
+                    std::uint64_t packets, std::uint64_t seed,
+                    bool may_offload) {
+  trace::ConstantRateConfig config;
+  config.packet_count = packets;
+  Xoshiro256 rng{seed};
+  config.flows = {trace::flow_for_queue(rng, 0, 1)};
+  trace::ConstantRateSource source{config};
+
+  std::uint64_t filled = 0;
+  while (filled < packets) {
+    while (auto meta = own.recycle_queue.try_pop()) {
+      static_cast<void>(own.pool.recycle(*meta));
+    }
+    auto chunk = own.pool.capture_free_chunk(static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kCells, packets - filled)));
+    if (!chunk) {
+      if (auto meta = own.recycle_queue.pop()) {
+        static_cast<void>(own.pool.recycle(*meta));
+      }
+      continue;
+    }
+    for (std::uint32_t cell = 0; cell < chunk->pkt_count; ++cell) {
+      const auto packet = source.next();
+      const auto dst = own.pool.cell(chunk->chunk_id, cell);
+      const auto src = packet->bytes();
+      std::copy(src.begin(), src.end(), dst.begin());
+      own.pool.cell_info(chunk->chunk_id, cell).length = packet->snap_len();
+      ++filled;
+    }
+    own.produced.fetch_add(chunk->pkt_count, std::memory_order_relaxed);
+
+    // The offloading decision (Figure 7b): past threshold T, the least
+    // busy buddy gets the chunk.
+    QueueFabric* target = &own;
+    if (may_offload &&
+        static_cast<double>(own.capture_queue.size()) / kChunks >
+            kThreshold &&
+        buddy.capture_queue.size() < own.capture_queue.size()) {
+      target = &buddy;
+      own.offloaded_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    target->capture_queue.push(*chunk);
+  }
+  // Note: the capture queue is closed by main() only after *both*
+  // capture threads finish — a buddy may still be offloading into ours.
+}
+
+void app_thread(std::vector<QueueFabric*> fabrics, std::uint32_t own_index,
+                std::atomic<std::uint64_t>& processed) {
+  QueueFabric& own = *fabrics[own_index];
+  while (auto meta = own.capture_queue.pop()) {
+    // A chunk may belong to any buddy's pool: route by its ring id.
+    QueueFabric& owner = *fabrics[meta->ring_id];
+    std::uint64_t bytes = 0;
+    for (std::uint32_t cell = 0; cell < meta->pkt_count; ++cell) {
+      bytes += owner.pool.cell_info(meta->chunk_id, cell).length;
+    }
+    static_cast<void>(bytes);
+    processed.fetch_add(meta->pkt_count, std::memory_order_relaxed);
+    own.consumed.fetch_add(meta->pkt_count, std::memory_order_relaxed);
+    owner.recycle_queue.push(*meta);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("buddy-group offloading on real threads "
+              "(hot queue: %llu packets, cold queue: %llu)\n",
+              static_cast<unsigned long long>(kHotPackets),
+              static_cast<unsigned long long>(kColdPackets));
+
+  QueueFabric queue0{0};
+  QueueFabric queue1{1};
+  std::vector<QueueFabric*> fabrics{&queue0, &queue1};
+  std::atomic<std::uint64_t> processed0{0}, processed1{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread cap0{capture_thread, std::ref(queue0), std::ref(queue1),
+                   kHotPackets, 0x51EE0, true};
+  std::thread cap1{capture_thread, std::ref(queue1), std::ref(queue0),
+                   kColdPackets, 0x51EE1, true};
+  std::thread app0{app_thread, fabrics, 0u, std::ref(processed0)};
+  std::thread app1{app_thread, fabrics, 1u, std::ref(processed1)};
+  cap0.join();
+  cap1.join();
+  queue0.capture_queue.close();
+  queue1.capture_queue.close();
+  app0.join();
+  app1.join();
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  const std::uint64_t total = processed0 + processed1;
+  std::printf("processed %llu packets in %.2f s (%.2f Mp/s aggregate)\n",
+              static_cast<unsigned long long>(total), wall,
+              static_cast<double>(total) / wall / 1e6);
+  std::printf("app thread 0 consumed %llu, app thread 1 consumed %llu\n",
+              static_cast<unsigned long long>(queue0.consumed.load()),
+              static_cast<unsigned long long>(queue1.consumed.load()));
+  std::printf("capture thread 0 offloaded %llu chunks to its buddy\n",
+              static_cast<unsigned long long>(queue0.offloaded_out.load()));
+
+  const bool conserved = total == kHotPackets + kColdPackets;
+  std::printf("conservation: %s\n", conserved ? "exact" : "VIOLATED");
+  return conserved ? 0 : 1;
+}

@@ -1,0 +1,182 @@
+#include "apps/harness.hpp"
+
+#include "engines/dpdk_engine.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace wirecap::apps {
+
+std::string to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kPfRing: return "PF_RING";
+    case EngineKind::kDna: return "DNA";
+    case EngineKind::kNetmap: return "NETMAP";
+    case EngineKind::kPsioe: return "PSIOE";
+    case EngineKind::kWirecapBasic: return "WireCAP-B";
+    case EngineKind::kWirecapAdvanced: return "WireCAP-A";
+    case EngineKind::kDpdk: return "DPDK";
+    case EngineKind::kDpdkAppOffload: return "DPDK+app-offload";
+  }
+  return "?";
+}
+
+std::string EngineParams::label() const {
+  switch (kind) {
+    case EngineKind::kWirecapBasic: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "WireCAP-B-(%u,%u)", cells_per_chunk,
+                    chunk_count);
+      return buf;
+    }
+    case EngineKind::kWirecapAdvanced: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "WireCAP-A-(%u,%u,%.0f%%)",
+                    cells_per_chunk, chunk_count, offload_threshold * 100.0);
+      return buf;
+    }
+    default:
+      return to_string(kind);
+  }
+}
+
+std::unique_ptr<engines::CaptureEngine> make_engine(
+    const EngineParams& params, sim::Scheduler& scheduler,
+    nic::MultiQueueNic& nic, const sim::CostModel& costs) {
+  switch (params.kind) {
+    case EngineKind::kPfRing: {
+      engines::PfRingConfig config;
+      config.kernel_cost_per_packet = costs.pfring_kernel_cost;
+      config.napi_wakeup_delay = costs.napi_wakeup_delay;
+      return std::make_unique<engines::PfRingEngine>(scheduler, nic, config);
+    }
+    case EngineKind::kDna:
+      return std::make_unique<engines::Type2Engine>(nic,
+                                                    engines::dna_config());
+    case EngineKind::kNetmap:
+      return std::make_unique<engines::Type2Engine>(nic,
+                                                    engines::netmap_config());
+    case EngineKind::kPsioe:
+      return std::make_unique<engines::PsioeEngine>(nic,
+                                                    engines::PsioeConfig{});
+    case EngineKind::kDpdk:
+    case EngineKind::kDpdkAppOffload: {
+      engines::DpdkConfig config;
+      // Match the WireCAP pool under comparison: mempool == R * M.
+      config.mempool_size = params.cells_per_chunk * params.chunk_count;
+      config.app_offload = params.kind == EngineKind::kDpdkAppOffload;
+      config.app_offload_threshold = params.offload_threshold;
+      return std::make_unique<engines::DpdkEngine>(scheduler, nic, config);
+    }
+    case EngineKind::kWirecapBasic:
+    case EngineKind::kWirecapAdvanced: {
+      core::WirecapConfig config;
+      config.cells_per_chunk = params.cells_per_chunk;
+      config.chunk_count = params.chunk_count;
+      config.offload_policy = params.offload_policy;
+      if (params.kind == EngineKind::kWirecapAdvanced) {
+        config.offload_threshold = params.offload_threshold;
+      }
+      return std::make_unique<core::WirecapEngine>(scheduler, nic, config,
+                                                   costs);
+    }
+  }
+  throw std::invalid_argument("make_engine: unknown kind");
+}
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
+  bus_ = std::make_unique<sim::IoBus>(
+      scheduler_, Rate{config_.bus_transactions_per_second});
+
+  nic::NicConfig nic_config;
+  nic_config.nic_id = 1;
+  nic_config.num_rx_queues = config_.num_queues;
+  nic_config.num_tx_queues = std::max(1u, config_.num_queues);
+  nic_config.rx_ring_size = config_.ring_size;
+  if (config_.engine.is_wirecap()) {
+    // WireCAP pays extra bus transactions per packet for its chunk
+    // management, plus page-table pressure proportional to total pool
+    // memory (§4 "Scalability", §5a) — only observable when the bus is
+    // constrained.
+    const double pool_mib =
+        static_cast<double>(config_.num_queues) *
+        config_.engine.cells_per_chunk * config_.engine.chunk_count * 2048.0 /
+        (1024.0 * 1024.0);
+    nic_config.rx_transactions_per_packet =
+        1.0 + config_.costs.wirecap_extra_transactions_per_packet +
+        config_.costs.memory_pressure_transactions_per_mib * pool_mib;
+  }
+  nic_ = std::make_unique<nic::MultiQueueNic>(scheduler_, *bus_, nic_config);
+
+  if (config_.forward) {
+    nic::NicConfig nic2_config = nic_config;
+    nic2_config.nic_id = 2;
+    nic2_ = std::make_unique<nic::MultiQueueNic>(scheduler_, *bus_,
+                                                 nic2_config);
+  }
+
+  engine_ = make_engine(config_.engine, scheduler_, *nic_, config_.costs);
+
+  for (std::uint32_t q = 0; q < config_.num_queues; ++q) {
+    app_cores_.push_back(
+        std::make_unique<sim::SimCore>(scheduler_, q, config_.cpu_ghz));
+    PktHandlerConfig handler_config;
+    handler_config.x = config_.x;
+    handler_config.filter = config_.filter;
+    handler_config.execute_filter = config_.execute_filter;
+    if (config_.forward) {
+      handler_config.forward = ForwardTarget{nic2_.get(), q};
+    }
+    handlers_.push_back(std::make_unique<PktHandler>(
+        *app_cores_[q], *engine_, q, handler_config, config_.costs));
+  }
+
+  if (config_.engine.kind == EngineKind::kWirecapAdvanced) {
+    // The paper's advanced-mode experiments: "the n queues form a single
+    // buddy group" (one multi_pkt_handler application).
+    auto* wirecap = dynamic_cast<core::WirecapEngine*>(engine_.get());
+    std::vector<std::uint32_t> group;
+    for (std::uint32_t q = 0; q < config_.num_queues; ++q) group.push_back(q);
+    wirecap->set_buddy_group(group);
+  }
+  if (config_.engine.kind == EngineKind::kDpdkAppOffload) {
+    auto* dpdk = dynamic_cast<engines::DpdkEngine*>(engine_.get());
+    std::vector<std::uint32_t> group;
+    for (std::uint32_t q = 0; q < config_.num_queues; ++q) group.push_back(q);
+    dpdk->set_peer_group(group);
+  }
+}
+
+Experiment::~Experiment() = default;
+
+ExperimentResult Experiment::run(trace::TrafficSource& source, Nanos horizon) {
+  nic::TrafficInjector injector(scheduler_, source, *nic_);
+  injector.start();
+  scheduler_.run_until(horizon);
+
+  ExperimentResult result;
+  result.engine_label = config_.engine.label();
+  result.sent = injector.injected();
+  result.per_queue.resize(config_.num_queues);
+  for (std::uint32_t q = 0; q < config_.num_queues; ++q) {
+    const auto& rx = nic_->rx_stats(q);
+    const auto engine_stats = engine_->queue_stats(q);
+    QueueResult& queue_result = result.per_queue[q];
+    queue_result.arrived = rx.received + rx.dropped;
+    queue_result.capture_dropped = rx.dropped;
+    queue_result.delivery_dropped = engine_stats.delivery_dropped;
+    queue_result.delivered = engine_stats.delivered;
+    queue_result.processed = handlers_[q]->stats().processed;
+
+    result.capture_dropped += rx.dropped;
+    result.delivery_dropped += engine_stats.delivery_dropped;
+    result.delivered += engine_stats.delivered;
+    result.processed += queue_result.processed;
+    result.copies += engine_stats.copies;
+    result.offloaded_chunks += engine_stats.chunks_offloaded_out;
+  }
+  if (nic2_) result.forwarded_received = nic2_->total_transmitted();
+  return result;
+}
+
+}  // namespace wirecap::apps

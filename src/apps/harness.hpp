@@ -1,0 +1,158 @@
+// Experiment harness: wires a traffic source, the simulated NIC(s), a
+// capture engine, per-queue cores and pkt_handler threads into one
+// runnable experiment, and collects the drop-rate accounting used by
+// every figure and table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/pkt_handler.hpp"
+#include "core/wirecap_engine.hpp"
+#include "engines/baselines.hpp"
+#include "nic/wire.hpp"
+#include "sim/bus.hpp"
+#include "trace/source.hpp"
+
+namespace wirecap::apps {
+
+enum class EngineKind {
+  kPfRing,
+  kDna,
+  kNetmap,
+  kPsioe,
+  kWirecapBasic,
+  kWirecapAdvanced,
+  kDpdk,            // DPDK model, no offloading (as shipped)
+  kDpdkAppOffload,  // DPDK model + hand-rolled app-layer offloading
+};
+
+[[nodiscard]] std::string to_string(EngineKind kind);
+
+struct EngineParams {
+  EngineKind kind = EngineKind::kWirecapBasic;
+  /// WireCAP parameters (M, R, T).
+  std::uint32_t cells_per_chunk = 256;
+  std::uint32_t chunk_count = 100;
+  double offload_threshold = 0.6;
+  core::OffloadPolicy offload_policy = core::OffloadPolicy::kLeastBusy;
+
+  [[nodiscard]] std::string label() const;
+
+  /// True for either WireCAP mode.
+  [[nodiscard]] bool is_wirecap() const {
+    return kind == EngineKind::kWirecapBasic ||
+           kind == EngineKind::kWirecapAdvanced;
+  }
+};
+
+struct ExperimentConfig {
+  EngineParams engine;
+  std::uint32_t num_queues = 1;
+  std::uint32_t ring_size = 1024;
+  double cpu_ghz = 2.4;
+  /// pkt_handler BPF repetitions.
+  unsigned x = 0;
+  std::string filter = "131.225.2 and udp";
+  /// Execute the filter in the BPF VM per packet (slower; benches charge
+  /// the cost but skip execution, tests enable it).
+  bool execute_filter = false;
+  /// Forward processed packets out a second NIC (Figures 13-14).
+  bool forward = false;
+  /// I/O bus capacity in transactions/s; 0 = unconstrained.
+  double bus_transactions_per_second = 0.0;
+  sim::CostModel costs{};
+};
+
+struct QueueResult {
+  std::uint64_t arrived = 0;          // steered to this queue
+  std::uint64_t capture_dropped = 0;  // lost at the NIC ring/FIFO
+  std::uint64_t delivery_dropped = 0; // lost between ring and app
+  std::uint64_t delivered = 0;        // packets handed to the app thread
+  std::uint64_t processed = 0;        // finished by pkt_handler
+
+  [[nodiscard]] double capture_drop_rate() const {
+    return arrived ? static_cast<double>(capture_dropped) /
+                         static_cast<double>(arrived)
+                   : 0.0;
+  }
+  [[nodiscard]] double delivery_drop_rate() const {
+    return arrived ? static_cast<double>(delivery_dropped) /
+                         static_cast<double>(arrived)
+                   : 0.0;
+  }
+};
+
+struct ExperimentResult {
+  std::string engine_label;
+  std::uint64_t sent = 0;
+  std::uint64_t capture_dropped = 0;
+  std::uint64_t delivery_dropped = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t forwarded_received = 0;  // counted by the packet receiver
+  std::uint64_t copies = 0;
+  std::uint64_t offloaded_chunks = 0;
+  std::vector<QueueResult> per_queue;
+
+  /// Overall drop rate, the paper's headline metric ("to make the
+  /// comparison easier, we only calculate the overall packet drop
+  /// rate").
+  [[nodiscard]] double drop_rate() const {
+    return sent ? static_cast<double>(capture_dropped + delivery_dropped) /
+                      static_cast<double>(sent)
+                : 0.0;
+  }
+  /// Drop rate measured as the forwarding experiments do: sent minus
+  /// packets seen by the receiver behind the second NIC.
+  [[nodiscard]] double forwarding_drop_rate() const {
+    return sent ? static_cast<double>(sent - forwarded_received) /
+                      static_cast<double>(sent)
+                : 0.0;
+  }
+};
+
+/// One fully wired experiment.  Construction builds the fabric; run()
+/// injects a traffic source and executes the simulation.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Runs `source` through the fabric until `horizon` (which must cover
+  /// the trace plus drain time), then gathers results.
+  ExperimentResult run(trace::TrafficSource& source, Nanos horizon);
+
+  // Wiring access for tests and specialized benches.
+  [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] nic::MultiQueueNic& nic() { return *nic_; }
+  [[nodiscard]] nic::MultiQueueNic& out_nic() { return *nic2_; }
+  [[nodiscard]] engines::CaptureEngine& engine() { return *engine_; }
+  [[nodiscard]] PktHandler& handler(std::uint32_t queue) {
+    return *handlers_.at(queue);
+  }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  sim::Scheduler scheduler_;
+  std::unique_ptr<sim::IoBus> bus_;
+  std::unique_ptr<nic::MultiQueueNic> nic_;
+  std::unique_ptr<nic::MultiQueueNic> nic2_;  // forwarding target
+  std::unique_ptr<engines::CaptureEngine> engine_;
+  std::vector<std::unique_ptr<sim::SimCore>> app_cores_;
+  std::vector<std::unique_ptr<PktHandler>> handlers_;
+};
+
+/// Creates an engine of `kind` over `nic`.
+[[nodiscard]] std::unique_ptr<engines::CaptureEngine> make_engine(
+    const EngineParams& params, sim::Scheduler& scheduler,
+    nic::MultiQueueNic& nic, const sim::CostModel& costs);
+
+}  // namespace wirecap::apps

@@ -1,0 +1,73 @@
+#include "apps/pkt_handler.hpp"
+
+#include "bpf/codegen.hpp"
+#include "bpf/vm.hpp"
+
+namespace wirecap::apps {
+
+PktHandler::PktHandler(sim::SimCore& core, engines::CaptureEngine& engine,
+                       std::uint32_t queue, PktHandlerConfig config,
+                       const sim::CostModel& costs)
+    : core_(core),
+      engine_(engine),
+      queue_(queue),
+      config_(std::move(config)),
+      filter_(bpf::compile_filter(config_.filter)) {
+  per_packet_cost_ =
+      costs.pkt_handler_cost(config_.x) + engine.app_overhead_per_packet();
+  if (config_.forward) {
+    per_packet_cost_ += costs.forward_attach_cost;
+  }
+  engine_.open(queue_, core_);
+  engine_.set_data_callback(queue_, [this] { maybe_start(); });
+  maybe_start();
+}
+
+void PktHandler::maybe_start() {
+  if (busy_) return;
+  busy_ = true;
+  process_next();
+}
+
+void PktHandler::process_next() {
+  auto view = engine_.try_next(queue_);
+  if (!view) {
+    busy_ = false;  // back to blocking on the capture API
+    return;
+  }
+  // Charge the full processing cost (capture call + x BPF applications
+  // [+ forward attach]), then act on the packet.
+  core_.submit(sim::WorkPriority::kUser, per_packet_cost_,
+               [this, v = *view]() mutable {
+    ++stats_.processed;
+    const bool matches = !config_.execute_filter ||
+                         bpf::matches(filter_, v.bytes, v.wire_len);
+    if (matches) ++stats_.matched;
+    if (hook_) hook_(v);
+    if (config_.forward) {
+      if (engine_.forward(queue_, v, *config_.forward->nic,
+                          config_.forward->tx_queue)) {
+        ++stats_.forwarded;
+      } else {
+        ++stats_.forward_failures;
+      }
+    } else {
+      engine_.done(queue_, v);
+    }
+    process_next();
+  });
+}
+
+QueueProfiler::QueueProfiler(sim::SimCore& core,
+                             engines::CaptureEngine& engine,
+                             std::uint32_t queue, const sim::CostModel& costs,
+                             Nanos bin_width)
+    : series_(bin_width),
+      handler_(core, engine, queue, PktHandlerConfig{0, "", false, {}},
+               costs) {
+  handler_.set_packet_hook([this](const engines::CaptureView& view) {
+    series_.record(view.timestamp);
+  });
+}
+
+}  // namespace wirecap::apps

@@ -1,0 +1,85 @@
+// Abstract syntax tree for the filter expression language — a practical
+// subset of tcpdump/libpcap syntax sufficient for the paper's filters
+// (e.g. "131.225.2 and udp") and the examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/flow.hpp"
+
+namespace wirecap::bpf {
+
+enum class Direction : std::uint8_t { kEither, kSrc, kDst };
+
+enum class PrimitiveKind : std::uint8_t {
+  kProtoIp,    // any IPv4 packet
+  kProtoIp6,   // any IPv6 packet
+  kProtoTcp,
+  kProtoUdp,
+  kProtoIcmp,
+  kVlan,       // 802.1Q tagged (optionally a specific VID)
+  kHost,       // IPv4 address equality (with direction)
+  kNet,        // IPv4 prefix match (with direction)
+  kPort,       // TCP or UDP port (with direction)
+  kPortRange,  // TCP or UDP port within [port, port_hi] (with direction)
+  kLenLe,      // wire length <= k
+  kLenGe,      // wire length >= k
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Primitive {
+  PrimitiveKind kind{};
+  Direction dir = Direction::kEither;
+  net::Ipv4Addr addr{};       // kHost / kNet
+  unsigned prefix_len = 32;   // kNet
+  std::uint16_t port = 0;     // kPort / kPortRange (lower bound)
+  std::uint16_t port_hi = 0;  // kPortRange (upper bound)
+  std::uint32_t length = 0;   // kLenLe / kLenGe
+  std::uint16_t vlan_id = 0;  // kVlan (when has_vlan_id)
+  bool has_vlan_id = false;   // kVlan
+};
+
+enum class ExprKind : std::uint8_t { kAnd, kOr, kNot, kPrimitive };
+
+struct Expr {
+  ExprKind kind{};
+  ExprPtr lhs;       // kAnd / kOr / kNot (kNot uses lhs only)
+  ExprPtr rhs;       // kAnd / kOr
+  Primitive prim{};  // kPrimitive
+
+  [[nodiscard]] static ExprPtr make_and(ExprPtr a, ExprPtr b) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kAnd;
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    return e;
+  }
+  [[nodiscard]] static ExprPtr make_or(ExprPtr a, ExprPtr b) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kOr;
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    return e;
+  }
+  [[nodiscard]] static ExprPtr make_not(ExprPtr a) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kNot;
+    e->lhs = std::move(a);
+    return e;
+  }
+  [[nodiscard]] static ExprPtr make_primitive(Primitive p) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kPrimitive;
+    e->prim = p;
+    return e;
+  }
+};
+
+/// Renders the AST back to filter syntax (for diagnostics and tests).
+[[nodiscard]] std::string to_string(const Expr& expr);
+
+}  // namespace wirecap::bpf

@@ -1,0 +1,395 @@
+#include "bpf/codegen.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "bpf/parser.hpp"
+#include "bpf/vm.hpp"
+#include "net/headers.hpp"
+
+namespace wirecap::bpf {
+
+namespace {
+
+// Frame offsets for linktype EN10MB + IPv4.
+constexpr std::uint32_t kOffEtherType = 12;
+constexpr std::uint32_t kOffIpStart = 14;
+constexpr std::uint32_t kOffIpProto = kOffIpStart + 9;
+constexpr std::uint32_t kOffIpFrag = kOffIpStart + 6;
+constexpr std::uint32_t kOffIpSrc = kOffIpStart + 12;
+constexpr std::uint32_t kOffIpDst = kOffIpStart + 16;
+
+/// Code generator with symbolic labels.  Conditional jumps record the
+/// label they target; resolve() converts them into the 8-bit relative
+/// offsets of the final program.
+class CodeGen {
+ public:
+  using Label = std::uint32_t;
+
+  Label new_label() { return next_label_++; }
+
+  void place(Label label) {
+    if (label >= placed_.size()) placed_.resize(label + 1, kUnplaced);
+    placed_[label] = static_cast<std::uint32_t>(insns_.size());
+  }
+
+  /// Emits a plain statement.
+  void emit(std::uint16_t code, std::uint32_t k) {
+    insns_.push_back(stmt(code, k));
+    patches_.push_back({});
+  }
+
+  /// Emits a conditional jump whose true/false arms go to labels.
+  void emit_branch(std::uint16_t code, std::uint32_t k, Label on_true,
+                   Label on_false) {
+    insns_.push_back(jump(code, k, 0, 0));
+    patches_.push_back(Patch{on_true, on_false, true});
+  }
+
+  /// Emits an unconditional jump to `target` (encoded as JA).
+  void emit_jump(Label target) {
+    insns_.push_back(stmt(kClassJmp | kJmpJa, 0));
+    patches_.push_back(Patch{target, target, false});
+  }
+
+  [[nodiscard]] Program resolve() {
+    for (std::size_t pc = 0; pc < insns_.size(); ++pc) {
+      const Patch& patch = patches_[pc];
+      if (!patch.conditional && patch.on_true == kNoLabel) continue;
+      const auto resolve_to = [&](Label label) -> std::uint32_t {
+        const std::uint32_t target = placed_.at(label);
+        if (target == kUnplaced) {
+          throw std::logic_error("bpf codegen: unplaced label");
+        }
+        if (target <= pc) {
+          throw std::logic_error("bpf codegen: backward jump");
+        }
+        return target - static_cast<std::uint32_t>(pc) - 1;
+      };
+      if (patch.conditional) {
+        const std::uint32_t jt = resolve_to(patch.on_true);
+        const std::uint32_t jf = resolve_to(patch.on_false);
+        if (jt > 255 || jf > 255) {
+          throw std::invalid_argument(
+              "bpf codegen: filter too complex (jump offset > 255)");
+        }
+        insns_[pc].jt = static_cast<std::uint8_t>(jt);
+        insns_[pc].jf = static_cast<std::uint8_t>(jf);
+      } else {
+        insns_[pc].k = resolve_to(patch.on_true);
+      }
+    }
+    return insns_;
+  }
+
+ private:
+  static constexpr std::uint32_t kUnplaced = 0xFFFFFFFF;
+  static constexpr Label kNoLabel = 0xFFFFFFFF;
+
+  struct Patch {
+    Label on_true = kNoLabel;
+    Label on_false = kNoLabel;
+    bool conditional = false;
+  };
+
+  std::vector<Insn> insns_;
+  std::vector<Patch> patches_;
+  std::vector<std::uint32_t> placed_;
+  Label next_label_ = 0;
+};
+
+/// Facts established on the true-path of already-generated code, used
+/// for common-subexpression elimination: inside an AND chain, once the
+/// left operand has proven the frame is IPv4, the right operand's
+/// primitives can skip their own ethertype check (the same elimination
+/// tcpdump's optimizer performs).
+struct KnownFacts {
+  bool ipv4 = false;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(std::uint32_t accept_len) : accept_len_(accept_len) {}
+
+  Program run(const Expr* expr) {
+    if (expr == nullptr) {
+      return Program{stmt(kClassRet | kRetK, accept_len_)};
+    }
+    const auto accept = gen_.new_label();
+    const auto reject = gen_.new_label();
+    gen_expr(*expr, accept, reject, KnownFacts{});
+    gen_.place(accept);
+    gen_.emit(kClassRet | kRetK, accept_len_);
+    gen_.place(reject);
+    gen_.emit(kClassRet | kRetK, 0);
+    Program program = gen_.resolve();
+    if (const auto result = verify(program); !result.ok) {
+      throw std::logic_error("bpf codegen produced invalid program: " +
+                             result.error);
+    }
+    return program;
+  }
+
+ private:
+  using Label = CodeGen::Label;
+
+  /// True when `expr` being satisfied proves the frame is IPv4 (so an
+  /// AND-sibling generated afterwards may omit its ethertype check).
+  [[nodiscard]] static bool establishes_ipv4(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kAnd:
+        return establishes_ipv4(*expr.lhs) || establishes_ipv4(*expr.rhs);
+      case ExprKind::kOr:
+        return establishes_ipv4(*expr.lhs) && establishes_ipv4(*expr.rhs);
+      case ExprKind::kNot:
+        return false;
+      case ExprKind::kPrimitive:
+        switch (expr.prim.kind) {
+          case PrimitiveKind::kProtoIp:
+          case PrimitiveKind::kProtoTcp:
+          case PrimitiveKind::kProtoUdp:
+          case PrimitiveKind::kProtoIcmp:
+          case PrimitiveKind::kHost:
+          case PrimitiveKind::kNet:
+          case PrimitiveKind::kPort:
+          case PrimitiveKind::kPortRange:
+            return true;
+          default:
+            return false;
+        }
+    }
+    return false;
+  }
+
+  void gen_expr(const Expr& expr, Label on_true, Label on_false,
+                KnownFacts facts) {
+    switch (expr.kind) {
+      case ExprKind::kAnd: {
+        const auto mid = gen_.new_label();
+        gen_expr(*expr.lhs, mid, on_false, facts);
+        gen_.place(mid);
+        // The right operand only runs when the left matched, so any fact
+        // the left establishes holds here.
+        KnownFacts rhs_facts = facts;
+        rhs_facts.ipv4 = rhs_facts.ipv4 || establishes_ipv4(*expr.lhs);
+        gen_expr(*expr.rhs, on_true, on_false, rhs_facts);
+        return;
+      }
+      case ExprKind::kOr: {
+        const auto mid = gen_.new_label();
+        gen_expr(*expr.lhs, on_true, mid, facts);
+        gen_.place(mid);
+        // The right operand runs when the left *failed*: a failed check
+        // proves nothing, so only inherited facts survive.
+        gen_expr(*expr.rhs, on_true, on_false, facts);
+        return;
+      }
+      case ExprKind::kNot:
+        gen_expr(*expr.lhs, on_false, on_true, facts);
+        return;
+      case ExprKind::kPrimitive:
+        gen_primitive(expr.prim, on_true, on_false, facts);
+        return;
+    }
+  }
+
+  /// Branches to on_false unless the frame is IPv4 (no-op when already
+  /// proven).
+  void require_ipv4(Label on_false, const KnownFacts& facts) {
+    if (facts.ipv4) return;
+    const auto next = gen_.new_label();
+    gen_.emit(kClassLd | kSizeH | kModeAbs, kOffEtherType);
+    gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeIpv4, next,
+                     on_false);
+    gen_.place(next);
+  }
+
+  void gen_primitive(const Primitive& p, Label on_true, Label on_false,
+                     const KnownFacts& facts) {
+    switch (p.kind) {
+      case PrimitiveKind::kProtoIp: {
+        gen_.emit(kClassLd | kSizeH | kModeAbs, kOffEtherType);
+        gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeIpv4,
+                         on_true, on_false);
+        return;
+      }
+      case PrimitiveKind::kProtoIp6: {
+        gen_.emit(kClassLd | kSizeH | kModeAbs, kOffEtherType);
+        gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeIpv6,
+                         on_true, on_false);
+        return;
+      }
+      case PrimitiveKind::kVlan: {
+        const auto tagged = gen_.new_label();
+        gen_.emit(kClassLd | kSizeH | kModeAbs, kOffEtherType);
+        gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeVlan,
+                         tagged, on_false);
+        gen_.place(tagged);
+        if (!p.has_vlan_id) {
+          gen_.emit_jump(on_true);
+          return;
+        }
+        // TCI at frame offset 14; VID is the low 12 bits.
+        gen_.emit(kClassLd | kSizeH | kModeAbs, 14);
+        gen_.emit(kClassAlu | kAluAnd | kSrcK, 0x0FFF);
+        gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, p.vlan_id, on_true,
+                         on_false);
+        return;
+      }
+      case PrimitiveKind::kProtoTcp:
+        gen_proto(static_cast<std::uint8_t>(net::IpProto::kTcp), on_true,
+                  on_false, facts);
+        return;
+      case PrimitiveKind::kProtoUdp:
+        gen_proto(static_cast<std::uint8_t>(net::IpProto::kUdp), on_true,
+                  on_false, facts);
+        return;
+      case PrimitiveKind::kProtoIcmp:
+        gen_proto(static_cast<std::uint8_t>(net::IpProto::kIcmp), on_true,
+                  on_false, facts);
+        return;
+      case PrimitiveKind::kHost:
+        gen_addr_match(p.addr.value(), 0xFFFFFFFFu, p.dir, on_true, on_false,
+                       facts);
+        return;
+      case PrimitiveKind::kNet: {
+        const std::uint32_t mask =
+            p.prefix_len == 0
+                ? 0
+                : (p.prefix_len >= 32 ? 0xFFFFFFFFu
+                                      : ~((1u << (32 - p.prefix_len)) - 1));
+        gen_addr_match(p.addr.value() & mask, mask, p.dir, on_true, on_false,
+                       facts);
+        return;
+      }
+      case PrimitiveKind::kPort:
+        gen_port(p.port, p.port, p.dir, on_true, on_false, facts);
+        return;
+      case PrimitiveKind::kPortRange:
+        gen_port(p.port, p.port_hi, p.dir, on_true, on_false, facts);
+        return;
+      case PrimitiveKind::kLenLe: {
+        gen_.emit(kClassLd | kSizeW | kModeLen, 0);
+        // len <= k  <=>  !(len > k)
+        gen_.emit_branch(kClassJmp | kJmpJgt | kSrcK, p.length, on_false,
+                         on_true);
+        return;
+      }
+      case PrimitiveKind::kLenGe: {
+        gen_.emit(kClassLd | kSizeW | kModeLen, 0);
+        gen_.emit_branch(kClassJmp | kJmpJge | kSrcK, p.length, on_true,
+                         on_false);
+        return;
+      }
+    }
+  }
+
+  void gen_proto(std::uint8_t proto, Label on_true, Label on_false,
+                 const KnownFacts& facts) {
+    require_ipv4(on_false, facts);
+    gen_.emit(kClassLd | kSizeB | kModeAbs, kOffIpProto);
+    gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, proto, on_true, on_false);
+  }
+
+  void gen_addr_match(std::uint32_t value, std::uint32_t mask, Direction dir,
+                      Label on_true, Label on_false,
+                      const KnownFacts& facts) {
+    require_ipv4(on_false, facts);
+    const auto test_one = [&](std::uint32_t offset, Label match_true,
+                              Label match_false) {
+      gen_.emit(kClassLd | kSizeW | kModeAbs, offset);
+      if (mask != 0xFFFFFFFFu) {
+        gen_.emit(kClassAlu | kAluAnd | kSrcK, mask);
+      }
+      gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, value, match_true,
+                       match_false);
+    };
+    switch (dir) {
+      case Direction::kSrc:
+        test_one(kOffIpSrc, on_true, on_false);
+        return;
+      case Direction::kDst:
+        test_one(kOffIpDst, on_true, on_false);
+        return;
+      case Direction::kEither: {
+        const auto try_dst = gen_.new_label();
+        test_one(kOffIpSrc, on_true, try_dst);
+        gen_.place(try_dst);
+        test_one(kOffIpDst, on_true, on_false);
+        return;
+      }
+    }
+  }
+
+  void gen_port(std::uint16_t lo, std::uint16_t hi, Direction dir,
+                Label on_true, Label on_false, const KnownFacts& facts) {
+    require_ipv4(on_false, facts);
+    // Protocol must be TCP or UDP.
+    const auto proto_ok = gen_.new_label();
+    const auto try_udp = gen_.new_label();
+    gen_.emit(kClassLd | kSizeB | kModeAbs, kOffIpProto);
+    gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK,
+                     static_cast<std::uint8_t>(net::IpProto::kTcp), proto_ok,
+                     try_udp);
+    gen_.place(try_udp);
+    gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK,
+                     static_cast<std::uint8_t>(net::IpProto::kUdp), proto_ok,
+                     on_false);
+    gen_.place(proto_ok);
+    // Reject fragments with a nonzero offset: ports live in the first
+    // fragment only.
+    const auto not_fragment = gen_.new_label();
+    gen_.emit(kClassLd | kSizeH | kModeAbs, kOffIpFrag);
+    gen_.emit_branch(kClassJmp | kJmpJset | kSrcK, 0x1FFF, on_false,
+                     not_fragment);
+    gen_.place(not_fragment);
+    // X <- IP header length; load ports at [14 + X] / [14 + X + 2].
+    gen_.emit(kClassLdx | kSizeB | kModeMsh, kOffIpStart);
+    // Tests A against [lo, hi]; equality when lo == hi.
+    const auto test_in_range = [&](std::uint32_t offset, Label match,
+                                   Label no_match) {
+      gen_.emit(kClassLd | kSizeH | kModeInd, offset);
+      if (lo == hi) {
+        gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, lo, match, no_match);
+        return;
+      }
+      const auto check_hi = gen_.new_label();
+      gen_.emit_branch(kClassJmp | kJmpJge | kSrcK, lo, check_hi, no_match);
+      gen_.place(check_hi);
+      // A <= hi  <=>  !(A > hi)
+      gen_.emit_branch(kClassJmp | kJmpJgt | kSrcK, hi, no_match, match);
+    };
+    switch (dir) {
+      case Direction::kSrc:
+        test_in_range(kOffIpStart, on_true, on_false);
+        return;
+      case Direction::kDst:
+        test_in_range(kOffIpStart + 2, on_true, on_false);
+        return;
+      case Direction::kEither: {
+        const auto try_dst = gen_.new_label();
+        test_in_range(kOffIpStart, on_true, try_dst);
+        gen_.place(try_dst);
+        test_in_range(kOffIpStart + 2, on_true, on_false);
+        return;
+      }
+    }
+  }
+
+  CodeGen gen_;
+  std::uint32_t accept_len_;
+};
+
+}  // namespace
+
+Program compile(const Expr* expr, std::uint32_t accept_len) {
+  Compiler compiler{accept_len};
+  return compiler.run(expr);
+}
+
+Program compile_filter(std::string_view text, std::uint32_t accept_len) {
+  const ExprPtr expr = parse_filter(text);
+  return compile(expr.get(), accept_len);
+}
+
+}  // namespace wirecap::bpf

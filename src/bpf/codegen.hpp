@@ -1,0 +1,28 @@
+// Compiles a filter AST to a classic-BPF program, tcpdump-style: an
+// Ethernet/IPv4 packet is tested field by field with conditional jumps
+// to shared accept/reject tails.
+#pragma once
+
+#include <cstdint>
+
+#include "bpf/ast.hpp"
+#include "bpf/insn.hpp"
+
+namespace wirecap::bpf {
+
+/// Value returned by the generated program on a match (tcpdump uses the
+/// snap length; 65535 accepts the whole packet).
+inline constexpr std::uint32_t kAcceptAll = 65535;
+
+/// Compiles `expr` into a verified cBPF program.  A null expr (empty
+/// filter) compiles to the single-instruction accept-everything program.
+/// Throws std::invalid_argument if the expression is too complex for
+/// cBPF's 8-bit jump offsets (not reachable with realistic filters).
+[[nodiscard]] Program compile(const Expr* expr,
+                              std::uint32_t accept_len = kAcceptAll);
+
+/// Parses and compiles in one step (the pcap_compile equivalent).
+[[nodiscard]] Program compile_filter(std::string_view text,
+                                     std::uint32_t accept_len = kAcceptAll);
+
+}  // namespace wirecap::bpf

@@ -1,0 +1,107 @@
+#include "bpf/disasm.hpp"
+
+#include <cstdio>
+
+namespace wirecap::bpf {
+
+namespace {
+
+std::string format(const char* fmt, auto... args) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return buf;
+}
+
+const char* size_suffix(std::uint16_t code) {
+  switch (insn_size(code)) {
+    case kSizeW: return "";
+    case kSizeH: return "h";
+    case kSizeB: return "b";
+  }
+  return "?";
+}
+
+std::string alu_name(std::uint16_t op) {
+  switch (op) {
+    case kAluAdd: return "add";
+    case kAluSub: return "sub";
+    case kAluMul: return "mul";
+    case kAluDiv: return "div";
+    case kAluMod: return "mod";
+    case kAluAnd: return "and";
+    case kAluOr: return "or";
+    case kAluXor: return "xor";
+    case kAluLsh: return "lsh";
+    case kAluRsh: return "rsh";
+    case kAluNeg: return "neg";
+  }
+  return "alu?";
+}
+
+std::string jmp_name(std::uint16_t op) {
+  switch (op) {
+    case kJmpJeq: return "jeq";
+    case kJmpJgt: return "jgt";
+    case kJmpJge: return "jge";
+    case kJmpJset: return "jset";
+  }
+  return "jmp?";
+}
+
+}  // namespace
+
+std::string disassemble_insn(const Insn& insn, std::size_t pc) {
+  const auto cls = insn_class(insn.code);
+  switch (cls) {
+    case kClassLd:
+    case kClassLdx: {
+      const char* reg = cls == kClassLd ? "ld" : "ldx";
+      switch (insn_mode(insn.code)) {
+        case kModeImm: return format("%s%s #%u", reg, size_suffix(insn.code), insn.k);
+        case kModeAbs: return format("%s%s [%u]", reg, size_suffix(insn.code), insn.k);
+        case kModeInd: return format("%s%s [x + %u]", reg, size_suffix(insn.code), insn.k);
+        case kModeMem: return format("%s M[%u]", reg, insn.k);
+        case kModeLen: return format("%s #pktlen", reg);
+        case kModeMsh: return format("ldxb 4*([%u]&0xf)", insn.k);
+      }
+      return "ld?";
+    }
+    case kClassSt: return format("st M[%u]", insn.k);
+    case kClassStx: return format("stx M[%u]", insn.k);
+    case kClassAlu:
+      if (insn_op(insn.code) == kAluNeg) return "neg";
+      if (insn_src(insn.code) == kSrcX) {
+        return format("%s x", alu_name(insn_op(insn.code)).c_str());
+      }
+      return format("%s #%u", alu_name(insn_op(insn.code)).c_str(), insn.k);
+    case kClassJmp:
+      if (insn_op(insn.code) == kJmpJa) {
+        return format("ja %zu", pc + 1 + insn.k);
+      }
+      if (insn_src(insn.code) == kSrcX) {
+        return format("%s x, jt %zu, jf %zu",
+                      jmp_name(insn_op(insn.code)).c_str(), pc + 1 + insn.jt,
+                      pc + 1 + insn.jf);
+      }
+      return format("%s #0x%x, jt %zu, jf %zu",
+                    jmp_name(insn_op(insn.code)).c_str(), insn.k,
+                    pc + 1 + insn.jt, pc + 1 + insn.jf);
+    case kClassRet:
+      return (insn.code & 0x18) == kRetA ? "ret a" : format("ret #%u", insn.k);
+    case kClassMisc:
+      return (insn.code & 0xF8) == kMiscTax ? "tax" : "txa";
+  }
+  return "?";
+}
+
+std::string disassemble(const Program& program) {
+  std::string out;
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    out += format("(%03zu) ", pc);
+    out += disassemble_insn(program[pc], pc);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wirecap::bpf

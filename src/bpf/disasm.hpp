@@ -1,0 +1,17 @@
+// cBPF disassembler producing the classic "(000) ldh [12]" listing
+// format familiar from `tcpdump -d`.
+#pragma once
+
+#include <string>
+
+#include "bpf/insn.hpp"
+
+namespace wirecap::bpf {
+
+/// One instruction, without the program-counter prefix.
+[[nodiscard]] std::string disassemble_insn(const Insn& insn, std::size_t pc);
+
+/// Whole program, one numbered line per instruction.
+[[nodiscard]] std::string disassemble(const Program& program);
+
+}  // namespace wirecap::bpf

@@ -1,0 +1,133 @@
+#include "bpf/eval.hpp"
+
+#include <optional>
+
+#include "net/headers.hpp"
+
+namespace wirecap::bpf {
+
+namespace {
+
+struct ParsedFrame {
+  std::optional<net::Ipv4Header> ip;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+  std::optional<net::VlanTag> vlan;
+  bool is_ipv6 = false;
+  std::uint32_t wire_len = 0;
+};
+
+ParsedFrame parse(std::span<const std::byte> frame, std::uint32_t wire_len) {
+  ParsedFrame parsed;
+  parsed.wire_len = wire_len;
+  const auto eth = net::parse_ethernet(frame);
+  if (!eth) return parsed;
+  parsed.vlan = net::parse_vlan(frame);
+  parsed.is_ipv6 = eth->ether_type == net::kEtherTypeIpv6;
+  if (eth->ether_type != net::kEtherTypeIpv4) return parsed;
+  const auto l3 = frame.subspan(net::kEthernetHeaderLen);
+  parsed.ip = net::parse_ipv4(l3);
+  if (!parsed.ip) return parsed;
+  // Ports are defined only for unfragmented-first TCP/UDP segments.
+  if ((parsed.ip->flags_fragment & 0x1FFF) != 0) return parsed;
+  if (l3.size() < parsed.ip->header_len()) return parsed;
+  const auto l4 = l3.subspan(parsed.ip->header_len());
+  if (parsed.ip->protocol == net::IpProto::kTcp) {
+    if (const auto tcp = net::parse_tcp(l4)) {
+      parsed.src_port = tcp->src_port;
+      parsed.dst_port = tcp->dst_port;
+    }
+  } else if (parsed.ip->protocol == net::IpProto::kUdp) {
+    if (const auto udp = net::parse_udp(l4)) {
+      parsed.src_port = udp->src_port;
+      parsed.dst_port = udp->dst_port;
+    }
+  }
+  return parsed;
+}
+
+bool eval_primitive(const Primitive& p, const ParsedFrame& f) {
+  switch (p.kind) {
+    case PrimitiveKind::kProtoIp:
+      return f.ip.has_value();
+    case PrimitiveKind::kProtoIp6:
+      return f.is_ipv6;
+    case PrimitiveKind::kVlan:
+      return f.vlan && (!p.has_vlan_id || f.vlan->vid == p.vlan_id);
+    case PrimitiveKind::kProtoTcp:
+      return f.ip && f.ip->protocol == net::IpProto::kTcp;
+    case PrimitiveKind::kProtoUdp:
+      return f.ip && f.ip->protocol == net::IpProto::kUdp;
+    case PrimitiveKind::kProtoIcmp:
+      return f.ip && f.ip->protocol == net::IpProto::kIcmp;
+    case PrimitiveKind::kHost: {
+      if (!f.ip) return false;
+      const bool src = f.ip->src == p.addr;
+      const bool dst = f.ip->dst == p.addr;
+      switch (p.dir) {
+        case Direction::kSrc: return src;
+        case Direction::kDst: return dst;
+        case Direction::kEither: return src || dst;
+      }
+      return false;
+    }
+    case PrimitiveKind::kNet: {
+      if (!f.ip) return false;
+      const bool src = f.ip->src.in_prefix(p.addr, p.prefix_len);
+      const bool dst = f.ip->dst.in_prefix(p.addr, p.prefix_len);
+      switch (p.dir) {
+        case Direction::kSrc: return src;
+        case Direction::kDst: return dst;
+        case Direction::kEither: return src || dst;
+      }
+      return false;
+    }
+    case PrimitiveKind::kPortRange: {
+      const bool src =
+          f.src_port && *f.src_port >= p.port && *f.src_port <= p.port_hi;
+      const bool dst =
+          f.dst_port && *f.dst_port >= p.port && *f.dst_port <= p.port_hi;
+      switch (p.dir) {
+        case Direction::kSrc: return src;
+        case Direction::kDst: return dst;
+        case Direction::kEither: return src || dst;
+      }
+      return false;
+    }
+    case PrimitiveKind::kPort: {
+      const bool src = f.src_port && *f.src_port == p.port;
+      const bool dst = f.dst_port && *f.dst_port == p.port;
+      switch (p.dir) {
+        case Direction::kSrc: return src;
+        case Direction::kDst: return dst;
+        case Direction::kEither: return src || dst;
+      }
+      return false;
+    }
+    case PrimitiveKind::kLenLe:
+      return f.wire_len <= p.length;
+    case PrimitiveKind::kLenGe:
+      return f.wire_len >= p.length;
+  }
+  return false;
+}
+
+bool eval_expr(const Expr& expr, const ParsedFrame& f) {
+  switch (expr.kind) {
+    case ExprKind::kAnd: return eval_expr(*expr.lhs, f) && eval_expr(*expr.rhs, f);
+    case ExprKind::kOr: return eval_expr(*expr.lhs, f) || eval_expr(*expr.rhs, f);
+    case ExprKind::kNot: return !eval_expr(*expr.lhs, f);
+    case ExprKind::kPrimitive: return eval_primitive(expr.prim, f);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool evaluate(const Expr* expr, std::span<const std::byte> frame,
+              std::uint32_t wire_len) {
+  if (expr == nullptr) return true;
+  return eval_expr(*expr, parse(frame, wire_len));
+}
+
+}  // namespace wirecap::bpf

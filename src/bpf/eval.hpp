@@ -1,0 +1,18 @@
+// Reference evaluator: interprets the filter AST directly against parsed
+// protocol headers, with no BPF machinery involved.  Property tests
+// compare compile()+run() against this oracle over randomized packets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "bpf/ast.hpp"
+
+namespace wirecap::bpf {
+
+/// True when `frame` (with original on-wire length `wire_len`) satisfies
+/// `expr`.  A null expr matches everything.
+[[nodiscard]] bool evaluate(const Expr* expr, std::span<const std::byte> frame,
+                            std::uint32_t wire_len);
+
+}  // namespace wirecap::bpf

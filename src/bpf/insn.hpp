@@ -1,0 +1,109 @@
+// Classic BPF (cBPF) instruction set, as defined by McCanne & Jacobson's
+// "The BSD Packet Filter" and implemented by the Linux socket filter.
+//
+// An instruction is {code, jt, jf, k}: a 16-bit opcode, two 8-bit
+// relative forward jump offsets for conditional jumps, and a 32-bit
+// immediate.  The opcode is composed of a class, a size/mode (for loads)
+// or operation/source (for ALU and jumps).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wirecap::bpf {
+
+// --- instruction classes (low 3 bits) ---
+inline constexpr std::uint16_t kClassLd = 0x00;
+inline constexpr std::uint16_t kClassLdx = 0x01;
+inline constexpr std::uint16_t kClassSt = 0x02;
+inline constexpr std::uint16_t kClassStx = 0x03;
+inline constexpr std::uint16_t kClassAlu = 0x04;
+inline constexpr std::uint16_t kClassJmp = 0x05;
+inline constexpr std::uint16_t kClassRet = 0x06;
+inline constexpr std::uint16_t kClassMisc = 0x07;
+
+// --- load sizes (bits 3-4) ---
+inline constexpr std::uint16_t kSizeW = 0x00;  // 32-bit word
+inline constexpr std::uint16_t kSizeH = 0x08;  // 16-bit half
+inline constexpr std::uint16_t kSizeB = 0x10;  // 8-bit byte
+
+// --- load modes (bits 5-7) ---
+inline constexpr std::uint16_t kModeImm = 0x00;
+inline constexpr std::uint16_t kModeAbs = 0x20;
+inline constexpr std::uint16_t kModeInd = 0x40;
+inline constexpr std::uint16_t kModeMem = 0x60;
+inline constexpr std::uint16_t kModeLen = 0x80;
+inline constexpr std::uint16_t kModeMsh = 0xA0;  // 4 * (pkt[k] & 0x0F), LDX B only
+
+// --- ALU/JMP operations (bits 4-7) ---
+inline constexpr std::uint16_t kAluAdd = 0x00;
+inline constexpr std::uint16_t kAluSub = 0x10;
+inline constexpr std::uint16_t kAluMul = 0x20;
+inline constexpr std::uint16_t kAluDiv = 0x30;
+inline constexpr std::uint16_t kAluOr = 0x40;
+inline constexpr std::uint16_t kAluAnd = 0x50;
+inline constexpr std::uint16_t kAluLsh = 0x60;
+inline constexpr std::uint16_t kAluRsh = 0x70;
+inline constexpr std::uint16_t kAluNeg = 0x80;
+inline constexpr std::uint16_t kAluMod = 0x90;
+inline constexpr std::uint16_t kAluXor = 0xA0;
+
+inline constexpr std::uint16_t kJmpJa = 0x00;
+inline constexpr std::uint16_t kJmpJeq = 0x10;
+inline constexpr std::uint16_t kJmpJgt = 0x20;
+inline constexpr std::uint16_t kJmpJge = 0x30;
+inline constexpr std::uint16_t kJmpJset = 0x40;
+
+// --- operand source (bit 3) for ALU/JMP ---
+inline constexpr std::uint16_t kSrcK = 0x00;
+inline constexpr std::uint16_t kSrcX = 0x08;
+
+// --- RET sources (bits 3-4) ---
+inline constexpr std::uint16_t kRetK = 0x00;
+inline constexpr std::uint16_t kRetA = 0x10;
+
+// --- MISC ops ---
+inline constexpr std::uint16_t kMiscTax = 0x00;
+inline constexpr std::uint16_t kMiscTxa = 0x80;
+
+/// Number of scratch memory slots (matches the BSD/Linux implementation).
+inline constexpr std::uint32_t kMemSlots = 16;
+
+struct Insn {
+  std::uint16_t code = 0;
+  std::uint8_t jt = 0;
+  std::uint8_t jf = 0;
+  std::uint32_t k = 0;
+
+  constexpr bool operator==(const Insn&) const = default;
+};
+
+using Program = std::vector<Insn>;
+
+/// Convenience constructors mirroring the classic BPF_STMT / BPF_JUMP
+/// macros.
+[[nodiscard]] constexpr Insn stmt(std::uint16_t code, std::uint32_t k) {
+  return Insn{code, 0, 0, k};
+}
+[[nodiscard]] constexpr Insn jump(std::uint16_t code, std::uint32_t k,
+                                  std::uint8_t jt, std::uint8_t jf) {
+  return Insn{code, jt, jf, k};
+}
+
+[[nodiscard]] constexpr std::uint16_t insn_class(std::uint16_t code) {
+  return code & 0x07;
+}
+[[nodiscard]] constexpr std::uint16_t insn_size(std::uint16_t code) {
+  return code & 0x18;
+}
+[[nodiscard]] constexpr std::uint16_t insn_mode(std::uint16_t code) {
+  return code & 0xE0;
+}
+[[nodiscard]] constexpr std::uint16_t insn_op(std::uint16_t code) {
+  return code & 0xF0;
+}
+[[nodiscard]] constexpr std::uint16_t insn_src(std::uint16_t code) {
+  return code & 0x08;
+}
+
+}  // namespace wirecap::bpf

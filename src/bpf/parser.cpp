@@ -1,0 +1,447 @@
+#include "bpf/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace wirecap::bpf {
+
+namespace {
+
+enum class TokenKind : std::uint8_t {
+  kWord,    // keyword or identifier
+  kNumber,  // decimal integer
+  kDotted,  // dotted prefix, 2-4 numeric parts: "131.225.2"
+  kSlash,
+  kDash,
+  kLParen,
+  kRParen,
+  kLe,  // <=
+  kGe,  // >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // lowercased for kWord
+  std::uint64_t number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_space();
+      if (pos_ >= text_.size()) break;
+      const char c = text_[pos_];
+      if (c == '-') { tokens.push_back({TokenKind::kDash, "-"}); ++pos_; continue; }
+      if (c == '(') { tokens.push_back({TokenKind::kLParen, "("}); ++pos_; continue; }
+      if (c == ')') { tokens.push_back({TokenKind::kRParen, ")"}); ++pos_; continue; }
+      if (c == '/') { tokens.push_back({TokenKind::kSlash, "/"}); ++pos_; continue; }
+      if (c == '!') { tokens.push_back({TokenKind::kWord, "not"}); ++pos_; continue; }
+      if (c == '&') { expect_pair('&'); tokens.push_back({TokenKind::kWord, "and"}); continue; }
+      if (c == '|') { expect_pair('|'); tokens.push_back({TokenKind::kWord, "or"}); continue; }
+      if (c == '<' || c == '>') {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '=') {
+          throw ParseError("expected '<=' or '>='");
+        }
+        tokens.push_back({c == '<' ? TokenKind::kLe : TokenKind::kGe,
+                          std::string{c} + "="});
+        pos_ += 2;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        tokens.push_back(lex_number_or_dotted());
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        tokens.push_back(lex_word());
+        continue;
+      }
+      throw ParseError(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back({TokenKind::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void expect_pair(char c) {
+    if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != c) {
+      throw ParseError(std::string("expected '") + c + c + "'");
+    }
+    pos_ += 2;
+  }
+
+  Token lex_number_or_dotted() {
+    std::string text;
+    unsigned parts = 1;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        text.push_back(c);
+        ++pos_;
+      } else if (c == '.' && pos_ + 1 < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        text.push_back(c);
+        ++parts;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (parts == 1) {
+      return {TokenKind::kNumber, text, std::stoull(text)};
+    }
+    if (parts > 4) throw ParseError("too many address components: " + text);
+    return {TokenKind::kDotted, text};
+  }
+
+  Token lex_word() {
+    std::string word;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        word.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return {TokenKind::kWord, word};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+struct DottedPrefix {
+  net::Ipv4Addr addr;
+  unsigned octets;  // how many dotted parts were given
+};
+
+DottedPrefix parse_dotted(const std::string& text) {
+  std::uint32_t value = 0;
+  unsigned octets = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::string part =
+        text.substr(start, dot == std::string::npos ? dot : dot - start);
+    const unsigned long octet = std::stoul(part);
+    if (octet > 255) throw ParseError("address octet out of range: " + text);
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+    ++octets;
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  if (octets == 0 || octets > 4) throw ParseError("bad address: " + text);
+  value <<= 8 * (4 - octets);
+  return {net::Ipv4Addr{value}, octets};
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ExprPtr run() {
+    if (peek().kind == TokenKind::kEnd) return nullptr;
+    ExprPtr expr = parse_or();
+    if (peek().kind != TokenKind::kEnd) {
+      throw ParseError("trailing input after expression: '" + peek().text + "'");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool accept_word(std::string_view word) {
+    if (peek().kind == TokenKind::kWord && peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (accept_word("or")) {
+      lhs = Expr::make_or(std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  // "and" may be omitted: "udp port 53" is (udp) and (port 53)?  No —
+  // tcpdump treats "udp port 53" as a single qualified primitive.  We
+  // keep it simple and unambiguous: juxtaposition of two *factors* is a
+  // conjunction, so "udp port 53" parses as (udp and port 53), which has
+  // identical match semantics.
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_factor();
+    while (true) {
+      if (accept_word("and")) {
+        lhs = Expr::make_and(std::move(lhs), parse_factor());
+      } else if (starts_factor()) {
+        lhs = Expr::make_and(std::move(lhs), parse_factor());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  [[nodiscard]] bool starts_factor() const {
+    switch (peek().kind) {
+      case TokenKind::kLParen:
+      case TokenKind::kDotted:
+        return true;
+      case TokenKind::kWord:
+        return peek().text != "or" && peek().text != "and";
+      default:
+        return false;
+    }
+  }
+
+  ExprPtr parse_factor() {
+    if (accept_word("not")) return Expr::make_not(parse_factor());
+    if (peek().kind == TokenKind::kLParen) {
+      ++pos_;
+      ExprPtr inner = parse_or();
+      if (peek().kind != TokenKind::kRParen) throw ParseError("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    return parse_primitive();
+  }
+
+  ExprPtr parse_primitive() {
+    // Bare dotted prefix shorthand: "131.225.2" == "net 131.225.2".
+    if (peek().kind == TokenKind::kDotted) {
+      return make_net(Direction::kEither, advance().text);
+    }
+    if (peek().kind != TokenKind::kWord) {
+      throw ParseError("expected a filter primitive, got '" + peek().text + "'");
+    }
+
+    Direction dir = Direction::kEither;
+    if (accept_word("src")) {
+      dir = Direction::kSrc;
+    } else if (accept_word("dst")) {
+      dir = Direction::kDst;
+    }
+
+    if (accept_word("host")) return make_host(dir);
+    if (accept_word("net")) return make_net_token(dir);
+    if (accept_word("portrange")) return make_portrange(dir);
+    if (accept_word("port")) return make_port(dir);
+
+    if (dir != Direction::kEither) {
+      throw ParseError("expected host/net/port after src/dst");
+    }
+
+    if (accept_word("ip6")) return make_proto(PrimitiveKind::kProtoIp6);
+    if (accept_word("ip")) return make_proto(PrimitiveKind::kProtoIp);
+    if (accept_word("tcp")) return make_proto(PrimitiveKind::kProtoTcp);
+    if (accept_word("udp")) return make_proto(PrimitiveKind::kProtoUdp);
+    if (accept_word("icmp")) return make_proto(PrimitiveKind::kProtoIcmp);
+    if (accept_word("vlan")) return make_vlan();
+    if (accept_word("len")) return make_len();
+    if (accept_word("greater")) return make_len_alias(PrimitiveKind::kLenGe);
+    if (accept_word("less")) return make_len_alias(PrimitiveKind::kLenLe);
+
+    throw ParseError("unknown primitive '" + peek().text + "'");
+  }
+
+  static ExprPtr make_proto(PrimitiveKind kind) {
+    Primitive p;
+    p.kind = kind;
+    return Expr::make_primitive(p);
+  }
+
+  ExprPtr make_host(Direction dir) {
+    if (peek().kind != TokenKind::kDotted && peek().kind != TokenKind::kNumber) {
+      throw ParseError("expected address after 'host'");
+    }
+    const auto dotted = parse_dotted(advance().text);
+    if (dotted.octets != 4) throw ParseError("host requires a full dotted quad");
+    Primitive p;
+    p.kind = PrimitiveKind::kHost;
+    p.dir = dir;
+    p.addr = dotted.addr;
+    return Expr::make_primitive(p);
+  }
+
+  ExprPtr make_net_token(Direction dir) {
+    if (peek().kind != TokenKind::kDotted && peek().kind != TokenKind::kNumber) {
+      throw ParseError("expected prefix after 'net'");
+    }
+    return make_net(dir, advance().text);
+  }
+
+  ExprPtr make_net(Direction dir, const std::string& text) {
+    const auto dotted = parse_dotted(text);
+    unsigned prefix_len = dotted.octets * 8;
+    if (peek().kind == TokenKind::kSlash) {
+      ++pos_;
+      if (peek().kind != TokenKind::kNumber) {
+        throw ParseError("expected prefix length after '/'");
+      }
+      const auto bits = advance().number;
+      if (bits > 32) throw ParseError("prefix length out of range");
+      prefix_len = static_cast<unsigned>(bits);
+    }
+    Primitive p;
+    p.kind = PrimitiveKind::kNet;
+    p.dir = dir;
+    p.addr = dotted.addr;
+    p.prefix_len = prefix_len;
+    return Expr::make_primitive(p);
+  }
+
+  ExprPtr make_port(Direction dir) {
+    if (peek().kind != TokenKind::kNumber) {
+      throw ParseError("expected port number");
+    }
+    const auto value = advance().number;
+    if (value > 65535) throw ParseError("port out of range");
+    Primitive p;
+    p.kind = PrimitiveKind::kPort;
+    p.dir = dir;
+    p.port = static_cast<std::uint16_t>(value);
+    return Expr::make_primitive(p);
+  }
+
+  ExprPtr make_vlan() {
+    Primitive p;
+    p.kind = PrimitiveKind::kVlan;
+    if (peek().kind == TokenKind::kNumber) {
+      const auto vid = advance().number;
+      if (vid > 0x0FFF) throw ParseError("VLAN id out of range");
+      p.vlan_id = static_cast<std::uint16_t>(vid);
+      p.has_vlan_id = true;
+    }
+    return Expr::make_primitive(p);
+  }
+
+  ExprPtr make_portrange(Direction dir) {
+    if (peek().kind != TokenKind::kNumber) {
+      throw ParseError("expected port number after 'portrange'");
+    }
+    const auto lo = advance().number;
+    if (peek().kind != TokenKind::kDash) {
+      throw ParseError("expected '-' in portrange");
+    }
+    ++pos_;
+    if (peek().kind != TokenKind::kNumber) {
+      throw ParseError("expected upper port in portrange");
+    }
+    const auto hi = advance().number;
+    if (lo > 65535 || hi > 65535 || lo > hi) {
+      throw ParseError("bad portrange bounds");
+    }
+    Primitive p;
+    p.kind = PrimitiveKind::kPortRange;
+    p.dir = dir;
+    p.port = static_cast<std::uint16_t>(lo);
+    p.port_hi = static_cast<std::uint16_t>(hi);
+    return Expr::make_primitive(p);
+  }
+
+  ExprPtr make_len_alias(PrimitiveKind kind) {
+    if (peek().kind != TokenKind::kNumber) {
+      throw ParseError("expected length");
+    }
+    Primitive p;
+    p.kind = kind;
+    p.length = static_cast<std::uint32_t>(advance().number);
+    return Expr::make_primitive(p);
+  }
+
+  ExprPtr make_len() {
+    const TokenKind cmp = peek().kind;
+    if (cmp != TokenKind::kLe && cmp != TokenKind::kGe) {
+      throw ParseError("expected '<=' or '>=' after 'len'");
+    }
+    ++pos_;
+    if (peek().kind != TokenKind::kNumber) {
+      throw ParseError("expected length");
+    }
+    Primitive p;
+    p.kind = cmp == TokenKind::kLe ? PrimitiveKind::kLenLe : PrimitiveKind::kLenGe;
+    p.length = static_cast<std::uint32_t>(advance().number);
+    return Expr::make_primitive(p);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+std::string primitive_to_string(const Primitive& p) {
+  const auto dir_prefix = [&]() -> std::string {
+    switch (p.dir) {
+      case Direction::kSrc: return "src ";
+      case Direction::kDst: return "dst ";
+      case Direction::kEither: return "";
+    }
+    return "";
+  }();
+  switch (p.kind) {
+    case PrimitiveKind::kProtoIp: return "ip";
+    case PrimitiveKind::kProtoIp6: return "ip6";
+    case PrimitiveKind::kVlan:
+      return p.has_vlan_id ? "vlan " + std::to_string(p.vlan_id) : "vlan";
+    case PrimitiveKind::kPortRange:
+      return dir_prefix + "portrange " + std::to_string(p.port) + "-" +
+             std::to_string(p.port_hi);
+    case PrimitiveKind::kProtoTcp: return "tcp";
+    case PrimitiveKind::kProtoUdp: return "udp";
+    case PrimitiveKind::kProtoIcmp: return "icmp";
+    case PrimitiveKind::kHost: return dir_prefix + "host " + p.addr.to_string();
+    case PrimitiveKind::kNet:
+      return dir_prefix + "net " + p.addr.to_string() + "/" +
+             std::to_string(p.prefix_len);
+    case PrimitiveKind::kPort: return dir_prefix + "port " + std::to_string(p.port);
+    case PrimitiveKind::kLenLe: return "len <= " + std::to_string(p.length);
+    case PrimitiveKind::kLenGe: return "len >= " + std::to_string(p.length);
+  }
+  return "?";
+}
+
+}  // namespace
+
+ExprPtr parse_filter(std::string_view text) {
+  Lexer lexer{text};
+  Parser parser{lexer.run()};
+  return parser.run();
+}
+
+std::string to_string(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kAnd:
+      return "(" + to_string(*expr.lhs) + " and " + to_string(*expr.rhs) + ")";
+    case ExprKind::kOr:
+      return "(" + to_string(*expr.lhs) + " or " + to_string(*expr.rhs) + ")";
+    case ExprKind::kNot:
+      return "(not " + to_string(*expr.lhs) + ")";
+    case ExprKind::kPrimitive:
+      return primitive_to_string(expr.prim);
+  }
+  return "?";
+}
+
+}  // namespace wirecap::bpf

@@ -1,0 +1,40 @@
+// Lexer and recursive-descent parser for the filter expression language.
+//
+// Grammar (tcpdump-compatible subset):
+//
+//   expr     := term (("or" | "||") term)*
+//   term     := factor (("and" | "&&")? factor)*      -- juxtaposition = and
+//   factor   := ("not" | "!") factor | "(" expr ")" | primitive
+//   primitive:= proto
+//             | dir? "host" ADDR
+//             | dir? "net" PREFIX ("/" NUM)?
+//             | dir? "port" NUM
+//             | "len" ("<=" | ">=") NUM
+//             | PREFIX            -- bare address/prefix shorthand, as in
+//                                    the paper's filter "131.225.2 and UDP"
+//   proto    := "ip" | "tcp" | "udp" | "icmp"
+//   dir      := "src" | "dst"
+//
+// ADDR is a dotted quad; PREFIX is 1-4 dotted octets (1-3 octets imply a
+// /8, /16, /24 network).  Keywords are case-insensitive ("UDP" works).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "bpf/ast.hpp"
+
+namespace wirecap::bpf {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses a filter expression.  An empty (or all-whitespace) expression
+/// yields nullptr, meaning "match everything" — the libpcap convention.
+/// Throws ParseError on malformed input.
+[[nodiscard]] ExprPtr parse_filter(std::string_view text);
+
+}  // namespace wirecap::bpf

@@ -1,0 +1,286 @@
+#include "bpf/vm.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace wirecap::bpf {
+
+namespace {
+
+[[nodiscard]] bool valid_load_code(std::uint16_t code) {
+  const auto mode = insn_mode(code);
+  const auto size = insn_size(code);
+  if (size != kSizeW && size != kSizeH && size != kSizeB) return false;
+  switch (mode) {
+    case kModeImm:
+    case kModeAbs:
+    case kModeInd:
+    case kModeMem:
+    case kModeLen:
+      return true;
+    case kModeMsh:
+      return false;  // MSH is LDX-only
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] bool valid_ldx_code(std::uint16_t code) {
+  const auto mode = insn_mode(code);
+  switch (mode) {
+    case kModeImm:
+    case kModeMem:
+    case kModeLen:
+      return true;
+    case kModeMsh:
+      return insn_size(code) == kSizeB;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] bool valid_alu_op(std::uint16_t op) {
+  switch (op) {
+    case kAluAdd:
+    case kAluSub:
+    case kAluMul:
+    case kAluDiv:
+    case kAluMod:
+    case kAluAnd:
+    case kAluOr:
+    case kAluXor:
+    case kAluLsh:
+    case kAluRsh:
+    case kAluNeg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] bool valid_jmp_op(std::uint16_t op) {
+  switch (op) {
+    case kJmpJa:
+    case kJmpJeq:
+    case kJmpJgt:
+    case kJmpJge:
+    case kJmpJset:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+VerifyResult verify(const Program& program) {
+  if (program.empty()) return VerifyResult::failure("empty program");
+  if (program.size() > kMaxInsns) return VerifyResult::failure("program too long");
+
+  const std::size_t len = program.size();
+  for (std::size_t pc = 0; pc < len; ++pc) {
+    const Insn& insn = program[pc];
+    const auto cls = insn_class(insn.code);
+    const auto at = "at insn " + std::to_string(pc);
+    switch (cls) {
+      case kClassLd:
+        if (!valid_load_code(insn.code)) {
+          return VerifyResult::failure("bad LD code " + at);
+        }
+        if (insn_mode(insn.code) == kModeMem && insn.k >= kMemSlots) {
+          return VerifyResult::failure("LD MEM slot out of range " + at);
+        }
+        break;
+      case kClassLdx:
+        if (!valid_ldx_code(insn.code)) {
+          return VerifyResult::failure("bad LDX code " + at);
+        }
+        if (insn_mode(insn.code) == kModeMem && insn.k >= kMemSlots) {
+          return VerifyResult::failure("LDX MEM slot out of range " + at);
+        }
+        break;
+      case kClassSt:
+      case kClassStx:
+        if (insn.k >= kMemSlots) {
+          return VerifyResult::failure("ST slot out of range " + at);
+        }
+        break;
+      case kClassAlu: {
+        const auto op = insn_op(insn.code);
+        if (!valid_alu_op(op)) {
+          return VerifyResult::failure("bad ALU op " + at);
+        }
+        if ((op == kAluDiv || op == kAluMod) &&
+            insn_src(insn.code) == kSrcK && insn.k == 0) {
+          return VerifyResult::failure("division by constant zero " + at);
+        }
+        break;
+      }
+      case kClassJmp: {
+        const auto op = insn_op(insn.code);
+        if (!valid_jmp_op(op)) {
+          return VerifyResult::failure("bad JMP op " + at);
+        }
+        if (op == kJmpJa) {
+          if (pc + 1 + insn.k >= len) {
+            return VerifyResult::failure("JA target out of range " + at);
+          }
+        } else {
+          if (pc + 1 + insn.jt >= len || pc + 1 + insn.jf >= len) {
+            return VerifyResult::failure("jump target out of range " + at);
+          }
+        }
+        break;
+      }
+      case kClassRet:
+        if ((insn.code & 0x18) != kRetK && (insn.code & 0x18) != kRetA) {
+          return VerifyResult::failure("bad RET code " + at);
+        }
+        break;
+      case kClassMisc:
+        if ((insn.code & 0xF8) != kMiscTax && (insn.code & 0xF8) != kMiscTxa) {
+          return VerifyResult::failure("bad MISC code " + at);
+        }
+        break;
+      default:
+        return VerifyResult::failure("unknown class " + at);
+    }
+  }
+
+  // Every straight-line path must terminate: the final instruction must be
+  // a RET or an unconditional jump cannot be last (checked above by range).
+  const auto last_class = insn_class(program.back().code);
+  if (last_class != kClassRet) {
+    return VerifyResult::failure("program does not end in RET");
+  }
+  return VerifyResult::success();
+}
+
+std::uint32_t run(const Program& program, std::span<const std::byte> packet,
+                  std::uint32_t wire_len) {
+  std::uint32_t a = 0;  // accumulator
+  std::uint32_t x = 0;  // index register
+  std::array<std::uint32_t, kMemSlots> mem{};
+
+  const std::size_t len = program.size();
+
+  // Bounds-checked packet loads: classic BPF rejects the packet (returns
+  // 0) when a load falls outside the captured bytes.
+  const auto load_w = [&](std::size_t off, std::uint32_t& out) {
+    if (off + 4 > packet.size()) return false;
+    out = (static_cast<std::uint32_t>(packet[off]) << 24) |
+          (static_cast<std::uint32_t>(packet[off + 1]) << 16) |
+          (static_cast<std::uint32_t>(packet[off + 2]) << 8) |
+          static_cast<std::uint32_t>(packet[off + 3]);
+    return true;
+  };
+  const auto load_h = [&](std::size_t off, std::uint32_t& out) {
+    if (off + 2 > packet.size()) return false;
+    out = (static_cast<std::uint32_t>(packet[off]) << 8) |
+          static_cast<std::uint32_t>(packet[off + 1]);
+    return true;
+  };
+  const auto load_b = [&](std::size_t off, std::uint32_t& out) {
+    if (off + 1 > packet.size()) return false;
+    out = static_cast<std::uint32_t>(packet[off]);
+    return true;
+  };
+
+  for (std::size_t pc = 0; pc < len; ++pc) {
+    const Insn& insn = program[pc];
+    switch (insn_class(insn.code)) {
+      case kClassLd: {
+        const auto size = insn_size(insn.code);
+        std::size_t off = 0;
+        switch (insn_mode(insn.code)) {
+          case kModeImm: a = insn.k; continue;
+          case kModeLen: a = wire_len; continue;
+          case kModeMem: a = mem[insn.k]; continue;
+          case kModeAbs: off = insn.k; break;
+          case kModeInd: off = static_cast<std::size_t>(x) + insn.k; break;
+          default: throw std::runtime_error("bpf: bad LD mode at runtime");
+        }
+        const bool ok = size == kSizeW   ? load_w(off, a)
+                        : size == kSizeH ? load_h(off, a)
+                                         : load_b(off, a);
+        if (!ok) return 0;
+        break;
+      }
+      case kClassLdx: {
+        switch (insn_mode(insn.code)) {
+          case kModeImm: x = insn.k; break;
+          case kModeLen: x = wire_len; break;
+          case kModeMem: x = mem[insn.k]; break;
+          case kModeMsh: {
+            std::uint32_t b = 0;
+            if (!load_b(insn.k, b)) return 0;
+            x = (b & 0x0F) * 4;
+            break;
+          }
+          default: throw std::runtime_error("bpf: bad LDX mode at runtime");
+        }
+        break;
+      }
+      case kClassSt: mem[insn.k] = a; break;
+      case kClassStx: mem[insn.k] = x; break;
+      case kClassAlu: {
+        const std::uint32_t operand =
+            insn_src(insn.code) == kSrcX ? x : insn.k;
+        switch (insn_op(insn.code)) {
+          case kAluAdd: a += operand; break;
+          case kAluSub: a -= operand; break;
+          case kAluMul: a *= operand; break;
+          case kAluDiv:
+            if (operand == 0) return 0;  // runtime divide-by-X-zero rejects
+            a /= operand;
+            break;
+          case kAluMod:
+            if (operand == 0) return 0;
+            a %= operand;
+            break;
+          case kAluAnd: a &= operand; break;
+          case kAluOr: a |= operand; break;
+          case kAluXor: a ^= operand; break;
+          case kAluLsh: a = operand < 32 ? a << operand : 0; break;
+          case kAluRsh: a = operand < 32 ? a >> operand : 0; break;
+          case kAluNeg: a = 0u - a; break;
+          default: throw std::runtime_error("bpf: bad ALU op at runtime");
+        }
+        break;
+      }
+      case kClassJmp: {
+        const auto op = insn_op(insn.code);
+        if (op == kJmpJa) {
+          pc += insn.k;
+          break;
+        }
+        const std::uint32_t operand =
+            insn_src(insn.code) == kSrcX ? x : insn.k;
+        bool taken = false;
+        switch (op) {
+          case kJmpJeq: taken = a == operand; break;
+          case kJmpJgt: taken = a > operand; break;
+          case kJmpJge: taken = a >= operand; break;
+          case kJmpJset: taken = (a & operand) != 0; break;
+          default: throw std::runtime_error("bpf: bad JMP op at runtime");
+        }
+        pc += taken ? insn.jt : insn.jf;
+        break;
+      }
+      case kClassRet:
+        return (insn.code & 0x18) == kRetA ? a : insn.k;
+      case kClassMisc:
+        if ((insn.code & 0xF8) == kMiscTax) {
+          x = a;
+        } else {
+          a = x;
+        }
+        break;
+      default:
+        throw std::runtime_error("bpf: unknown class at runtime");
+    }
+  }
+  throw std::runtime_error("bpf: fell off end of program (unverified?)");
+}
+
+}  // namespace wirecap::bpf

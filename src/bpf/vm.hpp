@@ -1,0 +1,59 @@
+// cBPF verifier and interpreter.
+//
+// verify() performs the same static checks the Linux kernel applies when
+// a socket filter is attached: non-empty, bounded length, every jump
+// lands inside the program, constant divisors are non-zero, memory slots
+// in range, and the last reachable instruction chain ends in RET.
+//
+// run() executes a verified program over packet bytes and returns the
+// number of bytes to accept (0 = reject) — exactly the classic
+// bpf_filter() contract.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "bpf/insn.hpp"
+
+namespace wirecap::bpf {
+
+/// Maximum program length accepted by the verifier (Linux: 4096).
+inline constexpr std::size_t kMaxInsns = 4096;
+
+struct VerifyResult {
+  bool ok = false;
+  std::string error;  // empty when ok
+
+  [[nodiscard]] static VerifyResult success() { return {true, {}}; }
+  [[nodiscard]] static VerifyResult failure(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+/// Statically validates `program`.  A program that passes cannot read
+/// out-of-bounds scratch memory, jump outside the program, or divide by
+/// a constant zero.  (Packet loads are bounds-checked at run time, as in
+/// the reference implementation: an out-of-bounds packet load returns 0
+/// — reject.)
+[[nodiscard]] VerifyResult verify(const Program& program);
+
+/// Executes `program` over `packet`.  `wire_len` is the original packet
+/// length reported by BPF_LD+BPF_LEN (may exceed packet.size() when the
+/// capture snapped the packet).  Returns the RET value: 0 to reject, or
+/// the number of bytes to keep.
+///
+/// Precondition: verify(program).ok.  Behaviour on an unverified program
+/// is safe (throws std::runtime_error) but slow paths are not optimized.
+[[nodiscard]] std::uint32_t run(const Program& program,
+                                std::span<const std::byte> packet,
+                                std::uint32_t wire_len);
+
+/// Convenience: non-zero return means the packet matches the filter.
+[[nodiscard]] inline bool matches(const Program& program,
+                                  std::span<const std::byte> packet,
+                                  std::uint32_t wire_len) {
+  return run(program, packet, wire_len) != 0;
+}
+
+}  // namespace wirecap::bpf

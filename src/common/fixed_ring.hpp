@@ -1,0 +1,108 @@
+// A fixed-capacity single-threaded ring deque.
+//
+// This is the basic container behind NIC descriptor rings, capture queues
+// and recycle queues in the simulation: bounded, allocation-free after
+// construction, O(1) push/pop at both ends.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace wirecap {
+
+template <typename T>
+class FixedRing {
+ public:
+  explicit FixedRing(std::size_t capacity)
+      : slots_(capacity > 0
+                   ? capacity
+                   : throw std::invalid_argument(
+                         "FixedRing: capacity must be positive")) {}
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == slots_.size(); }
+
+  /// Appends at the tail.  Returns false (and leaves `value` unconsumed)
+  /// when full.
+  bool push_back(T value) {
+    if (full()) return false;
+    slots_[index(head_ + size_)] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Prepends at the head.  Returns false when full.
+  bool push_front(T value) {
+    if (full()) return false;
+    head_ = index(head_ + slots_.size() - 1);
+    slots_[head_] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Removes and returns the head element.  Precondition: !empty().
+  T pop_front() {
+    check_nonempty();
+    T value = std::move(slots_[head_]);
+    head_ = index(head_ + 1);
+    --size_;
+    return value;
+  }
+
+  /// Removes and returns the tail element.  Precondition: !empty().
+  T pop_back() {
+    check_nonempty();
+    --size_;
+    return std::move(slots_[index(head_ + size_)]);
+  }
+
+  [[nodiscard]] T& front() {
+    check_nonempty();
+    return slots_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    check_nonempty();
+    return slots_[head_];
+  }
+  [[nodiscard]] T& back() {
+    check_nonempty();
+    return slots_[index(head_ + size_ - 1)];
+  }
+  [[nodiscard]] const T& back() const {
+    check_nonempty();
+    return slots_[index(head_ + size_ - 1)];
+  }
+
+  /// Random access from the head: at(0) == front().
+  [[nodiscard]] T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("FixedRing::at");
+    return slots_[index(head_ + i)];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("FixedRing::at");
+    return slots_[index(head_ + i)];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t logical) const {
+    return logical % slots_.size();
+  }
+  void check_nonempty() const {
+    if (empty()) throw std::out_of_range("FixedRing: empty");
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wirecap

@@ -1,0 +1,41 @@
+// Minimal leveled logger.  Experiments run quiet by default; examples turn
+// on kInfo to narrate what the engine is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace wirecap {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr: "[level] component: message".
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style convenience: LogMessage(kInfo, "nic") << "ring " << i;
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace wirecap

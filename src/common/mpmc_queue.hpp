@@ -1,0 +1,139 @@
+// A bounded multi-producer/multi-consumer queue with blocking and
+// non-blocking interfaces.
+//
+// Used where multiple threads share one endpoint: the chunk free-list of a
+// ring buffer pool in the real-thread pipeline (recycled by any application
+// thread, consumed by the driver), and the paradigm of §5e where several
+// application threads read one receive queue's work-queue pair.  A
+// mutex+condvar implementation is deliberately chosen over a lock-free one:
+// these paths are not per-packet (they are per-*chunk*, i.e. amortized over
+// M packets), and the blocking semantics match the paper's blocking capture
+// operation.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace wirecap {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("MpmcQueue: capacity must be positive");
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; returns nullopt when empty.
+  std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      std::lock_guard lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Blocking pop; returns nullopt only once the queue is closed *and*
+  /// drained.
+  std::optional<T> pop() {
+    std::optional<T> value;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Blocking pop with timeout; mirrors the paper's capture operation,
+  /// which "will be blocked with a timeout".  Returns nullopt on timeout
+  /// or closed-and-drained.
+  std::optional<T> pop_for(std::chrono::nanoseconds timeout) {
+    std::optional<T> value;
+    {
+      std::unique_lock lock(mutex_);
+      if (!not_empty_.wait_for(lock, timeout,
+                               [&] { return closed_ || !items_.empty(); })) {
+        return std::nullopt;
+      }
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Blocking push; returns false once closed.
+  bool push(T value) {
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Marks the queue closed: producers fail, consumers drain then see
+  /// nullopt.  Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace wirecap

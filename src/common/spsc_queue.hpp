@@ -1,0 +1,106 @@
+// A lock-free bounded single-producer/single-consumer queue.
+//
+// This is the work-queue primitive of WireCAP's user-mode library: each
+// receive queue owns a *work-queue pair* — a capture queue (producer: the
+// capture thread; consumer: the application thread) and a recycle queue
+// (producer: the application thread; consumer: the capture thread).  Both
+// directions are strictly SPSC, which is why this classic Lamport queue
+// with acquire/release fences is sufficient and fast.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace wirecap {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : slots_(capacity + 1)  // one slot is kept empty to distinguish full/empty
+  {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpscQueue: capacity must be positive");
+    }
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Usable capacity (number of elements the queue can hold).
+  [[nodiscard]] std::size_t capacity() const { return slots_.size() - 1; }
+
+  /// Approximate occupancy; exact when called from either endpoint thread
+  /// with no concurrent operation in flight.  WireCAP's offloading policy
+  /// reads this from the capture thread, where any staleness only delays
+  /// an offload decision by one chunk.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : slots_.size() - (head - tail);
+  }
+
+  [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
+
+  /// Occupancy as a fraction of capacity in [0, 1] — the quantity WireCAP
+  /// compares against the offloading percentage threshold T.
+  [[nodiscard]] double fill_fraction() const {
+    return static_cast<double>(size_approx()) /
+           static_cast<double>(capacity());
+  }
+
+  /// Producer side.  Returns false when the queue is full.
+  bool try_push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(tail);
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    slots_[tail].value = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns nullopt when the queue is empty.
+  std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(slots_[head].value);
+    head_.store(advance(head), std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer side: pops up to `max` elements into `out` (appended).
+  /// Returns the number popped.  Batch draining keeps per-chunk overhead
+  /// low on the recycle path.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+      auto v = try_pop();
+      if (!v) break;
+      out.push_back(std::move(*v));
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Slot {
+    T value{};
+  };
+
+  [[nodiscard]] std::size_t advance(std::size_t i) const {
+    return (i + 1) % slots_.size();
+  }
+
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::vector<Slot> slots_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace wirecap

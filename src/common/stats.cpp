@@ -1,0 +1,104 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace wirecap {
+
+BinnedSeries::BinnedSeries(Nanos bin_width) : bin_width_(bin_width) {
+  if (bin_width.count() <= 0) {
+    throw std::invalid_argument("BinnedSeries: bin width must be positive");
+  }
+}
+
+void BinnedSeries::record(Nanos t, std::uint64_t count) {
+  if (t.count() < 0) {
+    throw std::invalid_argument("BinnedSeries: negative time");
+  }
+  const auto bin = static_cast<std::size_t>(t.count() / bin_width_.count());
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0);
+  bins_[bin] += count;
+  total_ += count;
+}
+
+std::uint64_t BinnedSeries::peak() const {
+  if (bins_.empty()) return 0;
+  return *std::max_element(bins_.begin(), bins_.end());
+}
+
+double BinnedSeries::mean() const {
+  if (bins_.empty()) return 0.0;
+  return static_cast<double>(total_) / static_cast<double>(bins_.size());
+}
+
+Log2Histogram::Log2Histogram() : buckets_(65, 0) {}
+
+void Log2Histogram::record(std::uint64_t value) {
+  const std::size_t bucket = value == 0 ? 0 : std::bit_width(value);
+  buckets_[bucket] += 1;
+  ++count_;
+}
+
+double Log2Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      const double within =
+          (target - cumulative) / static_cast<double>(buckets_[i]);
+      return lo + within * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return std::ldexp(1.0, 64);
+}
+
+void SummaryStats::record(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double SummaryStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+std::string with_thousands(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t leading = digits.size() % 3;
+  if (leading == 0) leading = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - leading) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string as_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace wirecap

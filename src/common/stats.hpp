@@ -1,0 +1,93 @@
+// Statistics collection for experiments: binned time series (the 10 ms
+// bins of Figure 3), log-bucketed histograms, and running summaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace wirecap {
+
+/// Counts events into fixed-width virtual-time bins.  Figure 3 bins
+/// arriving packets into 10 ms intervals; queue_profiler uses this.
+class BinnedSeries {
+ public:
+  explicit BinnedSeries(Nanos bin_width);
+
+  /// Records `count` events at virtual time `t`.
+  void record(Nanos t, std::uint64_t count = 1);
+
+  [[nodiscard]] Nanos bin_width() const { return bin_width_; }
+  [[nodiscard]] std::size_t bin_count() const { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return bins_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Start time of bin i.
+  [[nodiscard]] Nanos bin_start(std::size_t i) const {
+    return Nanos{static_cast<std::int64_t>(i) * bin_width_.count()};
+  }
+
+  /// Largest bin value — the peak burst intensity.
+  [[nodiscard]] std::uint64_t peak() const;
+
+  /// Mean events per bin over [0, last recorded bin].
+  [[nodiscard]] double mean() const;
+
+ private:
+  Nanos bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Power-of-two bucketed histogram for latency-like quantities.
+class Log2Histogram {
+ public:
+  Log2Histogram();
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i);
+  }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Approximate quantile (q in [0,1]) assuming uniform density within a
+  /// bucket.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // bucket i holds values in [2^(i-1), 2^i)
+  std::uint64_t count_ = 0;
+};
+
+/// Running mean / variance / extrema via Welford's algorithm.
+class SummaryStats {
+ public:
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Formats `value` with thousands separators ("14,880,952").
+[[nodiscard]] std::string with_thousands(std::uint64_t value);
+
+/// Formats a fraction as a percentage with one decimal ("46.5%").
+[[nodiscard]] std::string as_percent(double fraction);
+
+}  // namespace wirecap

@@ -1,0 +1,116 @@
+// Lightweight status/result types for fallible operations on hot paths,
+// where exceptions would be inappropriate.  Configuration-time errors
+// throw std::invalid_argument / std::runtime_error instead.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace wirecap {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kWouldBlock,       // no data available right now
+  kQueueFull,        // bounded queue at capacity
+  kExhausted,        // a pool/ring ran out of resources
+  kInvalidArgument,  // caller passed bad metadata / out-of-range value
+  kNotFound,         // named entity does not exist
+  kPermissionDenied, // metadata validation failed (foreign chunk, etc.)
+  kClosed,           // operation on a closed queue/device
+  kTimeout,          // blocking operation timed out
+  kInternal,         // invariant violation (bug)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kWouldBlock: return "would-block";
+    case StatusCode::kQueueFull: return "queue-full";
+    case StatusCode::kExhausted: return "exhausted";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kPermissionDenied: return "permission-denied";
+    case StatusCode::kClosed: return "closed";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A status code with no payload.  Cheap to copy and compare.
+class Status {
+ public:
+  constexpr Status() = default;
+  constexpr explicit Status(StatusCode code) : code_(code) {}
+
+  [[nodiscard]] static constexpr Status ok() { return Status{}; }
+
+  [[nodiscard]] constexpr bool is_ok() const {
+    return code_ == StatusCode::kOk;
+  }
+  [[nodiscard]] constexpr StatusCode code() const { return code_; }
+  [[nodiscard]] std::string_view message() const { return to_string(code_); }
+
+  constexpr bool operator==(const Status&) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+};
+
+/// Either a value or a StatusCode; modelled on std::expected (C++23),
+/// which is not yet available on this toolchain.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(StatusCode code) : storage_(code) {}      // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(status.code()) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] StatusCode code() const {
+    return has_value() ? StatusCode::kOk : std::get<StatusCode>(storage_);
+  }
+  [[nodiscard]] Status status() const { return Status{code()}; }
+
+  [[nodiscard]] T& value() & {
+    check();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    check();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    check();
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+
+ private:
+  void check() const {
+    if (!has_value()) {
+      throw std::runtime_error("Result accessed without value: " +
+                               std::string(to_string(std::get<StatusCode>(storage_))));
+    }
+  }
+
+  std::variant<T, StatusCode> storage_;
+};
+
+}  // namespace wirecap

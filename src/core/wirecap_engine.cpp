@@ -1,0 +1,298 @@
+#include "core/wirecap_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace wirecap::core {
+
+WirecapEngine::WirecapEngine(sim::Scheduler& scheduler,
+                             nic::MultiQueueNic& nic, WirecapConfig config,
+                             sim::CostModel costs)
+    : scheduler_(scheduler), nic_(nic), config_(config), costs_(costs) {
+  if (config_.offload_threshold &&
+      (*config_.offload_threshold <= 0.0 || *config_.offload_threshold > 1.0)) {
+    throw std::invalid_argument("WirecapEngine: T must be in (0, 1]");
+  }
+  queues_.resize(nic_.config().num_rx_queues);
+}
+
+void WirecapEngine::open(std::uint32_t queue, sim::SimCore& /*app_core*/) {
+  QueueState& qs = queues_.at(queue);
+  if (qs.open) return;
+  qs.open = true;
+
+  driver::WirecapDriverConfig driver_config;
+  driver_config.cells_per_chunk = config_.cells_per_chunk;
+  driver_config.chunk_count = config_.chunk_count;
+  driver_config.cell_size = config_.cell_size;
+  driver_config.partial_chunk_timeout = costs_.partial_chunk_timeout;
+  qs.driver = std::make_unique<driver::WirecapQueueDriver>(nic_, queue,
+                                                           driver_config);
+
+  // A dedicated core for this queue's capture thread, distinct from any
+  // application core id.
+  qs.capture_core = std::make_unique<sim::SimCore>(
+      scheduler_, 1000 + nic_.nic_id() * 64 + queue);
+
+  // Capture queues may receive chunks from every buddy, so size them for
+  // the whole NIC's chunk population.
+  const std::size_t capacity = static_cast<std::size_t>(config_.chunk_count) *
+                               nic_.config().num_rx_queues;
+  qs.capture_queue = std::make_unique<MpmcQueue<driver::ChunkMeta>>(capacity);
+  qs.recycle_queue = std::make_unique<MpmcQueue<driver::ChunkMeta>>(
+      config_.chunk_count);
+
+  qs.driver->open();
+  poll(queue);
+}
+
+void WirecapEngine::close(std::uint32_t queue) {
+  QueueState& qs = queues_.at(queue);
+  if (!qs.open) return;
+  qs.open = false;
+  qs.driver->close();
+  qs.data_callback = nullptr;
+}
+
+void WirecapEngine::set_buddy_group(const std::vector<std::uint32_t>& queues) {
+  for (const std::uint32_t q : queues) {
+    QueueState& qs = queues_.at(q);
+    if (!qs.open) {
+      throw std::logic_error("WirecapEngine: buddy queue not open");
+    }
+    qs.buddies.clear();
+    for (const std::uint32_t other : queues) {
+      if (other != q) qs.buddies.push_back(other);
+    }
+  }
+}
+
+void WirecapEngine::poll(std::uint32_t queue) {
+  QueueState& qs = queues_[queue];
+  if (!qs.open) return;
+  ++qs.extra.polls;
+  Nanos cost = Nanos::zero();
+
+  // 3. Recycle used chunks returned by application threads.
+  while (auto meta = qs.recycle_queue->try_pop()) {
+    const Status status = qs.driver->recycle(*meta);
+    if (!status.is_ok()) {
+      throw std::logic_error("WirecapEngine: recycle of own chunk failed");
+    }
+    cost += costs_.recycle_chunk_cost;
+  }
+
+  // 1. Capture filled chunks from the ring (zero-copy; the timeout path
+  // copies a partial chunk and reports how many packets it moved).
+  std::vector<driver::ChunkMeta> captured;
+  const std::uint32_t copied = qs.driver->capture(
+      scheduler_.now(), config_.max_chunks_per_capture, captured);
+  cost += Nanos{static_cast<std::int64_t>(copied) *
+                costs_.partial_copy_cost.count()};
+  cost += Nanos{static_cast<std::int64_t>(captured.size()) *
+                costs_.capture_chunk_cost.count()};
+
+  // Park-and-retry keeps ordering: anything parked earlier goes first.
+  std::deque<driver::ChunkMeta> to_place;
+  to_place.swap(qs.pending);
+  for (const auto& meta : captured) to_place.push_back(meta);
+  while (!to_place.empty()) {
+    const driver::ChunkMeta meta = to_place.front();
+    to_place.pop_front();
+    dispatch(queue, meta);
+  }
+
+  const bool had_work = copied > 0 || !captured.empty();
+  // The capture thread is a loop on its core: it pays for the work it
+  // just did, then either continues immediately (data pending) or
+  // blocks with a timeout (the poll interval).
+  qs.capture_core->submit(sim::WorkPriority::kUser, cost, [this, queue,
+                                                           had_work] {
+    QueueState& state = queues_[queue];
+    if (!state.open) return;
+    if (had_work) {
+      poll(queue);
+    } else {
+      scheduler_.schedule_after(costs_.capture_poll_interval,
+                                [this, queue] { poll(queue); });
+    }
+  });
+}
+
+void WirecapEngine::dispatch(std::uint32_t queue,
+                             const driver::ChunkMeta& meta) {
+  QueueState& qs = queues_[queue];
+  std::uint32_t target = queue;
+
+  if (config_.offload_threshold && !qs.buddies.empty()) {
+    const double fill =
+        static_cast<double>(qs.capture_queue->size()) /
+        static_cast<double>(config_.chunk_count);
+    if (fill > *config_.offload_threshold) {
+      // Long-term load imbalance indicator tripped: pick a buddy per the
+      // configured policy (the paper's is least-busy).
+      switch (config_.offload_policy) {
+        case OffloadPolicy::kLeastBusy: {
+          std::size_t best_len = std::numeric_limits<std::size_t>::max();
+          for (const std::uint32_t buddy : qs.buddies) {
+            const std::size_t len = queues_[buddy].capture_queue->size();
+            if (len < best_len) {
+              best_len = len;
+              target = buddy;
+            }
+          }
+          // Only offload to somewhere actually less busy.
+          if (best_len >= qs.capture_queue->size()) target = queue;
+          break;
+        }
+        case OffloadPolicy::kRandomBuddy: {
+          // xorshift: deterministic, independent of workload randomness.
+          offload_rng_ ^= offload_rng_ << 13;
+          offload_rng_ ^= offload_rng_ >> 7;
+          offload_rng_ ^= offload_rng_ << 17;
+          target = qs.buddies[offload_rng_ % qs.buddies.size()];
+          break;
+        }
+        case OffloadPolicy::kRoundRobin:
+          target = qs.buddies[offload_rr_++ % qs.buddies.size()];
+          break;
+      }
+    }
+  }
+
+  if (!queues_[target].capture_queue->try_push(meta)) {
+    if (target == queue || !qs.capture_queue->try_push(meta)) {
+      // Nowhere to put it: hold the chunk; backpressure will show up as
+      // pool exhaustion and, eventually, capture drops at the NIC.
+      qs.pending.push_back(meta);
+      return;
+    }
+    target = queue;
+  }
+
+  if (target != queue) {
+    ++qs.stats.chunks_offloaded_out;
+    ++queues_[target].stats.chunks_offloaded_in;
+  }
+  QueueState& ts = queues_[target];
+  ts.extra.capture_queue_high_water = std::max(
+      ts.extra.capture_queue_high_water,
+      static_cast<std::uint64_t>(ts.capture_queue->size()));
+  if (ts.data_callback) ts.data_callback();
+}
+
+std::optional<engines::CaptureView> WirecapEngine::try_next(
+    std::uint32_t queue) {
+  QueueState& qs = queues_.at(queue);
+  if (!qs.open) return std::nullopt;
+  if (!qs.current) {
+    auto meta = qs.capture_queue->try_pop();
+    if (!meta) return std::nullopt;
+    qs.current = CurrentChunk{*meta, 0};
+    outstanding_[chunk_key(meta->ring_id, meta->chunk_id)] =
+        Outstanding{*meta, meta->pkt_count};
+  }
+
+  CurrentChunk& current = *qs.current;
+  const driver::ChunkMeta meta = current.meta;
+  const std::uint32_t cell_index = meta.first_cell + current.cursor;
+  driver::RingBufferPool& pool = queues_[meta.ring_id].driver->pool();
+  const driver::CellInfo& info = pool.cell_info(meta.chunk_id, cell_index);
+
+  engines::CaptureView view;
+  view.bytes = pool.cell(meta.chunk_id, cell_index).first(info.length);
+  view.wire_len = info.wire_length;
+  view.timestamp = Nanos{info.timestamp_ns};
+  view.seq = info.seq;
+  view.handle = make_handle(meta.ring_id, meta.chunk_id, cell_index);
+
+  ++current.cursor;
+  if (current.cursor == meta.pkt_count) qs.current.reset();
+  ++qs.stats.delivered;
+  return view;
+}
+
+void WirecapEngine::deref(std::uint64_t key) {
+  const auto it = outstanding_.find(key);
+  if (it == outstanding_.end()) {
+    throw std::logic_error("WirecapEngine: release of unknown chunk");
+  }
+  if (--it->second.remaining == 0) {
+    const driver::ChunkMeta meta = it->second.meta;
+    outstanding_.erase(it);
+    // The chunk goes home: recycling happens on the pool that owns it,
+    // regardless of which application thread processed it.
+    if (!queues_[meta.ring_id].recycle_queue->try_push(meta)) {
+      throw std::logic_error("WirecapEngine: recycle queue overflow");
+    }
+  }
+}
+
+void WirecapEngine::done(std::uint32_t /*queue*/,
+                         const engines::CaptureView& view) {
+  deref(chunk_key(handle_ring(view.handle), handle_chunk(view.handle)));
+}
+
+bool WirecapEngine::forward(std::uint32_t /*queue*/,
+                            const engines::CaptureView& view,
+                            nic::MultiQueueNic& out_nic,
+                            std::uint32_t tx_queue) {
+  // Zero-copy forwarding: attach the pool cell to a transmit descriptor;
+  // the chunk cannot be recycled until the frame has left the wire.
+  const std::uint64_t key =
+      chunk_key(handle_ring(view.handle), handle_chunk(view.handle));
+  nic::TxRequest request;
+  request.frame = view.bytes;
+  request.wire_length = view.wire_len;
+  request.seq = view.seq;
+  request.on_complete = [this, key] { deref(key); };
+  if (!out_nic.transmit(tx_queue, std::move(request))) {
+    deref(key);  // TX ring full: packet dropped, buffer released
+    return false;
+  }
+  return true;
+}
+
+void WirecapEngine::set_data_callback(std::uint32_t queue,
+                                      std::function<void()> fn) {
+  queues_.at(queue).data_callback = std::move(fn);
+}
+
+engines::EngineQueueStats WirecapEngine::queue_stats(
+    std::uint32_t queue) const {
+  engines::EngineQueueStats stats = queues_.at(queue).stats;
+  if (queues_[queue].driver) {
+    stats.copies += queues_[queue].driver->stats().packets_copied;
+  }
+  return stats;
+}
+
+const driver::WirecapDriverStats& WirecapEngine::driver_stats(
+    std::uint32_t queue) const {
+  return queues_.at(queue).driver->stats();
+}
+
+const WirecapQueueExtraStats& WirecapEngine::extra_stats(
+    std::uint32_t queue) const {
+  return queues_.at(queue).extra;
+}
+
+const driver::RingBufferPool& WirecapEngine::pool(std::uint32_t queue) const {
+  return queues_.at(queue).driver->pool();
+}
+
+double WirecapEngine::capture_core_utilization(std::uint32_t queue) const {
+  const QueueState& qs = queues_.at(queue);
+  return qs.capture_core ? qs.capture_core->utilization() : 0.0;
+}
+
+std::uint64_t WirecapEngine::total_pool_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& qs : queues_) {
+    if (qs.driver) total += qs.driver->pool().memory_bytes();
+  }
+  return total;
+}
+
+}  // namespace wirecap::core

@@ -1,0 +1,171 @@
+// The WireCAP capture engine (§3) — the paper's primary contribution.
+//
+// Architecture (Figure 6): a kernel-mode driver per receive queue
+// (driver/wirecap_driver.hpp) implementing the ring-buffer-pool
+// mechanism, plus this user-mode engine which runs, per queue:
+//
+//   * a *capture thread* on its own core, executing the low-level
+//     capture and recycle ioctls and the offloading policy;
+//   * a *work-queue pair*: the capture queue carries captured-chunk
+//     metadata to the application; the recycle queue carries used-chunk
+//     metadata back;
+//   * a *buddy list*: receive queues of one application form a buddy
+//     group; when this queue's capture queue exceeds the offloading
+//     threshold T, newly captured chunks are placed on the least busy
+//     buddy's capture queue instead (advanced mode, Figure 7b).
+//
+// Basic mode (no threshold) handles each queue independently: lossless
+// for short-term bursts up to ~R*M packets, but helpless against
+// long-term overload.  Advanced mode adds the buddy-group offloading
+// that Figure 11 shows recovering that case.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "driver/wirecap_driver.hpp"
+#include "engines/engine.hpp"
+#include "sim/costs.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wirecap::core {
+
+/// How an overloaded capture thread picks the buddy to offload to.
+/// The paper's design targets "an idle or less busy receive queue"
+/// (least-busy); the alternatives exist for the ablation benchmarks.
+enum class OffloadPolicy : std::uint8_t {
+  kLeastBusy,   // shortest buddy capture queue (the paper's policy)
+  kRandomBuddy, // uniform random buddy
+  kRoundRobin,  // cycle through buddies
+};
+
+struct WirecapConfig {
+  /// M — cells per chunk == descriptors per segment.
+  std::uint32_t cells_per_chunk = 256;
+  /// R — chunks per ring buffer pool.
+  std::uint32_t chunk_count = 100;
+  /// T — offloading percentage threshold in (0, 1]; nullopt runs the
+  /// engine in basic mode (no offloading).
+  std::optional<double> offload_threshold;
+  std::uint32_t cell_size = 2048;
+  /// Chunks moved per capture ioctl invocation.
+  std::size_t max_chunks_per_capture = 16;
+  /// Offload target selection (ablation; default is the paper's).
+  OffloadPolicy offload_policy = OffloadPolicy::kLeastBusy;
+};
+
+struct WirecapQueueExtraStats {
+  std::uint64_t capture_queue_high_water = 0;
+  std::uint64_t polls = 0;
+};
+
+class WirecapEngine final : public engines::CaptureEngine {
+ public:
+  /// The engine creates one dedicated capture core per opened queue
+  /// (the paper: "the system can dedicate one or several cores to run
+  /// all capture threads").
+  WirecapEngine(sim::Scheduler& scheduler, nic::MultiQueueNic& nic,
+                WirecapConfig config, sim::CostModel costs = {});
+
+  [[nodiscard]] std::string_view name() const override {
+    return config_.offload_threshold ? "WireCAP-A" : "WireCAP-B";
+  }
+  [[nodiscard]] const WirecapConfig& config() const { return config_; }
+
+  /// Declares that `queues` belong to one application and may offload
+  /// to each other.  Each queue's buddy list becomes the group minus
+  /// itself.  Queues must already be open.
+  void set_buddy_group(const std::vector<std::uint32_t>& queues);
+
+  // --- CaptureEngine interface ---
+  void open(std::uint32_t queue, sim::SimCore& app_core) override;
+  void close(std::uint32_t queue) override;
+  std::optional<engines::CaptureView> try_next(std::uint32_t queue) override;
+  void done(std::uint32_t queue, const engines::CaptureView& view) override;
+  bool forward(std::uint32_t queue, const engines::CaptureView& view,
+               nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) override;
+  void set_data_callback(std::uint32_t queue,
+                         std::function<void()> fn) override;
+  [[nodiscard]] engines::EngineQueueStats queue_stats(
+      std::uint32_t queue) const override;
+
+  // --- introspection ---
+  [[nodiscard]] const driver::WirecapDriverStats& driver_stats(
+      std::uint32_t queue) const;
+  [[nodiscard]] const WirecapQueueExtraStats& extra_stats(
+      std::uint32_t queue) const;
+  [[nodiscard]] const driver::RingBufferPool& pool(std::uint32_t queue) const;
+
+  /// Utilization of the queue's dedicated capture-thread core in [0,1].
+  [[nodiscard]] double capture_core_utilization(std::uint32_t queue) const;
+
+  /// Total pool memory across opened queues (the Fig. 14 memory-pressure
+  /// input).
+  [[nodiscard]] std::uint64_t total_pool_bytes() const;
+
+ private:
+  struct CurrentChunk {
+    driver::ChunkMeta meta;
+    std::uint32_t cursor = 0;  // next cell within [0, pkt_count)
+  };
+
+  struct Outstanding {
+    driver::ChunkMeta meta;
+    std::uint32_t remaining = 0;  // undelivered done()/TX completions
+  };
+
+  struct QueueState {
+    bool open = false;
+    std::unique_ptr<driver::WirecapQueueDriver> driver;
+    std::unique_ptr<sim::SimCore> capture_core;
+    std::unique_ptr<MpmcQueue<driver::ChunkMeta>> capture_queue;
+    std::unique_ptr<MpmcQueue<driver::ChunkMeta>> recycle_queue;
+    std::deque<driver::ChunkMeta> pending;  // couldn't be enqueued yet
+    std::vector<std::uint32_t> buddies;
+    std::optional<CurrentChunk> current;
+    std::function<void()> data_callback;
+    engines::EngineQueueStats stats;
+    WirecapQueueExtraStats extra;
+  };
+
+  [[nodiscard]] static constexpr std::uint64_t chunk_key(
+      std::uint32_t ring_id, std::uint32_t chunk_id) {
+    return (static_cast<std::uint64_t>(ring_id) << 32) | chunk_id;
+  }
+  [[nodiscard]] static constexpr std::uint64_t make_handle(
+      std::uint32_t ring_id, std::uint32_t chunk_id, std::uint32_t cell) {
+    return (static_cast<std::uint64_t>(ring_id) << 48) |
+           (static_cast<std::uint64_t>(chunk_id) << 24) | cell;
+  }
+  [[nodiscard]] static constexpr std::uint32_t handle_ring(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h >> 48);
+  }
+  [[nodiscard]] static constexpr std::uint32_t handle_chunk(std::uint64_t h) {
+    return static_cast<std::uint32_t>((h >> 24) & 0xFFFFFF);
+  }
+  [[nodiscard]] static constexpr std::uint32_t handle_cell(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h & 0xFFFFFF);
+  }
+
+  void poll(std::uint32_t queue);
+  /// Places a captured chunk on a capture queue per the offloading
+  /// policy; on failure parks it in `pending`.
+  void dispatch(std::uint32_t queue, const driver::ChunkMeta& meta);
+  void deref(std::uint64_t key);
+
+  sim::Scheduler& scheduler_;
+  nic::MultiQueueNic& nic_;
+  WirecapConfig config_;
+  sim::CostModel costs_;
+  std::vector<QueueState> queues_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::uint32_t offload_rr_ = 0;        // round-robin ablation state
+  std::uint64_t offload_rng_ = 0x9E3779B97F4A7C15ULL;  // random ablation state
+};
+
+}  // namespace wirecap::core

@@ -1,0 +1,123 @@
+#include "driver/chunk_pool.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace wirecap::driver {
+
+RingBufferPool::RingBufferPool(std::uint32_t nic_id, std::uint32_t ring_id,
+                               std::uint32_t cells_per_chunk,
+                               std::uint32_t chunk_count,
+                               std::uint32_t cell_size)
+    : nic_id_(nic_id),
+      ring_id_(ring_id),
+      cells_per_chunk_(cells_per_chunk),
+      chunk_count_(chunk_count),
+      cell_size_(cell_size) {
+  if (cells_per_chunk == 0 || chunk_count == 0 || cell_size == 0) {
+    throw std::invalid_argument("RingBufferPool: M, R, cell size must be > 0");
+  }
+  memory_.resize(memory_bytes());
+  cell_info_.resize(capacity_packets());
+  states_.assign(chunk_count, ChunkState::kFree);
+  // Free list as a stack; lowest ids on top for deterministic behaviour.
+  free_list_.resize(chunk_count);
+  std::iota(free_list_.rbegin(), free_list_.rend(), 0u);
+}
+
+Result<std::uint32_t> RingBufferPool::acquire_for_attach() {
+  if (free_list_.empty()) return StatusCode::kExhausted;
+  const std::uint32_t chunk_id = free_list_.back();
+  free_list_.pop_back();
+  states_[chunk_id] = ChunkState::kAttached;
+  return chunk_id;
+}
+
+Result<ChunkMeta> RingBufferPool::mark_captured(std::uint32_t chunk_id,
+                                                std::uint32_t first_cell,
+                                                std::uint32_t pkt_count) {
+  if (chunk_id >= chunk_count_) return StatusCode::kInvalidArgument;
+  if (states_[chunk_id] != ChunkState::kAttached) {
+    return StatusCode::kInvalidArgument;
+  }
+  if (first_cell + pkt_count > cells_per_chunk_) {
+    return StatusCode::kInvalidArgument;
+  }
+  states_[chunk_id] = ChunkState::kCaptured;
+  return ChunkMeta{nic_id_, ring_id_, chunk_id, first_cell, pkt_count};
+}
+
+Result<ChunkMeta> RingBufferPool::capture_free_chunk(std::uint32_t pkt_count) {
+  if (pkt_count > cells_per_chunk_) return StatusCode::kInvalidArgument;
+  if (free_list_.empty()) return StatusCode::kExhausted;
+  const std::uint32_t chunk_id = free_list_.back();
+  free_list_.pop_back();
+  states_[chunk_id] = ChunkState::kCaptured;
+  return ChunkMeta{nic_id_, ring_id_, chunk_id, 0, pkt_count};
+}
+
+Status RingBufferPool::recycle(const ChunkMeta& meta) {
+  // Strict validation: the kernel trusts nothing in user-supplied
+  // metadata (§3.2.2c).
+  if (meta.nic_id != nic_id_ || meta.ring_id != ring_id_) {
+    return Status{StatusCode::kPermissionDenied};
+  }
+  if (meta.chunk_id >= chunk_count_) {
+    return Status{StatusCode::kInvalidArgument};
+  }
+  if (meta.first_cell + meta.pkt_count > cells_per_chunk_) {
+    return Status{StatusCode::kInvalidArgument};
+  }
+  if (states_[meta.chunk_id] != ChunkState::kCaptured) {
+    return Status{StatusCode::kInvalidArgument};  // double recycle / foreign
+  }
+  states_[meta.chunk_id] = ChunkState::kFree;
+  free_list_.push_back(meta.chunk_id);
+  return Status::ok();
+}
+
+ChunkState RingBufferPool::state(std::uint32_t chunk_id) const {
+  check_chunk_id(chunk_id);
+  return states_[chunk_id];
+}
+
+std::span<std::byte> RingBufferPool::cell(std::uint32_t chunk_id,
+                                          std::uint32_t cell_index) {
+  check_chunk_id(chunk_id);
+  if (cell_index >= cells_per_chunk_) {
+    throw std::out_of_range("RingBufferPool::cell: bad cell index");
+  }
+  const std::size_t offset =
+      (static_cast<std::size_t>(chunk_id) * cells_per_chunk_ + cell_index) *
+      cell_size_;
+  return {memory_.data() + offset, cell_size_};
+}
+
+std::span<const std::byte> RingBufferPool::cell(
+    std::uint32_t chunk_id, std::uint32_t cell_index) const {
+  return const_cast<RingBufferPool*>(this)->cell(chunk_id, cell_index);
+}
+
+CellInfo& RingBufferPool::cell_info(std::uint32_t chunk_id,
+                                    std::uint32_t cell_index) {
+  check_chunk_id(chunk_id);
+  if (cell_index >= cells_per_chunk_) {
+    throw std::out_of_range("RingBufferPool::cell_info: bad cell index");
+  }
+  return cell_info_[static_cast<std::size_t>(chunk_id) * cells_per_chunk_ +
+                    cell_index];
+}
+
+const CellInfo& RingBufferPool::cell_info(std::uint32_t chunk_id,
+                                          std::uint32_t cell_index) const {
+  return const_cast<RingBufferPool*>(this)->cell_info(chunk_id, cell_index);
+}
+
+void RingBufferPool::check_chunk_id(std::uint32_t chunk_id) const {
+  if (chunk_id >= chunk_count_) {
+    throw std::out_of_range("RingBufferPool: bad chunk id");
+  }
+}
+
+}  // namespace wirecap::driver

@@ -1,0 +1,162 @@
+// The ring-buffer-pool (§3.2.1, Figure 4).
+//
+// Each receive queue owns a pool of R packet-buffer chunks.  A chunk is
+// M fixed-size cells occupying contiguous memory; each cell backs one
+// receive descriptor of a descriptor segment.  A chunk is in one of
+// three states:
+//
+//   free      — held in the kernel, available for (re)use
+//   attached  — its cells are tied to a descriptor segment, receiving
+//   captured  — filled and moved (by metadata only) to user space
+//
+// Globally a chunk is identified by {nic_id, ring_id, chunk_id}.  The
+// recycle path validates this metadata strictly — a misbehaving
+// application must not be able to corrupt kernel state (§3.2.2c).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace wirecap::driver {
+
+enum class ChunkState : std::uint8_t { kFree, kAttached, kCaptured };
+
+[[nodiscard]] constexpr const char* to_string(ChunkState state) {
+  switch (state) {
+    case ChunkState::kFree: return "free";
+    case ChunkState::kAttached: return "attached";
+    case ChunkState::kCaptured: return "captured";
+  }
+  return "?";
+}
+
+/// Metadata passed between kernel and user space when a chunk is
+/// captured or recycled: {nic_id, ring_id, chunk_id} plus the valid cell
+/// range.  The chunk body is never copied — this struct *is* the
+/// capture.
+struct ChunkMeta {
+  std::uint32_t nic_id = 0;
+  std::uint32_t ring_id = 0;
+  std::uint32_t chunk_id = 0;
+  /// First cell holding a packet (nonzero after a partial-copy rescue
+  /// consumed a prefix of the chunk).
+  std::uint32_t first_cell = 0;
+  /// Number of packets in the chunk.
+  std::uint32_t pkt_count = 0;
+
+  constexpr bool operator==(const ChunkMeta&) const = default;
+};
+
+/// Per-cell packet metadata written by the driver when the cell's
+/// descriptor completes (the simulation's stand-in for the descriptor
+/// writeback the user library reads).
+struct CellInfo {
+  std::uint32_t length = 0;
+  std::uint32_t wire_length = 0;
+  std::int64_t timestamp_ns = 0;
+  std::uint64_t seq = 0;
+};
+
+class RingBufferPool {
+ public:
+  /// Creates a pool of `chunk_count` (R) chunks of `cells_per_chunk` (M)
+  /// cells, each `cell_size` bytes (2 KiB in the paper's
+  /// implementation).
+  RingBufferPool(std::uint32_t nic_id, std::uint32_t ring_id,
+                 std::uint32_t cells_per_chunk, std::uint32_t chunk_count,
+                 std::uint32_t cell_size = 2048);
+
+  [[nodiscard]] std::uint32_t nic_id() const { return nic_id_; }
+  [[nodiscard]] std::uint32_t ring_id() const { return ring_id_; }
+  [[nodiscard]] std::uint32_t cells_per_chunk() const { return cells_per_chunk_; }
+  [[nodiscard]] std::uint32_t chunk_count() const { return chunk_count_; }
+  [[nodiscard]] std::uint32_t cell_size() const { return cell_size_; }
+
+  /// Total buffering capacity in packets (R * M).
+  [[nodiscard]] std::uint64_t capacity_packets() const {
+    return static_cast<std::uint64_t>(cells_per_chunk_) * chunk_count_;
+  }
+
+  /// Total pool memory in bytes (R * M * cell_size).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return capacity_packets() * cell_size_;
+  }
+
+  [[nodiscard]] std::uint32_t free_chunks() const {
+    return static_cast<std::uint32_t>(free_list_.size());
+  }
+
+  // --- state transitions ---
+
+  /// free -> attached.  Returns the chunk id, or kExhausted when the
+  /// free list is empty — the condition that leads to packet capture
+  /// drops ("the free packet buffer chunks in the ring buffer pool
+  /// become depleted").
+  Result<std::uint32_t> acquire_for_attach();
+
+  /// attached -> captured.  `first_cell`/`pkt_count` describe the valid
+  /// range.  Returns the metadata handed to user space.
+  Result<ChunkMeta> mark_captured(std::uint32_t chunk_id,
+                                  std::uint32_t first_cell,
+                                  std::uint32_t pkt_count);
+
+  /// free -> captured directly: used by the partial-copy rescue path,
+  /// which fills a free chunk with copied packets and captures it
+  /// without ever attaching it.
+  Result<ChunkMeta> capture_free_chunk(std::uint32_t pkt_count);
+
+  /// captured -> free, with strict validation of every metadata field.
+  /// kPermissionDenied on a foreign {nic_id, ring_id}; kInvalidArgument
+  /// on a bad chunk_id or cell range; kInvalidArgument when the chunk is
+  /// not in the captured state (double recycle).
+  Status recycle(const ChunkMeta& meta);
+
+  // --- cell access ---
+
+  [[nodiscard]] ChunkState state(std::uint32_t chunk_id) const;
+
+  /// Memory of one cell (the DMA target / packet bytes).
+  [[nodiscard]] std::span<std::byte> cell(std::uint32_t chunk_id,
+                                          std::uint32_t cell_index);
+  [[nodiscard]] std::span<const std::byte> cell(std::uint32_t chunk_id,
+                                                std::uint32_t cell_index) const;
+
+  /// Driver-written per-cell packet info.
+  [[nodiscard]] CellInfo& cell_info(std::uint32_t chunk_id,
+                                    std::uint32_t cell_index);
+  [[nodiscard]] const CellInfo& cell_info(std::uint32_t chunk_id,
+                                          std::uint32_t cell_index) const;
+
+  /// Encodes (chunk, cell) into the DMA-buffer cookie and back.
+  [[nodiscard]] static constexpr std::uint64_t make_cookie(
+      std::uint32_t chunk_id, std::uint32_t cell_index) {
+    return (static_cast<std::uint64_t>(chunk_id) << 32) | cell_index;
+  }
+  [[nodiscard]] static constexpr std::uint32_t cookie_chunk(std::uint64_t c) {
+    return static_cast<std::uint32_t>(c >> 32);
+  }
+  [[nodiscard]] static constexpr std::uint32_t cookie_cell(std::uint64_t c) {
+    return static_cast<std::uint32_t>(c & 0xFFFFFFFF);
+  }
+
+ private:
+  void check_chunk_id(std::uint32_t chunk_id) const;
+
+  std::uint32_t nic_id_;
+  std::uint32_t ring_id_;
+  std::uint32_t cells_per_chunk_;
+  std::uint32_t chunk_count_;
+  std::uint32_t cell_size_;
+  /// One contiguous allocation for all chunks: chunk c's cell i lives at
+  /// offset ((c * M) + i) * cell_size — "physically contiguous memory".
+  std::vector<std::byte> memory_;
+  std::vector<CellInfo> cell_info_;
+  std::vector<ChunkState> states_;
+  std::vector<std::uint32_t> free_list_;
+};
+
+}  // namespace wirecap::driver

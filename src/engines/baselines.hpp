@@ -1,0 +1,31 @@
+// Canonical configurations of the baseline engines, calibrated to the
+// paper's testbed (see sim/costs.hpp for the calibration anchors).
+#pragma once
+
+#include "engines/pfring_engine.hpp"
+#include "engines/psioe_engine.hpp"
+#include "engines/type2_engine.hpp"
+
+namespace wirecap::engines {
+
+/// DNA: per-packet descriptor release — descriptors return to the NIC
+/// immediately after the application consumes a packet.
+[[nodiscard]] inline Type2Config dna_config() {
+  Type2Config config;
+  config.name = "DNA";
+  config.sync_batch = 1;
+  config.sync_cost = Nanos{6};
+  return config;
+}
+
+/// NETMAP: descriptors are reclaimed in batched NIOCRXSYNC calls, so
+/// under pressure more of the ring is held back than with DNA.
+[[nodiscard]] inline Type2Config netmap_config() {
+  Type2Config config;
+  config.name = "NETMAP";
+  config.sync_batch = 512;
+  config.sync_cost = Nanos{9};
+  return config;
+}
+
+}  // namespace wirecap::engines

@@ -1,0 +1,108 @@
+// The capture-engine interface shared by WireCAP and the baseline
+// engines (PF_RING, DNA, NETMAP, PSIOE).
+//
+// An engine instance manages one NIC.  The application side is a
+// per-queue, non-blocking read API: try_next() yields a zero-copy (or,
+// for copying engines, engine-buffered) view of the next packet; the
+// application finishes with done() or forwards with forward().
+//
+// Engines charge their internal CPU work (NAPI copies, capture-thread
+// ioctls) to the appropriate simulated cores themselves; the per-packet
+// *application-side* overhead an engine imposes (ring syncs, user-space
+// copies) is reported via app_overhead_per_packet() and charged by the
+// application actor together with its own processing cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "common/units.hpp"
+#include "nic/device.hpp"
+#include "sim/core.hpp"
+
+namespace wirecap::engines {
+
+/// A captured packet as seen by the application.  `bytes` is writable:
+/// middlebox applications may modify packets in flight before
+/// forwarding.
+struct CaptureView {
+  std::span<std::byte> bytes{};
+  std::uint32_t wire_len = 0;
+  Nanos timestamp{};
+  std::uint64_t seq = 0;
+  std::uint64_t handle = 0;  // engine-internal
+};
+
+struct EngineQueueStats {
+  /// Packets handed to the application.
+  std::uint64_t delivered = 0;
+  /// Packets captured off the wire but lost before delivery (Type-I
+  /// intermediate-buffer overflow) — the paper's "packet delivery drop".
+  std::uint64_t delivery_dropped = 0;
+  /// Per-packet copy operations performed anywhere on the path.
+  std::uint64_t copies = 0;
+  /// Chunks this queue's capture thread redirected to buddies / chunks
+  /// that arrived from buddies (WireCAP advanced mode only).
+  std::uint64_t chunks_offloaded_out = 0;
+  std::uint64_t chunks_offloaded_in = 0;
+};
+
+class CaptureEngine {
+ public:
+  virtual ~CaptureEngine() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Opens `queue` for capture.  The application thread that will
+  /// consume this queue runs on `app_core`; engines doing kernel-context
+  /// work on the application's core (NAPI) charge it there.
+  virtual void open(std::uint32_t queue, sim::SimCore& app_core) = 0;
+
+  virtual void close(std::uint32_t queue) = 0;
+
+  /// Non-blocking read of the next packet of `queue`.
+  virtual std::optional<CaptureView> try_next(std::uint32_t queue) = 0;
+
+  /// The application is finished with the packet.
+  virtual void done(std::uint32_t queue, const CaptureView& view) = 0;
+
+  /// Forwards the packet out `tx_queue` of `out_nic`, releasing the
+  /// underlying buffer when transmission completes (zero-copy where the
+  /// engine supports it).  Implies done().  Returns false when the TX
+  /// ring is full (the packet is then released unsent).
+  virtual bool forward(std::uint32_t queue, const CaptureView& view,
+                       nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) = 0;
+
+  /// Per-packet cost the *application* pays to use this engine's read
+  /// path (ring sync, user-space copy), in addition to its own work.
+  [[nodiscard]] virtual Nanos app_overhead_per_packet() const {
+    return Nanos::zero();
+  }
+
+  /// Fires whenever new data may be available on `queue` (edge
+  /// trigger); the application actor uses it to wake from idle.
+  virtual void set_data_callback(std::uint32_t queue,
+                                 std::function<void()> fn) = 0;
+
+  [[nodiscard]] virtual EngineQueueStats queue_stats(
+      std::uint32_t queue) const = 0;
+
+  /// Sums queue_stats over all opened queues.
+  [[nodiscard]] EngineQueueStats total_stats(std::uint32_t num_queues) const {
+    EngineQueueStats total;
+    for (std::uint32_t q = 0; q < num_queues; ++q) {
+      const EngineQueueStats s = queue_stats(q);
+      total.delivered += s.delivered;
+      total.delivery_dropped += s.delivery_dropped;
+      total.copies += s.copies;
+      total.chunks_offloaded_out += s.chunks_offloaded_out;
+      total.chunks_offloaded_in += s.chunks_offloaded_in;
+    }
+    return total;
+  }
+};
+
+}  // namespace wirecap::engines

@@ -1,0 +1,89 @@
+// Type-I packet capture engine: PF_RING (§2.1).
+//
+// Ring buffers are 1-to-1 mapped to descriptors and refilled with the
+// same buffer after the kernel copies each packet into an intermediate
+// per-queue buffer (pf_ring), which is memory-mapped into the
+// application.  Two structural consequences the paper measures:
+//
+//   * at least one copy per packet, performed in NAPI (softirq) context
+//     *on the application's core* at kernel priority — at high packet
+//     rates this starves the application: the receive-livelock problem;
+//   * when the application cannot keep pace, the pf_ring buffer
+//     overflows and packets are lost *after* capture: packet delivery
+//     drops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engines/engine.hpp"
+#include "sim/costs.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wirecap::engines {
+
+struct PfRingConfig {
+  /// Slots in the pf_ring intermediate buffer (the paper sets 10,240).
+  std::uint32_t pf_ring_slots = 10240;
+  /// Bytes stored per slot (snap length; headers are what applications
+  /// filter on).
+  std::uint32_t slot_bytes = 256;
+  std::uint32_t cell_size = 2048;
+  /// Per-packet kernel work (copy + softirq overhead), charged at
+  /// kernel priority on the application's core.
+  Nanos kernel_cost_per_packet = Nanos{1800};
+  /// Interrupt-to-poll latency when NAPI is re-armed.
+  Nanos napi_wakeup_delay = Nanos::from_micros(60);
+};
+
+class PfRingEngine final : public CaptureEngine {
+ public:
+  PfRingEngine(sim::Scheduler& scheduler, nic::MultiQueueNic& nic,
+               PfRingConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "PF_RING"; }
+
+  void open(std::uint32_t queue, sim::SimCore& app_core) override;
+  void close(std::uint32_t queue) override;
+  std::optional<CaptureView> try_next(std::uint32_t queue) override;
+  void done(std::uint32_t queue, const CaptureView& view) override;
+  bool forward(std::uint32_t queue, const CaptureView& view,
+               nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) override;
+  void set_data_callback(std::uint32_t queue,
+                         std::function<void()> fn) override;
+  [[nodiscard]] EngineQueueStats queue_stats(
+      std::uint32_t queue) const override;
+
+ private:
+  struct PfSlot {
+    std::vector<std::byte> data;
+    std::uint32_t length = 0;
+    std::uint32_t wire_length = 0;
+    Nanos timestamp{};
+    std::uint64_t seq = 0;
+  };
+
+  struct QueueState {
+    bool open = false;
+    sim::SimCore* app_core = nullptr;
+    std::vector<std::byte> cells;  // 1-to-1 ring buffers
+    // pf_ring circular buffer.
+    std::vector<PfSlot> slots;
+    std::uint32_t head = 0;   // next slot the app reads
+    std::uint32_t count = 0;  // occupied slots
+    bool napi_active = false;
+    std::function<void()> data_callback;
+    EngineQueueStats stats;
+  };
+
+  [[nodiscard]] std::span<std::byte> cell(QueueState& qs, std::uint64_t index);
+  void schedule_napi(std::uint32_t queue);
+  void napi_step(std::uint32_t queue);
+
+  sim::Scheduler& scheduler_;
+  nic::MultiQueueNic& nic_;
+  PfRingConfig config_;
+  std::vector<QueueState> queues_;
+};
+
+}  // namespace wirecap::engines

@@ -1,0 +1,56 @@
+// Safe big-endian (network order) reads and writes over byte spans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+namespace wirecap::net {
+
+[[nodiscard]] inline std::uint8_t read_u8(std::span<const std::byte> data,
+                                          std::size_t offset) {
+  if (offset + 1 > data.size()) throw std::out_of_range("read_u8");
+  return static_cast<std::uint8_t>(data[offset]);
+}
+
+[[nodiscard]] inline std::uint16_t read_be16(std::span<const std::byte> data,
+                                             std::size_t offset) {
+  if (offset + 2 > data.size()) throw std::out_of_range("read_be16");
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data[offset]) << 8) |
+      static_cast<std::uint16_t>(data[offset + 1]));
+}
+
+[[nodiscard]] inline std::uint32_t read_be32(std::span<const std::byte> data,
+                                             std::size_t offset) {
+  if (offset + 4 > data.size()) throw std::out_of_range("read_be32");
+  return (static_cast<std::uint32_t>(data[offset]) << 24) |
+         (static_cast<std::uint32_t>(data[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(data[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(data[offset + 3]);
+}
+
+inline void write_u8(std::span<std::byte> data, std::size_t offset,
+                     std::uint8_t value) {
+  if (offset + 1 > data.size()) throw std::out_of_range("write_u8");
+  data[offset] = static_cast<std::byte>(value);
+}
+
+inline void write_be16(std::span<std::byte> data, std::size_t offset,
+                       std::uint16_t value) {
+  if (offset + 2 > data.size()) throw std::out_of_range("write_be16");
+  data[offset] = static_cast<std::byte>(value >> 8);
+  data[offset + 1] = static_cast<std::byte>(value & 0xFF);
+}
+
+inline void write_be32(std::span<std::byte> data, std::size_t offset,
+                       std::uint32_t value) {
+  if (offset + 4 > data.size()) throw std::out_of_range("write_be32");
+  data[offset] = static_cast<std::byte>(value >> 24);
+  data[offset + 1] = static_cast<std::byte>((value >> 16) & 0xFF);
+  data[offset + 2] = static_cast<std::byte>((value >> 8) & 0xFF);
+  data[offset + 3] = static_cast<std::byte>(value & 0xFF);
+}
+
+}  // namespace wirecap::net

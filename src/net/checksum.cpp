@@ -1,0 +1,27 @@
+#include "net/checksum.hpp"
+
+namespace wirecap::net {
+
+std::uint64_t checksum_partial(std::span<const std::byte> data,
+                               std::uint64_t sum) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint64_t>(data[i]) << 8) |
+           static_cast<std::uint64_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint64_t>(data[i]) << 8;  // odd trailing byte
+  }
+  return sum;
+}
+
+std::uint16_t finish_checksum(std::uint64_t sum) {
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) {
+  return finish_checksum(checksum_partial(data));
+}
+
+}  // namespace wirecap::net

@@ -1,0 +1,22 @@
+// RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace wirecap::net {
+
+/// Sums 16-bit big-endian words (with end-around carry deferred); use
+/// finish_checksum to fold and complement.  Exposed so the pseudo-header
+/// sum for TCP/UDP can be accumulated across discontiguous regions.
+[[nodiscard]] std::uint64_t checksum_partial(std::span<const std::byte> data,
+                                             std::uint64_t sum = 0);
+
+/// Folds a partial sum into the final one's-complement checksum.
+[[nodiscard]] std::uint16_t finish_checksum(std::uint64_t sum);
+
+/// One-shot checksum over a contiguous region.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::byte> data);
+
+}  // namespace wirecap::net

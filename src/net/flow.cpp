@@ -1,0 +1,20 @@
+#include "net/flow.hpp"
+
+#include <cstdio>
+
+namespace wirecap::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+std::string FlowKey::to_string() const {
+  return std::string(wirecap::net::to_string(proto)) + " " +
+         src_ip.to_string() + ":" + std::to_string(src_port) + " -> " +
+         dst_ip.to_string() + ":" + std::to_string(dst_port);
+}
+
+}  // namespace wirecap::net

@@ -1,0 +1,95 @@
+// Flow identity: the IP 5-tuple.  The NIC's per-flow traffic steering
+// ("a flow is defined by one or more fields of the IP 5-tuple") hashes
+// this key; application logic requires all packets of one flow to reach
+// one application.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wirecap::net {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+[[nodiscard]] constexpr const char* to_string(IpProto proto) {
+  switch (proto) {
+    case IpProto::kIcmp: return "icmp";
+    case IpProto::kTcp: return "tcp";
+    case IpProto::kUdp: return "udp";
+  }
+  return "?";
+}
+
+/// IPv4 address in host byte order with dotted-quad formatting.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) |
+               static_cast<std::uint32_t>(d)) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// True when this address lies inside `prefix`/`prefix_len`.
+  [[nodiscard]] constexpr bool in_prefix(Ipv4Addr prefix,
+                                         unsigned prefix_len) const {
+    if (prefix_len == 0) return true;
+    const std::uint32_t mask = prefix_len >= 32
+                                   ? 0xFFFFFFFFu
+                                   : ~((1u << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (prefix.value_ & mask);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct FlowKey {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kTcp;
+
+  constexpr auto operator<=>(const FlowKey&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// A stable 64-bit mix of the 5-tuple for hash containers (NOT the RSS
+  /// Toeplitz hash — that lives in nic/rss.hpp and is computed exactly as
+  /// the NIC does).
+  [[nodiscard]] constexpr std::uint64_t mix() const {
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    auto mix_in = [&h](std::uint64_t v) {
+      h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    };
+    mix_in(src_ip.value());
+    mix_in(dst_ip.value());
+    mix_in((static_cast<std::uint64_t>(src_port) << 32) | dst_port);
+    mix_in(static_cast<std::uint64_t>(proto));
+    return h;
+  }
+};
+
+}  // namespace wirecap::net
+
+template <>
+struct std::hash<wirecap::net::FlowKey> {
+  std::size_t operator()(const wirecap::net::FlowKey& key) const noexcept {
+    return static_cast<std::size_t>(key.mix());
+  }
+};

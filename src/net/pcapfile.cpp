@@ -1,0 +1,138 @@
+#include "net/pcapfile.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace wirecap::net {
+
+namespace {
+
+// On-disk structures are written field-by-field in host order (pcap
+// files carry their own byte-order marker, the magic).
+void put32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void put16(std::ofstream& out, std::uint16_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool get32(std::ifstream& in, std::uint32_t& v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(&v), sizeof(v)));
+}
+bool get16(std::ifstream& in, std::uint16_t& v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(&v), sizeof(v)));
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::filesystem::path& path, std::uint32_t snaplen,
+                       bool nanosecond)
+    : out_(path, std::ios::binary | std::ios::trunc), nanosecond_(nanosecond) {
+  if (!out_) {
+    throw std::runtime_error("PcapWriter: cannot open " + path.string());
+  }
+  put32(out_, nanosecond_ ? kPcapMagicNanos : kPcapMagicMicros);
+  put16(out_, 2);  // version major
+  put16(out_, 4);  // version minor
+  put32(out_, 0);  // thiszone
+  put32(out_, 0);  // sigfigs
+  put32(out_, snaplen);
+  put32(out_, kLinktypeEthernet);
+}
+
+void PcapWriter::write(Nanos timestamp, std::span<const std::byte> data,
+                       std::uint32_t orig_len) {
+  const auto total_ns = timestamp.count();
+  if (total_ns < 0) throw std::invalid_argument("PcapWriter: negative time");
+  const auto secs = static_cast<std::uint32_t>(total_ns / 1'000'000'000);
+  const auto frac_ns = static_cast<std::uint32_t>(total_ns % 1'000'000'000);
+  put32(out_, secs);
+  put32(out_, nanosecond_ ? frac_ns : frac_ns / 1000);
+  put32(out_, static_cast<std::uint32_t>(data.size()));
+  put32(out_, orig_len);
+  out_.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  if (!out_) throw std::runtime_error("PcapWriter: write failed");
+  ++records_;
+}
+
+void PcapWriter::flush() { out_.flush(); }
+
+PcapReader::PcapReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) {
+    throw std::runtime_error("PcapReader: cannot open " + path.string());
+  }
+  std::uint32_t magic = 0;
+  if (!get32(in_, magic)) throw std::runtime_error("PcapReader: empty file");
+  switch (magic) {
+    case kPcapMagicMicros: nanosecond_ = false; swapped_ = false; break;
+    case kPcapMagicNanos: nanosecond_ = true; swapped_ = false; break;
+    case 0xD4C3B2A1: nanosecond_ = false; swapped_ = true; break;
+    case 0x4D3CB2A1: nanosecond_ = true; swapped_ = true; break;
+    default:
+      throw std::runtime_error("PcapReader: bad magic");
+  }
+  std::uint16_t major = 0, minor = 0;
+  std::uint32_t thiszone = 0, sigfigs = 0;
+  if (!get16(in_, major) || !get16(in_, minor) || !get32(in_, thiszone) ||
+      !get32(in_, sigfigs) || !get32(in_, snaplen_) || !get32(in_, linktype_)) {
+    throw std::runtime_error("PcapReader: truncated header");
+  }
+  snaplen_ = fix32(snaplen_);
+  linktype_ = fix32(linktype_);
+}
+
+namespace {
+constexpr std::uint32_t bswap32(std::uint32_t v) {
+  return (v << 24) | ((v << 8) & 0x00FF0000u) | ((v >> 8) & 0x0000FF00u) |
+         (v >> 24);
+}
+constexpr std::uint16_t bswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+}  // namespace
+
+std::uint32_t PcapReader::fix32(std::uint32_t v) const {
+  return swapped_ ? bswap32(v) : v;
+}
+std::uint16_t PcapReader::fix16(std::uint16_t v) const {
+  return swapped_ ? bswap16(v) : v;
+}
+
+std::optional<PcapRecord> PcapReader::next() {
+  std::uint32_t secs = 0;
+  if (!get32(in_, secs)) return std::nullopt;  // clean EOF
+  std::uint32_t frac = 0, incl_len = 0, orig_len = 0;
+  if (!get32(in_, frac) || !get32(in_, incl_len) || !get32(in_, orig_len)) {
+    throw std::runtime_error("PcapReader: truncated record header");
+  }
+  secs = fix32(secs);
+  frac = fix32(frac);
+  incl_len = fix32(incl_len);
+  orig_len = fix32(orig_len);
+  if (incl_len > (1u << 26)) {
+    throw std::runtime_error("PcapReader: implausible record length");
+  }
+  PcapRecord record;
+  const std::int64_t ns =
+      static_cast<std::int64_t>(secs) * 1'000'000'000 +
+      static_cast<std::int64_t>(nanosecond_ ? frac : frac * 1000ULL);
+  record.timestamp = Nanos{ns};
+  record.orig_len = orig_len;
+  record.data.resize(incl_len);
+  if (!in_.read(reinterpret_cast<char*>(record.data.data()),
+                static_cast<std::streamsize>(incl_len))) {
+    throw std::runtime_error("PcapReader: truncated record body");
+  }
+  return record;
+}
+
+std::vector<PcapRecord> PcapReader::read_all() {
+  std::vector<PcapRecord> records;
+  while (auto record = next()) records.push_back(std::move(*record));
+  return records;
+}
+
+}  // namespace wirecap::net

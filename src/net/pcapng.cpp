@@ -1,0 +1,268 @@
+#include "net/pcapng.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace wirecap::net {
+
+namespace {
+
+constexpr std::uint32_t pad4(std::uint32_t n) { return (n + 3u) & ~3u; }
+
+constexpr std::uint32_t bswap32(std::uint32_t v) {
+  return (v << 24) | ((v << 8) & 0x00FF0000u) | ((v >> 8) & 0x0000FF00u) |
+         (v >> 24);
+}
+
+}  // namespace
+
+// --- writer ---
+
+void PcapngWriter::put32(std::uint32_t value) {
+  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void PcapngWriter::put16(std::uint16_t value) {
+  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void PcapngWriter::put_option(std::uint16_t code,
+                              std::span<const std::byte> value) {
+  put16(code);
+  put16(static_cast<std::uint16_t>(value.size()));
+  out_.write(reinterpret_cast<const char*>(value.data()),
+             static_cast<std::streamsize>(value.size()));
+  const std::uint32_t padding =
+      pad4(static_cast<std::uint32_t>(value.size())) -
+      static_cast<std::uint32_t>(value.size());
+  const char zeros[4] = {};
+  out_.write(zeros, padding);
+}
+
+void PcapngWriter::put_end_of_options() {
+  put16(0);  // opt_endofopt
+  put16(0);
+}
+
+PcapngWriter::PcapngWriter(const std::filesystem::path& path,
+                           std::uint32_t snaplen, const std::string& hardware,
+                           const std::string& application)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("PcapngWriter: cannot open " + path.string());
+  }
+  const auto string_option = [](const std::string& text) {
+    return std::span<const std::byte>{
+        reinterpret_cast<const std::byte*>(text.data()), text.size()};
+  };
+
+  // Section Header Block: type, length, byte-order magic, version 1.0,
+  // section length -1 (unknown), options shb_hardware / shb_userappl.
+  // Each option is a 4-byte header plus the 4-byte-padded value; the
+  // list ends with the 4-byte opt_endofopt.
+  const std::uint32_t shb_options =
+      4 + pad4(static_cast<std::uint32_t>(hardware.size())) +
+      4 + pad4(static_cast<std::uint32_t>(application.size())) + 4;
+  const std::uint32_t shb_len = 28 + shb_options;
+  put32(kPcapngShbType);
+  put32(shb_len);
+  put32(kPcapngByteOrderMagic);
+  put16(1);  // major
+  put16(0);  // minor
+  put32(0xFFFFFFFFu);  // section length, low  (-1)
+  put32(0xFFFFFFFFu);  // section length, high
+  put_option(2, string_option(hardware));      // shb_hardware
+  put_option(4, string_option(application));   // shb_userappl
+  put_end_of_options();
+  put32(shb_len);
+
+  // Interface Description Block: Ethernet, with if_tsresol = 9
+  // (nanoseconds).
+  const std::uint8_t tsresol = 9;
+  const std::uint32_t idb_options = 8 /*tsresol padded*/ + 4 /*end*/;
+  const std::uint32_t idb_len = 20 + idb_options;
+  put32(kPcapngIdbType);
+  put32(idb_len);
+  put16(1);  // LINKTYPE_ETHERNET
+  put16(0);  // reserved
+  put32(snaplen);
+  put_option(9, std::span<const std::byte>{
+                    reinterpret_cast<const std::byte*>(&tsresol), 1});
+  put_end_of_options();
+  put32(idb_len);
+}
+
+void PcapngWriter::write(Nanos timestamp, std::span<const std::byte> data,
+                         std::uint32_t orig_len, std::uint32_t interface_id) {
+  if (timestamp.count() < 0) {
+    throw std::invalid_argument("PcapngWriter: negative timestamp");
+  }
+  const auto ts = static_cast<std::uint64_t>(timestamp.count());
+  const auto captured = static_cast<std::uint32_t>(data.size());
+  const std::uint32_t block_len = 32 + pad4(captured);
+
+  put32(kPcapngEpbType);
+  put32(block_len);
+  put32(interface_id);
+  put32(static_cast<std::uint32_t>(ts >> 32));
+  put32(static_cast<std::uint32_t>(ts & 0xFFFFFFFFu));
+  put32(captured);
+  put32(orig_len);
+  out_.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(captured));
+  const char zeros[4] = {};
+  out_.write(zeros, pad4(captured) - captured);
+  put32(block_len);
+  if (!out_) throw std::runtime_error("PcapngWriter: write failed");
+  ++records_;
+}
+
+void PcapngWriter::flush() { out_.flush(); }
+
+// --- reader ---
+
+PcapngReader::PcapngReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) {
+    throw std::runtime_error("PcapngReader: cannot open " + path.string());
+  }
+  // Peek at the SHB to learn the byte order before general block parsing.
+  std::uint32_t type = 0, body_magic = 0;
+  char header[12];
+  if (!in_.read(header, sizeof(header))) {
+    throw std::runtime_error("PcapngReader: truncated SHB");
+  }
+  std::memcpy(&type, header, 4);
+  std::memcpy(&body_magic, header + 8, 4);
+  if (type != kPcapngShbType) {
+    throw std::runtime_error("PcapngReader: not a pcapng file");
+  }
+  if (body_magic == kPcapngByteOrderMagic) {
+    swapped_ = false;
+  } else if (bswap32(body_magic) == kPcapngByteOrderMagic) {
+    swapped_ = true;
+  } else {
+    throw std::runtime_error("PcapngReader: bad byte-order magic");
+  }
+  // Rewind and let the block loop consume the SHB properly.
+  in_.seekg(0);
+  std::vector<std::byte> body;
+  if (!read_block(type, body) || type != kPcapngShbType) {
+    throw std::runtime_error("PcapngReader: SHB re-read failed");
+  }
+  // Extract shb_hardware (option 2) if present: options start at byte 16
+  // of the SHB body (after magic, version and section length).
+  std::size_t offset = 16;
+  while (offset + 4 <= body.size()) {
+    std::uint16_t code, length;
+    std::memcpy(&code, body.data() + offset, 2);
+    std::memcpy(&length, body.data() + offset + 2, 2);
+    if (swapped_) {
+      code = static_cast<std::uint16_t>((code << 8) | (code >> 8));
+      length = static_cast<std::uint16_t>((length << 8) | (length >> 8));
+    }
+    if (code == 0) break;
+    if (code == 2 && offset + 4 + length <= body.size()) {
+      hardware_.assign(reinterpret_cast<const char*>(body.data()) + offset + 4,
+                       length);
+    }
+    offset += 4 + pad4(length);
+  }
+}
+
+std::uint32_t PcapngReader::get32(std::span<const std::byte> data,
+                                  std::size_t offset) const {
+  if (offset + 4 > data.size()) {
+    throw std::runtime_error("PcapngReader: short block");
+  }
+  std::uint32_t value;
+  std::memcpy(&value, data.data() + offset, 4);
+  return swapped_ ? bswap32(value) : value;
+}
+
+bool PcapngReader::read_block(std::uint32_t& type,
+                              std::vector<std::byte>& body) {
+  std::uint32_t raw_type = 0, raw_len = 0;
+  if (!in_.read(reinterpret_cast<char*>(&raw_type), 4)) return false;
+  if (!in_.read(reinterpret_cast<char*>(&raw_len), 4)) {
+    throw std::runtime_error("PcapngReader: truncated block header");
+  }
+  type = swapped_ ? bswap32(raw_type) : raw_type;
+  const std::uint32_t total = swapped_ ? bswap32(raw_len) : raw_len;
+  if (total < 12 || total > (1u << 26) || (total & 3) != 0) {
+    throw std::runtime_error("PcapngReader: implausible block length");
+  }
+  body.resize(total - 12);
+  if (!in_.read(reinterpret_cast<char*>(body.data()),
+                static_cast<std::streamsize>(body.size()))) {
+    throw std::runtime_error("PcapngReader: truncated block body");
+  }
+  std::uint32_t trailer = 0;
+  if (!in_.read(reinterpret_cast<char*>(&trailer), 4)) {
+    throw std::runtime_error("PcapngReader: missing block trailer");
+  }
+  if ((swapped_ ? bswap32(trailer) : trailer) != total) {
+    throw std::runtime_error("PcapngReader: trailer/length mismatch");
+  }
+  return true;
+}
+
+std::optional<PcapngRecord> PcapngReader::next() {
+  std::uint32_t type = 0;
+  std::vector<std::byte> body;
+  while (read_block(type, body)) {
+    if (type == kPcapngIdbType) {
+      // Record the interface's timestamp resolution (default 10^-6).
+      std::uint32_t digits = 6;
+      std::size_t offset = 8;  // linktype+reserved+snaplen
+      while (offset + 4 <= body.size()) {
+        std::uint16_t code, length;
+        std::memcpy(&code, body.data() + offset, 2);
+        std::memcpy(&length, body.data() + offset + 2, 2);
+        if (swapped_) {
+          code = static_cast<std::uint16_t>((code << 8) | (code >> 8));
+          length = static_cast<std::uint16_t>((length << 8) | (length >> 8));
+        }
+        if (code == 0) break;
+        if (code == 9 && length >= 1 && offset + 4 < body.size()) {
+          const auto tsresol = static_cast<std::uint8_t>(body[offset + 4]);
+          if ((tsresol & 0x80) == 0) digits = tsresol;
+        }
+        offset += 4 + pad4(length);
+      }
+      tsresol_digits_.push_back(digits);
+      ++interfaces_seen_;
+      continue;
+    }
+    if (type != kPcapngEpbType) continue;  // skip unknown blocks
+
+    PcapngRecord record;
+    record.interface_id = get32(body, 0);
+    const std::uint64_t ts =
+        (static_cast<std::uint64_t>(get32(body, 4)) << 32) | get32(body, 8);
+    const std::uint32_t captured = get32(body, 12);
+    record.orig_len = get32(body, 16);
+    if (20 + captured > body.size()) {
+      throw std::runtime_error("PcapngReader: EPB data overruns block");
+    }
+    record.data.assign(body.begin() + 20,
+                       body.begin() + 20 + static_cast<std::ptrdiff_t>(captured));
+    const std::uint32_t digits =
+        record.interface_id < tsresol_digits_.size()
+            ? tsresol_digits_[record.interface_id]
+            : 6;
+    std::uint64_t to_nanos = 1;
+    for (std::uint32_t d = digits; d < 9; ++d) to_nanos *= 10;
+    record.timestamp = Nanos{static_cast<std::int64_t>(ts * to_nanos)};
+    return record;
+  }
+  return std::nullopt;
+}
+
+std::vector<PcapngRecord> PcapngReader::read_all() {
+  std::vector<PcapngRecord> records;
+  while (auto record = next()) records.push_back(std::move(*record));
+  return records;
+}
+
+}  // namespace wirecap::net

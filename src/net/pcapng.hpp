@@ -1,0 +1,97 @@
+// pcapng (pcap next generation) writer and reader for the block subset
+// every tool understands: Section Header Block, Interface Description
+// Block, and Enhanced Packet Blocks.  Implemented from the pcapng
+// specification (draft-ietf-opsawg-pcapng); no libpcap dependency.
+//
+// Files are written in host byte order with the standard byte-order
+// magic, nanosecond timestamp resolution (if_tsresol = 9), and are
+// readable by wireshark/tshark/tcpdump.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+
+namespace wirecap::net {
+
+inline constexpr std::uint32_t kPcapngShbType = 0x0A0D0D0A;
+inline constexpr std::uint32_t kPcapngIdbType = 0x00000001;
+inline constexpr std::uint32_t kPcapngEpbType = 0x00000006;
+inline constexpr std::uint32_t kPcapngByteOrderMagic = 0x1A2B3C4D;
+
+struct PcapngRecord {
+  std::uint32_t interface_id = 0;
+  Nanos timestamp;
+  std::uint32_t orig_len = 0;
+  std::vector<std::byte> data;
+};
+
+class PcapngWriter {
+ public:
+  /// Creates/truncates `path`, writing the SHB and one Ethernet IDB.
+  /// `hardware`/`application` fill the SHB options (shown by wireshark
+  /// in the capture properties).
+  explicit PcapngWriter(const std::filesystem::path& path,
+                        std::uint32_t snaplen = 65535,
+                        const std::string& hardware = "WireCAP simulated NIC",
+                        const std::string& application = "wirecap");
+
+  /// Appends an Enhanced Packet Block.
+  void write(Nanos timestamp, std::span<const std::byte> data,
+             std::uint32_t orig_len, std::uint32_t interface_id = 0);
+
+  void write(const WirePacket& packet) {
+    write(packet.timestamp(), packet.bytes(), packet.wire_len());
+  }
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  void flush();
+
+ private:
+  void put32(std::uint32_t value);
+  void put16(std::uint16_t value);
+  void put_option(std::uint16_t code, std::span<const std::byte> value);
+  void put_end_of_options();
+
+  std::ofstream out_;
+  std::uint64_t records_ = 0;
+};
+
+class PcapngReader {
+ public:
+  explicit PcapngReader(const std::filesystem::path& path);
+
+  /// Next Enhanced Packet Block (other block types are skipped);
+  /// nullopt at end of section/file.  Throws std::runtime_error on a
+  /// corrupt file.
+  std::optional<PcapngRecord> next();
+
+  std::vector<PcapngRecord> read_all();
+
+  [[nodiscard]] std::uint32_t interfaces_seen() const {
+    return interfaces_seen_;
+  }
+  [[nodiscard]] const std::string& hardware() const { return hardware_; }
+
+ private:
+  bool read_block(std::uint32_t& type, std::vector<std::byte>& body);
+  [[nodiscard]] std::uint32_t get32(std::span<const std::byte> data,
+                                    std::size_t offset) const;
+
+  std::ifstream in_;
+  bool swapped_ = false;
+  std::uint32_t interfaces_seen_ = 0;
+  /// tsresol power-of-10 divisor per interface (we write 9; readers of
+  /// foreign files may see 6).
+  std::vector<std::uint32_t> tsresol_digits_;
+  std::string hardware_;
+};
+
+}  // namespace wirecap::net

@@ -1,0 +1,88 @@
+// Hardware traffic-steering policies (§6 Related work):
+//
+//   * RSS — the default: Toeplitz hash of the 5-tuple through the
+//     indirection table; per-flow, preserves application logic, but can
+//     concentrate flow groups on one queue (the paper's load imbalance).
+//   * Round-robin — spreads perfectly but breaks application logic
+//     ("packets belonging to the same flow can be delivered to different
+//     applications"); provided as the §2.3 strawman.
+//   * Flow Director — an exact-match flow table with an RSS fallback for
+//     misses; "typically not used in a packet capture environment
+//     because the traffic is unidirectional" but modelled for
+//     completeness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "net/rss.hpp"
+
+namespace wirecap::nic {
+
+class SteeringPolicy {
+ public:
+  virtual ~SteeringPolicy() = default;
+
+  /// Selects the receive queue in [0, num_queues) for `packet`.
+  [[nodiscard]] virtual std::uint32_t select_queue(
+      const net::WirePacket& packet, std::uint32_t num_queues) = 0;
+};
+
+class RssSteering final : public SteeringPolicy {
+ public:
+  [[nodiscard]] std::uint32_t select_queue(const net::WirePacket& packet,
+                                           std::uint32_t num_queues) override {
+    return net::rss_queue(packet.flow(), num_queues);
+  }
+};
+
+class RoundRobinSteering final : public SteeringPolicy {
+ public:
+  [[nodiscard]] std::uint32_t select_queue(const net::WirePacket&,
+                                           std::uint32_t num_queues) override {
+    return next_++ % num_queues;
+  }
+
+ private:
+  std::uint32_t next_ = 0;
+};
+
+/// Flow Director model: "maintains a flow table in the NIC to assign
+/// packets across queues"; unprogrammed flows fall back to RSS.  The
+/// table has finite capacity (the 82599 supports up to 32 K entries in
+/// its smallest-footprint mode); inserts beyond capacity are rejected.
+class FlowDirectorSteering final : public SteeringPolicy {
+ public:
+  explicit FlowDirectorSteering(std::size_t capacity = 32768)
+      : capacity_(capacity) {}
+
+  /// Programs an exact-match entry.  Returns false when the table is full.
+  bool program(const net::FlowKey& flow, std::uint32_t queue) {
+    if (table_.size() >= capacity_ && !table_.contains(flow)) return false;
+    table_[flow] = queue;
+    return true;
+  }
+
+  void remove(const net::FlowKey& flow) { table_.erase(flow); }
+  [[nodiscard]] std::size_t entries() const { return table_.size(); }
+
+  [[nodiscard]] std::uint32_t select_queue(const net::WirePacket& packet,
+                                           std::uint32_t num_queues) override {
+    if (const auto it = table_.find(packet.flow()); it != table_.end()) {
+      return it->second % num_queues;
+    }
+    return net::rss_queue(packet.flow(), num_queues);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<net::FlowKey, std::uint32_t> table_;
+};
+
+[[nodiscard]] inline std::unique_ptr<SteeringPolicy> make_rss_steering() {
+  return std::make_unique<RssSteering>();
+}
+
+}  // namespace wirecap::nic

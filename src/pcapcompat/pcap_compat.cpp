@@ -1,0 +1,93 @@
+#include "pcapcompat/pcap_compat.hpp"
+
+#include "bpf/codegen.hpp"
+#include "bpf/vm.hpp"
+
+namespace wirecap::pcap {
+
+PcapHandle::PcapHandle(sim::Scheduler& scheduler,
+                       engines::CaptureEngine& engine,
+                       nic::MultiQueueNic& nic, std::uint32_t queue,
+                       sim::SimCore& app_core)
+    : scheduler_(scheduler), engine_(engine), nic_(nic), queue_(queue) {
+  engine_.open(queue, app_core);
+}
+
+PcapHandle::~PcapHandle() { engine_.close(queue_); }
+
+bpf::Program PcapHandle::compile(const std::string& expression) {
+  return bpf::compile_filter(expression);
+}
+
+void PcapHandle::set_filter(bpf::Program program) {
+  const auto verified = bpf::verify(program);
+  if (!verified.ok) {
+    throw std::invalid_argument("set_filter: " + verified.error);
+  }
+  filter_ = std::move(program);
+  has_filter_ = true;
+}
+
+bool PcapHandle::step(const Handler& handler, int& handled) {
+  auto view = engine_.try_next(queue_);
+  if (!view) return false;
+
+  const bool matches =
+      !has_filter_ || bpf::matches(filter_, view->bytes, view->wire_len);
+  if (matches) {
+    PacketHeader header;
+    header.ts_ns = view->timestamp.count();
+    header.caplen = static_cast<std::uint32_t>(view->bytes.size());
+    header.len = view->wire_len;
+    in_flight_ = &*view;
+    injected_ = false;
+    handler(header, view->bytes);
+    const bool was_injected = injected_;
+    in_flight_ = nullptr;
+    ++matched_;
+    ++handled;
+    if (!was_injected) engine_.done(queue_, *view);
+  } else {
+    ++filtered_out_;
+    engine_.done(queue_, *view);
+  }
+  return true;
+}
+
+int PcapHandle::dispatch(int count, const Handler& handler) {
+  int handled = 0;
+  while ((count <= 0 || handled < count) && !break_) {
+    if (!step(handler, handled)) break;
+  }
+  return handled;
+}
+
+int PcapHandle::loop(int count, const Handler& handler) {
+  int handled = 0;
+  while ((count <= 0 || handled < count) && !break_) {
+    if (!step(handler, handled)) {
+      // Nothing available: advance the simulation (the "blocking wait").
+      if (!scheduler_.step()) break;  // simulation exhausted
+    }
+  }
+  return break_ ? -2 : handled;
+}
+
+int PcapHandle::inject(nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) {
+  if (in_flight_ == nullptr) return -1;
+  const auto bytes = static_cast<int>(in_flight_->bytes.size());
+  if (!engine_.forward(queue_, *in_flight_, out_nic, tx_queue)) return -1;
+  injected_ = true;
+  return bytes;
+}
+
+Stats PcapHandle::stats() const {
+  Stats stats;
+  stats.ps_recv = matched_ + filtered_out_;
+  const auto engine_stats = engine_.queue_stats(queue_);
+  stats.ps_drop = engine_stats.delivery_dropped;
+  stats.ps_ifdrop = nic_.rx_stats(queue_).dropped;
+  return stats;
+}
+
+}  // namespace wirecap::pcap

@@ -1,0 +1,106 @@
+// Libpcap-compatible interface (§3.3): "The user-mode library ...
+// provides a standard interface for low-level network access and allows
+// existing network monitoring applications to use WireCAP without
+// changes."
+//
+// The facade mirrors the libpcap call shapes — open / compile /
+// setfilter / dispatch / loop / stats / inject / close — over any
+// CaptureEngine (WireCAP or a baseline), with filters compiled by the
+// built-in BPF compiler and executed by the cBPF VM exactly as a kernel
+// socket filter would be.
+//
+// dispatch() is non-blocking (processes what is available); loop() runs
+// until `count` packets have been handled or breakloop() is called,
+// driving the simulation scheduler while it waits — the moral
+// equivalent of a blocking read.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "bpf/insn.hpp"
+#include "engines/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wirecap::pcap {
+
+/// Mirrors struct pcap_pkthdr.
+struct PacketHeader {
+  std::int64_t ts_ns = 0;     // capture timestamp
+  std::uint32_t caplen = 0;   // bytes available
+  std::uint32_t len = 0;      // original wire length
+};
+
+/// Mirrors struct pcap_stat.
+struct Stats {
+  std::uint64_t ps_recv = 0;    // packets received (delivered + filtered)
+  std::uint64_t ps_drop = 0;    // dropped for lack of buffer (delivery)
+  std::uint64_t ps_ifdrop = 0;  // dropped by the interface (capture)
+};
+
+using Handler =
+    std::function<void(const PacketHeader&, std::span<const std::byte>)>;
+
+class PcapHandle {
+ public:
+  /// Opens `queue` of the engine for "live" capture.  `app_core` is the
+  /// simulated core the reading application runs on.
+  PcapHandle(sim::Scheduler& scheduler, engines::CaptureEngine& engine,
+             nic::MultiQueueNic& nic, std::uint32_t queue,
+             sim::SimCore& app_core);
+  ~PcapHandle();
+
+  PcapHandle(const PcapHandle&) = delete;
+  PcapHandle& operator=(const PcapHandle&) = delete;
+
+  /// pcap_compile: builds a BPF program from a filter expression.
+  /// Throws bpf::ParseError / std::invalid_argument on a bad filter.
+  [[nodiscard]] static bpf::Program compile(const std::string& expression);
+
+  /// pcap_setfilter: only packets matching `program` reach the handler;
+  /// the rest are consumed and counted, as with a kernel filter.
+  void set_filter(bpf::Program program);
+
+  /// pcap_dispatch: processes up to `count` available packets (all
+  /// available if count <= 0) without blocking.  Returns the number
+  /// passed to the handler.
+  int dispatch(int count, const Handler& handler);
+
+  /// pcap_loop: handles packets until `count` have been delivered
+  /// (forever if count <= 0) or breakloop() is called, advancing the
+  /// simulation while idle.  Returns packets handled, or -2 if broken.
+  int loop(int count, const Handler& handler);
+
+  /// pcap_breakloop.
+  void breakloop() { break_ = true; }
+
+  /// pcap_inject / pcap_sendpacket: transmits the most recently
+  /// delivered packet (zero-copy forward) out `tx_queue` of `out_nic`.
+  /// Must be called from inside the handler.  Returns bytes sent or -1.
+  int inject(nic::MultiQueueNic& out_nic, std::uint32_t tx_queue);
+
+  /// pcap_stats.
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::uint32_t queue() const { return queue_; }
+
+ private:
+  bool step(const Handler& handler, int& handled);
+
+  sim::Scheduler& scheduler_;
+  engines::CaptureEngine& engine_;
+  nic::MultiQueueNic& nic_;
+  std::uint32_t queue_;
+  bpf::Program filter_;
+  bool has_filter_ = false;
+  bool break_ = false;
+  std::uint64_t matched_ = 0;
+  std::uint64_t filtered_out_ = 0;
+  // Set while inside the handler so inject() can forward the packet.
+  const engines::CaptureView* in_flight_ = nullptr;
+  bool injected_ = false;
+};
+
+}  // namespace wirecap::pcap

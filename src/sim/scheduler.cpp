@@ -1,0 +1,48 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace wirecap::sim {
+
+EventHandle Scheduler::schedule_at(Nanos when, Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Scheduler: cannot schedule in the past");
+  }
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{alive};
+  queue_.push(Event{when, next_seq_++, std::move(fn), std::move(alive)});
+  return handle;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::uint64_t Scheduler::run_until(Nanos deadline) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (step()) ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied cheaply (shared
+    // callback state) and popped before running so the callback may
+    // schedule freely.
+    Event event = queue_.top();
+    queue_.pop();
+    if (!*event.alive) continue;  // cancelled
+    now_ = event.when;
+    *event.alive = false;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace wirecap::sim

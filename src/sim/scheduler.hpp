@@ -1,0 +1,93 @@
+// Deterministic discrete-event scheduler.
+//
+// Every experiment in this reproduction runs on virtual time: packet
+// arrivals, DMA completions, capture-thread polls and application
+// processing are all events ordered by (timestamp, insertion sequence).
+// Ties are broken by insertion order, so runs are bit-for-bit repeatable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace wirecap::sim {
+
+/// Handle for a scheduled event; allows cancellation (e.g. a blocking
+/// capture whose timeout is pre-empted by packet arrival).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet.  Safe to call repeatedly
+  /// or on a default-constructed handle.
+  void cancel() {
+    if (auto alive = alive_.lock()) *alive = false;
+  }
+
+  [[nodiscard]] bool pending() const {
+    auto alive = alive_.lock();
+    return alive && *alive;
+  }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+
+  std::weak_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] Nanos now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `when` (>= now).
+  EventHandle schedule_at(Nanos when, Callback fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventHandle schedule_after(Nanos delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty.  Returns the number executed.
+  std::uint64_t run();
+
+  /// Runs events with timestamps <= `deadline`; afterwards now() ==
+  /// max(now, deadline).  Returns the number executed.
+  std::uint64_t run_until(Nanos deadline);
+
+  /// Executes the single next event, if any.  Returns false when empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = Nanos::zero();
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace wirecap::sim

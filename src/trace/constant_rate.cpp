@@ -1,0 +1,32 @@
+#include "trace/constant_rate.hpp"
+
+#include <stdexcept>
+
+namespace wirecap::trace {
+
+ConstantRateSource::ConstantRateSource(ConstantRateConfig config)
+    : config_(std::move(config)),
+      rate_(ethernet::wire_rate(config_.link_bits_per_second,
+                                config_.frame_bytes)) {
+  if (config_.flows.empty()) {
+    throw std::invalid_argument("ConstantRateSource: need at least one flow");
+  }
+}
+
+std::optional<net::WirePacket> ConstantRateSource::next() {
+  if (emitted_ >= config_.packet_count) return std::nullopt;
+  // Integer arithmetic on the cumulative schedule avoids drift: packet i
+  // departs at start + i / rate.
+  const double interval_ns = 1e9 / rate_.per_second();
+  const Nanos when =
+      config_.start + Nanos{static_cast<std::int64_t>(
+                          static_cast<double>(emitted_) * interval_ns)};
+  const net::FlowKey& flow = config_.flows[emitted_ % config_.flows.size()];
+  net::WirePacket packet = net::WirePacket::make(
+      when, flow, config_.frame_bytes, emitted_,
+      static_cast<std::uint16_t>(emitted_ & 0xFFFF));
+  ++emitted_;
+  return packet;
+}
+
+}  // namespace wirecap::trace

@@ -1,0 +1,54 @@
+// Constant-rate traffic: "the traffic generator transmits P 64-byte
+// packets at the wire rate (14.88 million p/s)" — the workload of
+// Figures 8-10 and 14.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/flow.hpp"
+#include "trace/source.hpp"
+
+namespace wirecap::trace {
+
+struct ConstantRateConfig {
+  /// Number of packets to emit.
+  std::uint64_t packet_count = 1000;
+
+  /// Frame size in bytes (incl. FCS); 64 for minimum-size frames.
+  std::uint32_t frame_bytes = 64;
+
+  /// Link speed; packets are spaced at the exact wire rate for
+  /// frame_bytes on this link.
+  double link_bits_per_second = 10e9;
+
+  /// Flows to cycle through round-robin.  One flow keeps all packets on
+  /// one receive queue (the single-queue experiments); several flows
+  /// chosen per-queue spread the load.  Must be non-empty.
+  std::vector<net::FlowKey> flows;
+
+  /// Emission start time.
+  Nanos start = Nanos::zero();
+};
+
+class ConstantRateSource final : public TrafficSource {
+ public:
+  explicit ConstantRateSource(ConstantRateConfig config);
+
+  std::optional<net::WirePacket> next() override;
+
+  [[nodiscard]] std::uint64_t expected_packets() const override {
+    return config_.packet_count;
+  }
+
+  [[nodiscard]] Rate rate() const { return rate_; }
+
+ private:
+  ConstantRateConfig config_;
+  Rate rate_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace wirecap::trace

@@ -1,0 +1,70 @@
+#include "trace/flow_gen.hpp"
+
+#include <array>
+
+#include "net/rss.hpp"
+
+namespace wirecap::trace {
+
+namespace {
+
+// Source prefixes seen at the simulated border router.  131.225.0.0/16
+// is Fermilab's own block; the paper's experiment filter selects
+// "131.225.2 and udp".
+constexpr std::array<net::Ipv4Addr, 6> kSrcNets = {
+    net::Ipv4Addr{131, 225, 2, 0},  net::Ipv4Addr{131, 225, 107, 0},
+    net::Ipv4Addr{192, 5, 40, 0},   net::Ipv4Addr{128, 227, 56, 0},
+    net::Ipv4Addr{141, 142, 20, 0}, net::Ipv4Addr{198, 32, 44, 0},
+};
+constexpr std::array<net::Ipv4Addr, 4> kDstNets = {
+    net::Ipv4Addr{131, 225, 70, 0}, net::Ipv4Addr{131, 225, 2, 0},
+    net::Ipv4Addr{144, 92, 181, 0}, net::Ipv4Addr{134, 79, 16, 0},
+};
+constexpr std::array<std::uint16_t, 6> kServicePorts = {80, 443, 22,
+                                                        2811, 8443, 1094};
+
+}  // namespace
+
+net::FlowKey random_flow(Xoshiro256& rng, double udp_fraction) {
+  net::FlowKey flow;
+  const auto src_net = kSrcNets[rng.next_below(kSrcNets.size())];
+  const auto dst_net = kDstNets[rng.next_below(kDstNets.size())];
+  flow.src_ip = net::Ipv4Addr{static_cast<std::uint32_t>(
+      src_net.value() | rng.next_in(1, 254))};
+  flow.dst_ip = net::Ipv4Addr{static_cast<std::uint32_t>(
+      dst_net.value() | rng.next_in(1, 254))};
+  flow.proto = rng.next_bool(udp_fraction) ? net::IpProto::kUdp
+                                           : net::IpProto::kTcp;
+  flow.src_port = static_cast<std::uint16_t>(rng.next_in(32768, 60999));
+  flow.dst_port = kServicePorts[rng.next_below(kServicePorts.size())];
+  return flow;
+}
+
+net::FlowKey flow_for_queue(Xoshiro256& rng, std::uint32_t queue,
+                            std::uint32_t num_queues, double udp_fraction) {
+  while (true) {
+    const net::FlowKey flow = random_flow(rng, udp_fraction);
+    if (net::rss_queue(flow, num_queues) == queue) return flow;
+  }
+}
+
+std::vector<net::FlowKey> flows_for_queue(Xoshiro256& rng, std::uint32_t queue,
+                                          std::uint32_t num_queues,
+                                          std::size_t count,
+                                          double udp_fraction) {
+  std::vector<net::FlowKey> flows;
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    flows.push_back(flow_for_queue(rng, queue, num_queues, udp_fraction));
+  }
+  return flows;
+}
+
+std::uint32_t sample_frame_size(Xoshiro256& rng) {
+  const double u = rng.next_double();
+  if (u < 0.50) return static_cast<std::uint32_t>(rng.next_in(64, 100));
+  if (u < 0.60) return static_cast<std::uint32_t>(rng.next_in(260, 640));
+  return static_cast<std::uint32_t>(rng.next_in(1400, 1518));
+}
+
+}  // namespace wirecap::trace

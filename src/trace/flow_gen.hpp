@@ -1,0 +1,42 @@
+// Flow synthesis utilities, RSS-aware.
+//
+// The paper's long-term load imbalance arises from "an uneven
+// distribution of flow groups in the NIC": per-flow steering pins each
+// flow to the queue its Toeplitz hash selects, and flow *groups* (sets of
+// flows sharing a queue) carry very different loads.  To reproduce a
+// specific imbalance shape we synthesize flows and *select* them by the
+// queue the real RSS hash assigns them to — the steering itself is never
+// faked.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/flow.hpp"
+
+namespace wirecap::trace {
+
+/// Generates a random plausible border-router flow: TCP or UDP, source
+/// in one of a handful of /24s (including the paper's 131.225.2.0/24),
+/// ephemeral ports.
+[[nodiscard]] net::FlowKey random_flow(Xoshiro256& rng,
+                                       double udp_fraction = 0.15);
+
+/// Generates a flow that the default RSS configuration steers to
+/// `queue` out of `num_queues` (rejection-samples random flows through
+/// the real Toeplitz hash; expected num_queues tries).
+[[nodiscard]] net::FlowKey flow_for_queue(Xoshiro256& rng, std::uint32_t queue,
+                                          std::uint32_t num_queues,
+                                          double udp_fraction = 0.15);
+
+/// Generates `count` distinct flows steered to `queue`.
+[[nodiscard]] std::vector<net::FlowKey> flows_for_queue(
+    Xoshiro256& rng, std::uint32_t queue, std::uint32_t num_queues,
+    std::size_t count, double udp_fraction = 0.15);
+
+/// Samples a realistic frame size (bytes incl. FCS): the classic
+/// trimodal internet mix — ~50% minimum-size, ~10% mid, ~40% MTU-size.
+[[nodiscard]] std::uint32_t sample_frame_size(Xoshiro256& rng);
+
+}  // namespace wirecap::trace

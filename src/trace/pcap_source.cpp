@@ -1,0 +1,101 @@
+#include "trace/pcap_source.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "net/pcapfile.hpp"
+#include "net/pcapng.hpp"
+
+namespace wirecap::trace {
+
+namespace {
+
+[[nodiscard]] bool file_is_pcapng(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::uint32_t magic = 0;
+  if (!in.read(reinterpret_cast<char*>(&magic), sizeof(magic))) return false;
+  return magic == net::kPcapngShbType;
+}
+
+class PcapReplaySource final : public TrafficSource {
+ public:
+  explicit PcapReplaySource(const PcapReplayConfig& config)
+      : config_(config) {
+    if (config.speedup <= 0.0) {
+      throw std::invalid_argument("PcapReplaySource: speedup must be > 0");
+    }
+    if (config.loops == 0) {
+      throw std::invalid_argument("PcapReplaySource: loops must be >= 1");
+    }
+    if (file_is_pcapng(config.path)) {
+      net::PcapngReader reader{config.path};
+      while (auto record = reader.next()) {
+        records_.push_back(net::PcapRecord{record->timestamp,
+                                           record->orig_len,
+                                           std::move(record->data)});
+      }
+    } else {
+      net::PcapReader reader{config.path};
+      records_ = reader.read_all();
+    }
+    if (records_.empty()) {
+      throw std::runtime_error("PcapReplaySource: file has no packets");
+    }
+    base_ = records_.front().timestamp;
+    span_ = records_.back().timestamp - base_;
+    // Loop gap: the mean inter-packet gap of the recording.
+    loop_gap_ = records_.size() > 1
+                    ? Nanos{span_.count() /
+                            static_cast<std::int64_t>(records_.size() - 1)}
+                    : Nanos::from_micros(1);
+  }
+
+  std::optional<net::WirePacket> next() override {
+    if (loop_ >= config_.loops) return std::nullopt;
+    const net::PcapRecord& record = records_[index_];
+    const Nanos offset{static_cast<std::int64_t>(
+        static_cast<double>((record.timestamp - base_).count()) /
+        config_.speedup)};
+    const Nanos loop_base{static_cast<std::int64_t>(
+        static_cast<double>(loop_) *
+        (static_cast<double>((span_ + loop_gap_).count()) /
+         config_.speedup))};
+    const Nanos when = config_.start + loop_base + offset;
+
+    const auto wire_len = std::max<std::uint32_t>(
+        record.orig_len, static_cast<std::uint32_t>(record.data.size()));
+    net::WirePacket packet =
+        net::WirePacket::from_bytes(when, record.data, wire_len, seq_);
+    ++seq_;
+    if (++index_ >= records_.size()) {
+      index_ = 0;
+      ++loop_;
+    }
+    return packet;
+  }
+
+  [[nodiscard]] std::uint64_t expected_packets() const override {
+    return records_.size() * config_.loops;
+  }
+
+ private:
+  PcapReplayConfig config_;
+  std::vector<net::PcapRecord> records_;
+  Nanos base_{};
+  Nanos span_{};
+  Nanos loop_gap_{};
+  std::size_t index_ = 0;
+  unsigned loop_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficSource> make_pcap_replay_source(
+    const PcapReplayConfig& config) {
+  return std::make_unique<PcapReplaySource>(config);
+}
+
+}  // namespace wirecap::trace

@@ -1,0 +1,41 @@
+#include "trace/source.hpp"
+
+namespace wirecap::trace {
+
+namespace {
+
+class ReplaySource final : public TrafficSource {
+ public:
+  explicit ReplaySource(const std::vector<net::WirePacket>& packets)
+      : packets_(packets) {}
+
+  std::optional<net::WirePacket> next() override {
+    if (index_ >= packets_.size()) return std::nullopt;
+    return packets_[index_++];
+  }
+
+  [[nodiscard]] std::uint64_t expected_packets() const override {
+    return packets_.size();
+  }
+
+ private:
+  const std::vector<net::WirePacket>& packets_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+RecordedTrace RecordedTrace::record(TrafficSource& source) {
+  std::vector<net::WirePacket> packets;
+  if (const auto expected = source.expected_packets(); expected > 0) {
+    packets.reserve(expected);
+  }
+  while (auto packet = source.next()) packets.push_back(std::move(*packet));
+  return RecordedTrace{std::move(packets)};
+}
+
+std::unique_ptr<TrafficSource> RecordedTrace::replay() const {
+  return std::make_unique<ReplaySource>(packets_);
+}
+
+}  // namespace wirecap::trace

@@ -1,0 +1,37 @@
+#include "trace/trace_stats.hpp"
+
+#include <unordered_set>
+
+#include "net/rss.hpp"
+
+namespace wirecap::trace {
+
+TraceStats analyze(TrafficSource& source, std::uint32_t num_queues,
+                   Nanos bin_width) {
+  TraceStats stats;
+  stats.per_queue.reserve(num_queues);
+  for (std::uint32_t q = 0; q < num_queues; ++q) {
+    stats.per_queue.emplace_back(bin_width);
+  }
+  stats.queue_totals.assign(num_queues, 0);
+
+  std::unordered_set<net::FlowKey> flows;
+  bool first = true;
+  while (auto packet = source.next()) {
+    if (first) {
+      stats.first_timestamp = packet->timestamp();
+      first = false;
+    }
+    stats.last_timestamp = packet->timestamp();
+    ++stats.total_packets;
+    stats.total_bytes += packet->wire_len();
+    const std::uint32_t queue = net::rss_queue(packet->flow(), num_queues);
+    stats.per_queue[queue].record(packet->timestamp());
+    ++stats.queue_totals[queue];
+    flows.insert(packet->flow());
+  }
+  stats.flow_count = flows.size();
+  return stats;
+}
+
+}  // namespace wirecap::trace

@@ -1,0 +1,43 @@
+// Offline trace statistics: per-queue binned arrival series and flow
+// accounting, computed by steering each packet through the real RSS
+// hash.  queue_profiler-style analysis without the capture stack.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/flow.hpp"
+#include "trace/source.hpp"
+
+namespace wirecap::trace {
+
+struct TraceStats {
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_bytes = 0;
+  Nanos first_timestamp{};
+  Nanos last_timestamp{};
+  /// Arrival series per receive queue (RSS-steered), binned at bin_width.
+  std::vector<BinnedSeries> per_queue;
+  /// Packets per queue.
+  std::vector<std::uint64_t> queue_totals;
+  /// Distinct flows observed.
+  std::uint64_t flow_count = 0;
+
+  [[nodiscard]] double duration_s() const {
+    return (last_timestamp - first_timestamp).seconds();
+  }
+  [[nodiscard]] double mean_rate() const {
+    const double d = duration_s();
+    return d > 0 ? static_cast<double>(total_packets) / d : 0.0;
+  }
+};
+
+/// Drains `source` and computes statistics as if the NIC had
+/// `num_queues` RSS queues.
+[[nodiscard]] TraceStats analyze(TrafficSource& source,
+                                 std::uint32_t num_queues,
+                                 Nanos bin_width = Nanos::from_millis(10));
+
+}  // namespace wirecap::trace

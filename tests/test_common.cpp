@@ -1,0 +1,294 @@
+// Unit tests for src/common: containers, queues, RNG, statistics, units.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/fixed_ring.hpp"
+#include "common/mpmc_queue.hpp"
+#include "common/rng.hpp"
+#include "common/spsc_queue.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace wirecap {
+namespace {
+
+// --- units ---
+
+TEST(Units, WireRate64BytesIs14_88Mpps) {
+  const Rate rate = ethernet::wire_rate(ethernet::k10GbpsBits, 64);
+  EXPECT_NEAR(rate.per_second(), 14'880'952.0, 1.0);
+}
+
+TEST(Units, WireRate1518BytesIs812Kpps) {
+  const Rate rate = ethernet::wire_rate(ethernet::k10GbpsBits, 1518);
+  EXPECT_NEAR(rate.per_second(), 812'743.8, 1.0);
+}
+
+TEST(Units, NanosArithmetic) {
+  const Nanos a = Nanos::from_millis(1.5);
+  EXPECT_EQ(a.count(), 1'500'000);
+  EXPECT_DOUBLE_EQ(a.seconds(), 0.0015);
+  EXPECT_EQ((a + Nanos{500'000}).count(), 2'000'000);
+  EXPECT_LT(Nanos{1}, Nanos{2});
+}
+
+TEST(Units, RateInterval) {
+  const Rate rate{1e6};
+  EXPECT_EQ(rate.interval().count(), 1000);
+  EXPECT_EQ(rate.events_in(Nanos::from_seconds(2.0)), 2'000'000);
+  EXPECT_EQ(Rate{0.0}.interval(), Nanos::max());
+}
+
+// --- status ---
+
+TEST(Status, OkAndError) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  const Status bad{StatusCode::kExhausted};
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.message(), "exhausted");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good{42};
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad{StatusCode::kNotFound};
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+  EXPECT_THROW(static_cast<void>(bad.value()), std::runtime_error);
+}
+
+// --- FixedRing ---
+
+TEST(FixedRing, PushPopFifo) {
+  FixedRing<int> ring{4};
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push_back(i));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push_back(99));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ring.pop_front(), i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(FixedRing, WrapAround) {
+  FixedRing<int> ring{3};
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(ring.push_back(round));
+    EXPECT_EQ(ring.pop_front(), round);
+  }
+}
+
+TEST(FixedRing, PushFrontAndAt) {
+  FixedRing<int> ring{4};
+  ring.push_back(2);
+  ring.push_front(1);
+  ring.push_back(3);
+  EXPECT_EQ(ring.at(0), 1);
+  EXPECT_EQ(ring.at(1), 2);
+  EXPECT_EQ(ring.at(2), 3);
+  EXPECT_EQ(ring.back(), 3);
+  EXPECT_EQ(ring.pop_back(), 3);
+  EXPECT_THROW(static_cast<void>(ring.at(5)), std::out_of_range);
+}
+
+TEST(FixedRing, EmptyAccessThrows) {
+  FixedRing<int> ring{2};
+  EXPECT_THROW(static_cast<void>(ring.pop_front()), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(ring.front()), std::out_of_range);
+  EXPECT_THROW(FixedRing<int>{0}, std::invalid_argument);
+}
+
+// --- SpscQueue ---
+
+TEST(SpscQueue, BasicFifo) {
+  SpscQueue<int> queue{8};
+  EXPECT_EQ(queue.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.try_push(i));
+  EXPECT_FALSE(queue.try_push(8));
+  EXPECT_EQ(queue.size_approx(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(queue.try_pop().value(), i);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(SpscQueue, FillFraction) {
+  SpscQueue<int> queue{10};
+  for (int i = 0; i < 6; ++i) queue.try_push(i);
+  EXPECT_DOUBLE_EQ(queue.fill_fraction(), 0.6);
+}
+
+TEST(SpscQueue, PopBatch) {
+  SpscQueue<int> queue{16};
+  for (int i = 0; i < 10; ++i) queue.try_push(i);
+  std::vector<int> out;
+  EXPECT_EQ(queue.try_pop_batch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(queue.try_pop_batch(out, 100), 6u);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(SpscQueue, ConcurrentStress) {
+  // Linearizability smoke test: one real producer and one real consumer
+  // move a million integers; all arrive exactly once, in order.
+  constexpr int kCount = 1'000'000;
+  SpscQueue<int> queue{1024};
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      while (!queue.try_push(i)) std::this_thread::yield();
+    }
+  });
+  long long sum = 0;
+  int expected = 0;
+  while (expected < kCount) {
+    if (auto v = queue.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      sum += *v;
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+// --- MpmcQueue ---
+
+TEST(MpmcQueue, TryOperations) {
+  MpmcQueue<int> queue{2};
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.try_pop().value(), 1);
+  EXPECT_EQ(queue.try_pop().value(), 2);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(MpmcQueue, CloseDrains) {
+  MpmcQueue<int> queue{4};
+  queue.try_push(1);
+  queue.close();
+  EXPECT_FALSE(queue.try_push(2));
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(MpmcQueue, MultiThreadedSum) {
+  constexpr int kPerProducer = 50'000;
+  MpmcQueue<int> queue{256};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) queue.push(i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = queue.pop()) sum += *v;
+    });
+  }
+  for (int p = 0; p < 3; ++p) threads[static_cast<std::size_t>(p)].join();
+  queue.close();
+  threads[3].join();
+  threads[4].join();
+  EXPECT_EQ(sum.load(),
+            3LL * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+// --- RNG ---
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Xoshiro256 rng{7};
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++seen[v];
+  }
+  for (const int count : seen) EXPECT_GT(count, 800);  // roughly uniform
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  Xoshiro256 rng{11};
+  double sum = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(Rng, BoundedParetoWithinBounds) {
+  Xoshiro256 rng{13};
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_bounded_pareto(1.2, 2.0, 1000.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LE(v, 1000.0);
+  }
+}
+
+TEST(Rng, ZipfSkewsTowardHead) {
+  Xoshiro256 rng{17};
+  ZipfSampler zipf{1.1, 100};
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 10 * counts[99]);
+}
+
+// --- stats ---
+
+TEST(BinnedSeries, BinsAtTenMs) {
+  BinnedSeries series{Nanos::from_millis(10)};
+  series.record(Nanos::from_millis(5));        // bin 0
+  series.record(Nanos::from_millis(15));       // bin 1
+  series.record(Nanos::from_millis(19.9));     // bin 1
+  series.record(Nanos::from_millis(35), 10);   // bin 3
+  ASSERT_EQ(series.bin_count(), 4u);
+  EXPECT_EQ(series.bin(0), 1u);
+  EXPECT_EQ(series.bin(1), 2u);
+  EXPECT_EQ(series.bin(2), 0u);
+  EXPECT_EQ(series.bin(3), 10u);
+  EXPECT_EQ(series.total(), 13u);
+  EXPECT_EQ(series.peak(), 10u);
+}
+
+TEST(Log2Histogram, QuantileApproximation) {
+  Log2Histogram hist;
+  for (std::uint64_t i = 1; i <= 1000; ++i) hist.record(i);
+  EXPECT_EQ(hist.count(), 1000u);
+  const double p50 = hist.quantile(0.5);
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 1024.0);
+}
+
+TEST(SummaryStats, WelfordMatchesDirect) {
+  SummaryStats stats;
+  const std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (const double v : values) stats.record(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.5);
+  EXPECT_NEAR(stats.variance(), 9.1666667, 1e-6);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 10.0);
+}
+
+TEST(Formatting, Thousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(14'880'952), "14,880,952");
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(as_percent(0.465), "46.5%");
+  EXPECT_EQ(as_percent(0.0), "0.0%");
+}
+
+}  // namespace
+}  // namespace wirecap

@@ -1,0 +1,225 @@
+// Tests for the WireCAP engine (the paper's contribution): basic-mode
+// burst absorption proportional to R*M, R/M interchangeability (the
+// Figure 10 property), zero-copy delivery, end-of-burst flush via the
+// partial-rescue timeout, advanced-mode buddy offloading, chunk
+// conservation, and zero-copy forwarding.
+#include <gtest/gtest.h>
+
+#include "apps/harness.hpp"
+#include "core/wirecap_engine.hpp"
+#include "trace/constant_rate.hpp"
+#include "trace/flow_gen.hpp"
+
+namespace wirecap::apps {
+namespace {
+
+ExperimentResult run_wirecap_burst(std::uint32_t m, std::uint32_t r,
+                                   std::uint64_t packets, unsigned x,
+                                   Nanos drain = Nanos::from_seconds(5)) {
+  ExperimentConfig config;
+  config.engine.kind = EngineKind::kWirecapBasic;
+  config.engine.cells_per_chunk = m;
+  config.engine.chunk_count = r;
+  config.num_queues = 1;
+  config.x = x;
+  Experiment experiment{config};
+
+  trace::ConstantRateConfig trace_config;
+  trace_config.packet_count = packets;
+  Xoshiro256 rng{31};
+  trace_config.flows = {trace::flow_for_queue(rng, 0, 1)};
+  trace::ConstantRateSource source{trace_config};
+  const Nanos horizon =
+      Nanos::from_seconds(static_cast<double>(packets) /
+                          source.rate().per_second()) + drain;
+  return experiment.run(source, horizon);
+}
+
+TEST(WirecapBasic, WireRateCaptureNoLoss) {
+  // Figure 8: WireCAP captures at wire speed without loss for any
+  // (M, R), x=0.
+  for (const auto& [m, r] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {64, 100}, {128, 100}, {256, 100}, {256, 500}}) {
+    const auto result = run_wirecap_burst(m, r, 100'000, 0);
+    EXPECT_EQ(result.drop_rate(), 0.0)
+        << "WireCAP-B-(" << m << "," << r << ")";
+    EXPECT_EQ(result.delivered, result.sent);
+  }
+}
+
+TEST(WirecapBasic, BurstAbsorptionProportionalToRM) {
+  // Figure 9: the burst WireCAP-B survives scales with R*M.  A pool of
+  // 256x100 = 25,600 packets absorbs what DNA (1024-ring) cannot.
+  const auto small_pool = run_wirecap_burst(64, 20, 30'000, 300);
+  EXPECT_GT(small_pool.drop_rate(), 0.5);  // 1,280-packet pool overwhelmed
+
+  const auto big_pool = run_wirecap_burst(256, 100, 25'000, 300);
+  EXPECT_EQ(big_pool.drop_rate(), 0.0);  // 25,600-packet pool absorbs it
+
+  // And the kept volume under overflow tracks pool + FIFO capacity.
+  const auto overflowed = run_wirecap_burst(256, 100, 100'000, 300,
+                                            Nanos::from_seconds(5));
+  const auto kept =
+      static_cast<double>(overflowed.sent - overflowed.capture_dropped);
+  EXPECT_NEAR(kept, 256 * 100 + 4096, 1200.0);
+  EXPECT_EQ(overflowed.delivery_dropped, 0u);  // WireCAP never delivery-drops
+}
+
+TEST(WirecapBasic, Figure10Property) {
+  // Figure 10: with R*M fixed, the individual R and M do not matter.
+  const auto a = run_wirecap_burst(64, 400, 40'000, 300);
+  const auto b = run_wirecap_burst(128, 200, 40'000, 300);
+  const auto c = run_wirecap_burst(256, 100, 40'000, 300);
+  EXPECT_NEAR(a.drop_rate(), b.drop_rate(), 0.03);
+  EXPECT_NEAR(b.drop_rate(), c.drop_rate(), 0.03);
+}
+
+TEST(WirecapBasic, ConservationWithChunks) {
+  const auto result = run_wirecap_burst(64, 30, 50'000, 300,
+                                        Nanos::from_seconds(30));
+  EXPECT_EQ(result.sent, result.delivered + result.capture_dropped +
+                             result.delivery_dropped);
+  EXPECT_EQ(result.processed, result.delivered);
+}
+
+TEST(WirecapBasic, TailFlushedByPartialRescue) {
+  // A burst that is not a multiple of M: the leftover packets must
+  // still reach the application via the timeout-copy path.
+  const auto result = run_wirecap_burst(256, 100, 1000, 0);
+  EXPECT_EQ(result.delivered, 1000u);
+  // 1000 = 3 full chunks of 256 + 232 leftover, delivered by copy.
+  EXPECT_GT(result.copies, 0u);
+  EXPECT_LE(result.copies, 232u + 256u);
+}
+
+TEST(WirecapBasic, MostDeliveryIsZeroCopy) {
+  // For a large burst the copy fraction (timeout rescues only) is tiny.
+  const auto result = run_wirecap_burst(256, 100, 100'000, 0);
+  EXPECT_EQ(result.delivered, 100'000u);
+  EXPECT_LT(static_cast<double>(result.copies),
+            0.01 * static_cast<double>(result.delivered));
+}
+
+/// Two-queue experiment with a hot queue and an idle queue.
+ExperimentResult run_imbalanced(EngineKind kind, double threshold,
+                                std::uint64_t packets, Nanos horizon) {
+  ExperimentConfig config;
+  config.engine.kind = kind;
+  config.engine.cells_per_chunk = 64;
+  config.engine.chunk_count = 50;
+  config.engine.offload_threshold = threshold;
+  config.num_queues = 2;
+  config.x = 300;
+  Experiment experiment{config};
+
+  // All traffic to queue 0 at 70 kp/s: far beyond one handler's
+  // 38.8 kp/s but within two handlers' combined 77.6 kp/s.
+  trace::ConstantRateConfig trace_config;
+  trace_config.packet_count = packets;
+  trace_config.link_bits_per_second = 70e3 * 84 * 8;
+  Xoshiro256 rng{32};
+  trace_config.flows = {trace::flow_for_queue(rng, 0, 2)};
+  trace::ConstantRateSource source{trace_config};
+  return experiment.run(source, horizon);
+}
+
+TEST(WirecapAdvanced, OffloadingRecoversLongTermImbalance) {
+  // Figure 11: basic mode drops heavily under a long-term single-queue
+  // overload; advanced mode offloads to the idle buddy and keeps losses
+  // near zero.
+  const std::uint64_t packets = 140'000;  // 2 s at 70 kp/s
+  const Nanos horizon = Nanos::from_seconds(2.0) + Nanos::from_seconds(30);
+
+  const auto basic =
+      run_imbalanced(EngineKind::kWirecapBasic, 0.6, packets, horizon);
+  EXPECT_GT(basic.drop_rate(), 0.3);
+  EXPECT_EQ(basic.offloaded_chunks, 0u);
+
+  const auto advanced =
+      run_imbalanced(EngineKind::kWirecapAdvanced, 0.6, packets, horizon);
+  EXPECT_LT(advanced.drop_rate(), 0.02);
+  EXPECT_GT(advanced.offloaded_chunks, 0u);
+  // The buddy (queue 1) did real work.
+  EXPECT_GT(advanced.per_queue[1].processed, packets / 4);
+  // Conservation still holds with offloading in play.
+  EXPECT_EQ(advanced.sent, advanced.delivered + advanced.capture_dropped +
+                               advanced.delivery_dropped);
+}
+
+TEST(WirecapAdvanced, LowerThresholdOffloadsSooner) {
+  // Figure 12: a lower T triggers offloading earlier, dropping less (or
+  // at least offloading no fewer chunks).
+  const std::uint64_t packets = 100'000;
+  const Nanos horizon = Nanos::from_seconds(1.0) + Nanos::from_seconds(20);
+  const auto low =
+      run_imbalanced(EngineKind::kWirecapAdvanced, 0.5, packets, horizon);
+  const auto high =
+      run_imbalanced(EngineKind::kWirecapAdvanced, 0.9, packets, horizon);
+  EXPECT_LE(low.drop_rate(), high.drop_rate() + 0.01);
+  EXPECT_GE(low.offloaded_chunks, high.offloaded_chunks);
+}
+
+TEST(WirecapEngine, BuddyGroupRequiresOpenQueues) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = 2;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapEngine engine{scheduler, nic, core::WirecapConfig{}};
+  EXPECT_THROW(engine.set_buddy_group({0, 1}), std::logic_error);
+}
+
+TEST(WirecapEngine, RejectsBadThreshold) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig config;
+  config.offload_threshold = 1.5;
+  EXPECT_THROW((core::WirecapEngine{scheduler, nic, config}),
+               std::invalid_argument);
+}
+
+TEST(WirecapForward, ZeroCopyForwardingDeliversToReceiver) {
+  ExperimentConfig config;
+  config.engine.kind = EngineKind::kWirecapBasic;
+  config.engine.cells_per_chunk = 64;
+  config.engine.chunk_count = 50;
+  config.num_queues = 1;
+  config.x = 0;
+  config.forward = true;
+  Experiment experiment{config};
+
+  trace::ConstantRateConfig trace_config;
+  trace_config.packet_count = 5'000;
+  Xoshiro256 rng{33};
+  trace_config.flows = {trace::flow_for_queue(rng, 0, 1)};
+  trace::ConstantRateSource source{trace_config};
+
+  const auto result = experiment.run(source, Nanos::from_seconds(3));
+  EXPECT_EQ(result.forwarded_received, 5'000u);
+  EXPECT_EQ(result.forwarding_drop_rate(), 0.0);
+  // Forwarding a captured chunk's packets is metadata-only: the only
+  // copies are timeout rescues of the burst tail.
+  EXPECT_LT(result.copies, 100u);
+}
+
+TEST(WirecapEngine, PoolAccounting) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = 2;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig config;
+  config.cells_per_chunk = 128;
+  config.chunk_count = 16;
+  core::WirecapEngine engine{scheduler, nic, config};
+  sim::SimCore core{scheduler, 0};
+  engine.open(0, core);
+  engine.open(1, core);
+  EXPECT_EQ(engine.total_pool_bytes(), 2ull * 128 * 16 * 2048);
+  EXPECT_EQ(engine.pool(0).cells_per_chunk(), 128u);
+}
+
+}  // namespace
+}  // namespace wirecap::apps

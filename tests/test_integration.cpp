@@ -1,0 +1,175 @@
+// End-to-end integration tests: the border-router trace through the
+// full stack (trace -> RSS steering -> NIC rings/FIFO -> engine ->
+// pkt_handler), reproducing the qualitative Table 1 pattern; plus
+// multi-NIC operation and a cross-engine drop-rate ordering check.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/harness.hpp"
+#include "trace/border_router.hpp"
+
+namespace wirecap::apps {
+namespace {
+
+/// Table-1-style experiment: border-router traffic, 6 queues, x=300,
+/// at full per-queue rates but a shortened duration so tests stay fast.
+ExperimentResult run_border(EngineKind kind, double duration_s = 6.0,
+                            std::uint32_t m = 256, std::uint32_t r = 100,
+                            double t = 0.6) {
+  ExperimentConfig config;
+  config.engine.kind = kind;
+  config.engine.cells_per_chunk = m;
+  config.engine.chunk_count = r;
+  config.engine.offload_threshold = t;
+  config.num_queues = 6;
+  config.x = 300;
+  Experiment experiment{config};
+
+  trace::BorderRouterConfig trace_config;
+  trace_config.duration_s = duration_s;
+  trace_config.hot_phase_split_s = 1.0;  // overload from t=1s
+  auto source = trace::make_border_router_source(trace_config);
+  return experiment.run(*source,
+                        Nanos::from_seconds(duration_s) +
+                            Nanos::from_seconds(5));
+}
+
+void print_result(const ExperimentResult& result) {
+  std::printf("%-12s sent=%8lu overall=%5.1f%%\n",
+              result.engine_label.c_str(),
+              static_cast<unsigned long>(result.sent),
+              result.drop_rate() * 100);
+  for (std::size_t q = 0; q < result.per_queue.size(); ++q) {
+    const auto& queue = result.per_queue[q];
+    std::printf("  q%zu arrived=%8lu capture=%5.1f%% delivery=%5.1f%%\n", q,
+                static_cast<unsigned long>(queue.arrived),
+                queue.capture_drop_rate() * 100,
+                queue.delivery_drop_rate() * 100);
+  }
+}
+
+TEST(Table1, DnaPattern) {
+  const auto result = run_border(EngineKind::kDna);
+  print_result(result);
+  // Hot queue 0 (80 kp/s vs 38.8 kp/s): substantial capture drops,
+  // paper: 50.1%.
+  EXPECT_GT(result.per_queue[0].capture_drop_rate(), 0.30);
+  EXPECT_LT(result.per_queue[0].capture_drop_rate(), 0.65);
+  // Type-II engines never delivery-drop.
+  for (const auto& queue : result.per_queue) {
+    EXPECT_EQ(queue.delivery_dropped, 0u);
+  }
+  // Bursty queue 3: some capture drops from short-term bursts (paper:
+  // 9.3%) despite the mean rate being below the processing rate.
+  EXPECT_GT(result.per_queue[3].capture_drop_rate(), 0.01);
+  EXPECT_LT(result.per_queue[3].capture_drop_rate(), 0.35);
+}
+
+TEST(Table1, NetmapPattern) {
+  const auto result = run_border(EngineKind::kNetmap);
+  print_result(result);
+  EXPECT_GT(result.per_queue[0].capture_drop_rate(), 0.30);
+  for (const auto& queue : result.per_queue) {
+    EXPECT_EQ(queue.delivery_dropped, 0u);
+  }
+  // NETMAP's batched sync loses at least as much as DNA on the bursty
+  // queue (paper: 33.4% vs 9.3%).
+  const auto dna = run_border(EngineKind::kDna);
+  EXPECT_GE(result.per_queue[3].capture_drop_rate() + 0.005,
+            dna.per_queue[3].capture_drop_rate());
+}
+
+TEST(Table1, PfRingPattern) {
+  const auto result = run_border(EngineKind::kPfRing);
+  print_result(result);
+  // PF_RING avoids capture drops on the hot queue (NAPI drains the
+  // ring) but pays with delivery drops (paper: 0% / 56.8%).
+  EXPECT_LT(result.per_queue[0].capture_drop_rate(), 0.05);
+  EXPECT_GT(result.per_queue[0].delivery_drop_rate(), 0.35);
+  // Bursty queue 3: small-to-no drops (paper: 0.8% capture, 0 delivery).
+  EXPECT_LT(result.per_queue[3].capture_drop_rate(), 0.10);
+  EXPECT_LT(result.per_queue[3].delivery_drop_rate(), 0.10);
+}
+
+TEST(Figure11, WirecapAdvancedBeatsEveryBaseline) {
+  const auto wirecap_a = run_border(EngineKind::kWirecapAdvanced);
+  print_result(wirecap_a);
+  const auto wirecap_b = run_border(EngineKind::kWirecapBasic);
+  const auto dna = run_border(EngineKind::kDna);
+
+  // Basic mode already beats DNA (bigger buffers), advanced mode beats
+  // basic (offloading) — the Figure 11 ordering.
+  EXPECT_LT(wirecap_b.drop_rate(), dna.drop_rate());
+  EXPECT_LT(wirecap_a.drop_rate(), wirecap_b.drop_rate());
+  EXPECT_GT(wirecap_a.offloaded_chunks, 0u);
+  // WireCAP never delivery-drops.
+  EXPECT_EQ(wirecap_a.delivery_dropped, 0u);
+  // Conservation through the whole stack.
+  EXPECT_EQ(wirecap_a.sent, wirecap_a.delivered + wirecap_a.capture_dropped +
+                                wirecap_a.delivery_dropped);
+}
+
+TEST(MultiNic, IndependentEnginesCoexist) {
+  // Two NICs, each with its own engine and buddy group, in one
+  // simulation — the §3.2.2d claim that WireCAP "naturally supports
+  // multiple NICs" because it operates per receive queue.
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+
+  const auto make_fabric = [&](std::uint32_t nic_id) {
+    nic::NicConfig nic_config;
+    nic_config.nic_id = nic_id;
+    nic_config.num_rx_queues = 2;
+    return std::make_unique<nic::MultiQueueNic>(scheduler, bus, nic_config);
+  };
+  auto nic1 = make_fabric(1);
+  auto nic2 = make_fabric(2);
+
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 64;
+  engine_config.chunk_count = 40;
+  core::WirecapEngine engine1{scheduler, *nic1, engine_config};
+  core::WirecapEngine engine2{scheduler, *nic2, engine_config};
+
+  sim::CostModel costs;
+  std::vector<std::unique_ptr<sim::SimCore>> cores;
+  std::vector<std::unique_ptr<PktHandler>> handlers;
+  for (std::uint32_t q = 0; q < 2; ++q) {
+    cores.push_back(std::make_unique<sim::SimCore>(scheduler, q));
+    handlers.push_back(std::make_unique<PktHandler>(
+        *cores.back(), engine1, q, PktHandlerConfig{0, "", false, {}}, costs));
+    cores.push_back(std::make_unique<sim::SimCore>(scheduler, 16 + q));
+    handlers.push_back(std::make_unique<PktHandler>(
+        *cores.back(), engine2, q, PktHandlerConfig{0, "", false, {}}, costs));
+  }
+
+  trace::BorderRouterConfig trace_config;
+  trace_config.duration_s = 2.0;
+  trace_config.num_queues = 2;
+  trace_config.hot_queue = 0;
+  trace_config.bursty_queue = 1;
+  trace_config.hot_rate_late = 10e3;  // light load: no drops expected
+  trace_config.hot_rate_early = 5e3;
+  auto source1 = trace::make_border_router_source(trace_config);
+  trace_config.seed ^= 0x1234;
+  auto source2 = trace::make_border_router_source(trace_config);
+
+  nic::TrafficInjector injector1{scheduler, *source1, *nic1};
+  nic::TrafficInjector injector2{scheduler, *source2, *nic2};
+  injector1.start();
+  injector2.start();
+  scheduler.run_until(Nanos::from_seconds(5));
+
+  EXPECT_GT(injector1.injected(), 10'000u);
+  EXPECT_GT(injector2.injected(), 10'000u);
+  EXPECT_EQ(nic1->total_rx_dropped(), 0u);
+  EXPECT_EQ(nic2->total_rx_dropped(), 0u);
+  const auto stats1 = engine1.total_stats(2);
+  const auto stats2 = engine2.total_stats(2);
+  EXPECT_EQ(stats1.delivered, injector1.injected());
+  EXPECT_EQ(stats2.delivered, injector2.injected());
+}
+
+}  // namespace
+}  // namespace wirecap::apps

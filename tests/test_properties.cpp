@@ -1,0 +1,186 @@
+// Parameterized property sweeps across the experiment space:
+//
+//   * monotonicity: drop rate never decreases with burst size P, and
+//     never increases with pool size R;
+//   * the paper's basic-mode buffering formula (§3.2.2a): WireCAP
+//     handles a maximum burst of about Pin*(R*M)/(Pin-Pp) packets;
+//   * conservation (sent == delivered + dropped) over an engine x
+//     workload matrix;
+//   * kept-volume accounting: sent - dropped ~= buffering + processed
+//     during the burst, for every (M, R).
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "apps/harness.hpp"
+#include "sim/costs.hpp"
+#include "trace/constant_rate.hpp"
+#include "trace/flow_gen.hpp"
+
+namespace wirecap::apps {
+namespace {
+
+ExperimentResult burst_run(EngineKind kind, std::uint32_t m, std::uint32_t r,
+                           std::uint64_t packets, unsigned x,
+                           double drain_s = 1.0) {
+  ExperimentConfig config;
+  config.engine.kind = kind;
+  config.engine.cells_per_chunk = m;
+  config.engine.chunk_count = r;
+  config.num_queues = 1;
+  config.x = x;
+  Experiment experiment{config};
+  trace::ConstantRateConfig trace_config;
+  trace_config.packet_count = packets;
+  Xoshiro256 rng{0x9201};
+  trace_config.flows = {trace::flow_for_queue(rng, 0, 1)};
+  trace::ConstantRateSource source{trace_config};
+  const Nanos horizon = Nanos::from_seconds(
+      static_cast<double>(packets) / source.rate().per_second() + drain_s);
+  return experiment.run(source, horizon);
+}
+
+// --- monotonicity in P ---
+
+class MonotonicInP : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(MonotonicInP, DropRateNeverDecreasesWithBurstSize) {
+  double last = -1.0;
+  for (const std::uint64_t p :
+       {2'000ull, 8'000ull, 32'000ull, 128'000ull, 512'000ull}) {
+    const double rate = burst_run(GetParam(), 256, 100, p, 300).drop_rate();
+    EXPECT_GE(rate, last - 0.01)
+        << to_string(GetParam()) << " at P=" << p;
+    last = std::max(last, rate);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, MonotonicInP,
+                         ::testing::Values(EngineKind::kDna,
+                                           EngineKind::kNetmap,
+                                           EngineKind::kWirecapBasic,
+                                           EngineKind::kDpdk));
+
+// --- monotonicity in R ---
+
+TEST(MonotonicInR, BiggerPoolsNeverDropMore) {
+  double last = 2.0;
+  for (const std::uint32_t r : {20u, 50u, 100u, 200u, 400u}) {
+    const double rate =
+        burst_run(EngineKind::kWirecapBasic, 128, r, 40'000, 300).drop_rate();
+    EXPECT_LE(rate, last + 0.01) << "R=" << r;
+    last = std::min(last, rate);
+  }
+}
+
+// --- the paper's burst formula ---
+
+class BasicModeFormula
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(BasicModeFormula, MaxLosslessBurstTracksTheory) {
+  // "WireCAP in the basic mode can handle a maximum burst of
+  //  Pin*(R*M)/(Pin-Pp) packets without loss."  With the NIC FIFO the
+  //  effective buffer is R*M + fifo.
+  const auto [m, r] = GetParam();
+  const sim::CostModel costs;
+  const double pin = sim::kWireRate64B;
+  const double pp = 1e9 / static_cast<double>(
+                              costs.pkt_handler_cost(300).count());
+  const double buffer = static_cast<double>(m) * r + 4096.0;
+  const double predicted = pin * buffer / (pin - pp);
+
+  // Just below the prediction: lossless.  Well above: drops.
+  const auto below = burst_run(EngineKind::kWirecapBasic, m, r,
+                               static_cast<std::uint64_t>(predicted * 0.9),
+                               300);
+  EXPECT_EQ(below.drop_rate(), 0.0) << "M=" << m << " R=" << r;
+  const auto above = burst_run(EngineKind::kWirecapBasic, m, r,
+                               static_cast<std::uint64_t>(predicted * 1.3),
+                               300);
+  EXPECT_GT(above.drop_rate(), 0.0) << "M=" << m << " R=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pools, BasicModeFormula,
+    ::testing::Values(std::pair<std::uint32_t, std::uint32_t>{64, 100},
+                      std::pair<std::uint32_t, std::uint32_t>{128, 100},
+                      std::pair<std::uint32_t, std::uint32_t>{256, 100},
+                      std::pair<std::uint32_t, std::uint32_t>{256, 300}));
+
+// --- conservation matrix ---
+
+struct ConservationCase {
+  EngineKind kind;
+  std::uint64_t packets;
+  unsigned x;
+};
+
+class ConservationMatrix : public ::testing::TestWithParam<ConservationCase> {
+};
+
+TEST_P(ConservationMatrix, SentEqualsDeliveredPlusDropped) {
+  const auto& param = GetParam();
+  const auto result = burst_run(param.kind, 64, 60, param.packets, param.x,
+                                /*drain_s=*/20.0);
+  EXPECT_EQ(result.sent, result.delivered + result.capture_dropped +
+                             result.delivery_dropped)
+      << result.engine_label << " P=" << param.packets << " x=" << param.x;
+  EXPECT_EQ(result.processed, result.delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConservationMatrix,
+    ::testing::Values(
+        ConservationCase{EngineKind::kDna, 3'000, 0},
+        ConservationCase{EngineKind::kDna, 60'000, 300},
+        ConservationCase{EngineKind::kNetmap, 60'000, 300},
+        ConservationCase{EngineKind::kPfRing, 30'000, 300},
+        ConservationCase{EngineKind::kPsioe, 30'000, 100},
+        ConservationCase{EngineKind::kWirecapBasic, 3'000, 0},
+        ConservationCase{EngineKind::kWirecapBasic, 60'000, 300},
+        ConservationCase{EngineKind::kDpdk, 60'000, 300}),
+    [](const ::testing::TestParamInfo<ConservationCase>& param_info) {
+      std::string name = to_string(param_info.param.kind) + "_P" +
+                         std::to_string(param_info.param.packets) + "_x" +
+                         std::to_string(param_info.param.x);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --- kept-volume accounting ---
+
+class KeptVolume
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(KeptVolume, KeptTracksBufferPlusProcessing) {
+  const auto [m, r] = GetParam();
+  const std::uint64_t packets = 200'000;  // overwhelms every tested pool
+  const auto result =
+      burst_run(EngineKind::kWirecapBasic, m, r, packets, 300, 1.0);
+  const double burst_seconds =
+      static_cast<double>(packets) / sim::kWireRate64B;
+  const sim::CostModel costs;
+  const double pp =
+      1e9 / static_cast<double>(costs.pkt_handler_cost(300).count());
+  const double expected_kept =
+      static_cast<double>(m) * r + 4096.0 + pp * burst_seconds;
+  const double kept =
+      static_cast<double>(result.sent - result.capture_dropped);
+  EXPECT_NEAR(kept, expected_kept, expected_kept * 0.08)
+      << "M=" << m << " R=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pools, KeptVolume,
+    ::testing::Values(std::pair<std::uint32_t, std::uint32_t>{64, 100},
+                      std::pair<std::uint32_t, std::uint32_t>{256, 100},
+                      std::pair<std::uint32_t, std::uint32_t>{128, 400},
+                      std::pair<std::uint32_t, std::uint32_t>{512, 100}));
+
+}  // namespace
+}  // namespace wirecap::apps

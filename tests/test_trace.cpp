@@ -1,0 +1,219 @@
+// Tests for the traffic substrate: constant-rate pacing, RSS-aware flow
+// synthesis, the border-router generator's imbalance shape (the Figure 3
+// preconditions), determinism, and trace recording/replay.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/rss.hpp"
+#include "trace/border_router.hpp"
+#include "trace/constant_rate.hpp"
+#include "trace/flow_gen.hpp"
+#include "trace/source.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace wirecap::trace {
+namespace {
+
+TEST(FlowGen, FlowForQueueLandsOnQueue) {
+  Xoshiro256 rng{5};
+  for (std::uint32_t queue = 0; queue < 6; ++queue) {
+    for (int i = 0; i < 20; ++i) {
+      const net::FlowKey flow = flow_for_queue(rng, queue, 6);
+      EXPECT_EQ(net::rss_queue(flow, 6), queue);
+    }
+  }
+}
+
+TEST(FlowGen, FlowsForQueueAreDistinct) {
+  Xoshiro256 rng{6};
+  const auto flows = flows_for_queue(rng, 2, 6, 50);
+  ASSERT_EQ(flows.size(), 50u);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (std::size_t j = i + 1; j < flows.size(); ++j) {
+      EXPECT_NE(flows[i], flows[j]);
+    }
+  }
+}
+
+TEST(FlowGen, FrameSizesAreTrimodalAndLegal) {
+  Xoshiro256 rng{7};
+  int small = 0, large = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint32_t size = sample_frame_size(rng);
+    ASSERT_GE(size, 64u);
+    ASSERT_LE(size, 1518u);
+    if (size <= 100) ++small;
+    if (size >= 1400) ++large;
+  }
+  EXPECT_GT(small, 4000);
+  EXPECT_GT(large, 3000);
+}
+
+TEST(ConstantRate, PacesAtExactWireRate) {
+  ConstantRateConfig config;
+  config.packet_count = 14'880;  // 1 ms at 64-byte wire rate
+  config.frame_bytes = 64;
+  config.flows = {net::FlowKey{}};
+  ConstantRateSource source{config};
+  EXPECT_NEAR(source.rate().per_second(), 14'880'952.0, 1.0);
+
+  std::uint64_t count = 0;
+  Nanos last{};
+  while (auto packet = source.next()) {
+    last = packet->timestamp();
+    EXPECT_EQ(packet->wire_len(), 64u);
+    EXPECT_EQ(packet->seq(), count);
+    ++count;
+  }
+  EXPECT_EQ(count, 14'880u);
+  // 14,880 packets at 14.88 Mp/s span ~1 ms.
+  EXPECT_NEAR(last.millis(), 1.0, 0.01);
+}
+
+TEST(ConstantRate, RoundRobinsFlows) {
+  Xoshiro256 rng{8};
+  ConstantRateConfig config;
+  config.packet_count = 6;
+  config.flows = {random_flow(rng), random_flow(rng), random_flow(rng)};
+  ConstantRateSource source{config};
+  std::vector<net::FlowKey> seen;
+  while (auto packet = source.next()) seen.push_back(packet->flow());
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen[0], seen[3]);
+  EXPECT_EQ(seen[1], seen[4]);
+  EXPECT_EQ(seen[2], seen[5]);
+  EXPECT_NE(seen[0], seen[1]);
+}
+
+TEST(ConstantRate, RequiresFlows) {
+  ConstantRateConfig config;
+  EXPECT_THROW(ConstantRateSource{config}, std::invalid_argument);
+}
+
+BorderRouterConfig small_config() {
+  BorderRouterConfig config;
+  config.scale = 0.05;  // 20x smaller for fast tests
+  return config;
+}
+
+TEST(BorderRouter, Deterministic) {
+  auto a = make_border_router_source(small_config());
+  auto b = make_border_router_source(small_config());
+  int compared = 0;
+  while (true) {
+    const auto pa = a->next();
+    const auto pb = b->next();
+    ASSERT_EQ(pa.has_value(), pb.has_value());
+    if (!pa) break;
+    ASSERT_EQ(pa->timestamp(), pb->timestamp());
+    ASSERT_EQ(pa->flow(), pb->flow());
+    ASSERT_EQ(pa->wire_len(), pb->wire_len());
+    ++compared;
+  }
+  EXPECT_GT(compared, 10'000);
+}
+
+TEST(BorderRouter, TimestampsNonDecreasing) {
+  auto source = make_border_router_source(small_config());
+  Nanos last = Nanos::zero();
+  while (auto packet = source->next()) {
+    ASSERT_GE(packet->timestamp(), last);
+    last = packet->timestamp();
+  }
+  EXPECT_GT(last.seconds(), 25.0);  // spans most of the 32 s window
+}
+
+TEST(BorderRouter, ReproducesPaperImbalanceShape) {
+  // The Figure 3 preconditions: with six queues, queue 0 carries a
+  // sustained overload after t=10 s (~80 kp/s at full scale) and queue 3
+  // a moderate load (~20 kp/s) with bursts.
+  const BorderRouterConfig config = small_config();
+  auto source = make_border_router_source(config);
+  const TraceStats stats = analyze(*source, 6);
+
+  ASSERT_EQ(stats.per_queue.size(), 6u);
+  const double scale = config.scale;
+
+  // Queue 0 dominates.
+  for (std::uint32_t q = 1; q < 6; ++q) {
+    EXPECT_GT(stats.queue_totals[0], stats.queue_totals[q]) << "queue " << q;
+  }
+  // Queue 3 carries clearly more than the background-only queues.
+  EXPECT_GT(stats.queue_totals[3], stats.queue_totals[1] * 3 / 2);
+
+  // Long-term imbalance: mean rate on queue 0 in the second phase is
+  // roughly hot_rate_late (scaled).
+  const BinnedSeries& q0 = stats.per_queue[0];
+  std::uint64_t late_packets = 0;
+  std::size_t late_bins = 0;
+  for (std::size_t bin = 1200; bin < q0.bin_count(); ++bin) {  // t > 12 s
+    late_packets += q0.bin(bin);
+    ++late_bins;
+  }
+  ASSERT_GT(late_bins, 0u);
+  const double late_rate =
+      static_cast<double>(late_packets) / (static_cast<double>(late_bins) * 0.01);
+  EXPECT_NEAR(late_rate, config.hot_rate_late * scale,
+              config.hot_rate_late * scale * 0.25);
+
+  // Short-term burstiness on queue 3: peak bin well above its mean bin.
+  const BinnedSeries& q3 = stats.per_queue[3];
+  EXPECT_GT(static_cast<double>(q3.peak()), 4.0 * q3.mean());
+}
+
+TEST(BorderRouter, ScaleScalesVolume) {
+  BorderRouterConfig big = small_config();
+  BorderRouterConfig half = small_config();
+  half.scale = big.scale / 2;
+  auto big_source = make_border_router_source(big);
+  auto half_source = make_border_router_source(half);
+  std::uint64_t big_count = 0, half_count = 0;
+  while (big_source->next()) ++big_count;
+  while (half_source->next()) ++half_count;
+  EXPECT_NEAR(static_cast<double>(half_count),
+              static_cast<double>(big_count) / 2.0,
+              static_cast<double>(big_count) * 0.1);
+}
+
+TEST(BorderRouter, ValidatesConfig) {
+  BorderRouterConfig config;
+  config.num_queues = 0;
+  EXPECT_THROW(make_border_router_source(config), std::invalid_argument);
+  config = BorderRouterConfig{};
+  config.hot_queue = 99;
+  EXPECT_THROW(make_border_router_source(config), std::invalid_argument);
+}
+
+TEST(RecordedTrace, RecordAndReplayIdentical) {
+  BorderRouterConfig config = small_config();
+  config.scale = 0.01;
+  auto source = make_border_router_source(config);
+  const RecordedTrace trace = RecordedTrace::record(*source);
+  ASSERT_GT(trace.size(), 1000u);
+
+  auto replay = trace.replay();
+  EXPECT_EQ(replay->expected_packets(), trace.size());
+  std::size_t i = 0;
+  while (auto packet = replay->next()) {
+    ASSERT_EQ(packet->timestamp(), trace.packets()[i].timestamp());
+    ASSERT_EQ(packet->seq(), trace.packets()[i].seq());
+    ++i;
+  }
+  EXPECT_EQ(i, trace.size());
+}
+
+TEST(TraceStats, ComputesRatesAndFlows) {
+  ConstantRateConfig config;
+  config.packet_count = 1000;
+  Xoshiro256 rng{3};
+  config.flows = {random_flow(rng), random_flow(rng)};
+  ConstantRateSource source{config};
+  const TraceStats stats = analyze(source, 4);
+  EXPECT_EQ(stats.total_packets, 1000u);
+  EXPECT_EQ(stats.flow_count, 2u);
+  EXPECT_EQ(stats.total_bytes, 64'000u);
+  EXPECT_NEAR(stats.mean_rate(), 14'880'952.0, 20'000.0);
+}
+
+}  // namespace
+}  // namespace wirecap::trace
