@@ -20,7 +20,7 @@ namespace {
 
 using namespace wirecap;
 
-int run() {
+int run(const apps::TelemetryFlags& flags) {
   bench::title("Figure 3: load imbalance (packets per 10 ms bin)");
   bench::note("replaying the synthetic border-router trace, 6 RSS queues,");
   bench::note("DNA capture engine, one queue_profiler per queue (x=0)");
@@ -42,11 +42,35 @@ int run() {
         std::make_unique<apps::QueueProfiler>(*cores[q], dna, q, costs));
   }
 
+  // This bench wires its fabric by hand (no Experiment), so it also
+  // builds its telemetry tree by hand: engine counters, the per-queue
+  // profiler series that *are* this figure, and the NIC drop counters.
+  telemetry::Telemetry tel;
+  std::unique_ptr<telemetry::Sampler> sampler;
+  if (flags.any()) {
+    tel.tracer.set_enabled(!flags.trace_out.empty());
+    dna.bind_telemetry(tel, "engine.dna", kQueues);
+    for (std::uint32_t q = 0; q < kQueues; ++q) {
+      const std::string qn = std::to_string(q);
+      tel.registry.bind_series("app.q" + qn + ".arrivals_per_10ms",
+                               &profilers[q]->series());
+      tel.registry.bind_counter("nic.q" + qn + ".rx_dropped", [&nic, q] {
+        return nic.rx_stats(q).dropped;
+      });
+    }
+    tel.registry.bind_counter("nic.total_rx_dropped",
+                              [&nic] { return nic.total_rx_dropped(); });
+    sampler = std::make_unique<telemetry::Sampler>(scheduler, tel,
+                                                   Nanos::from_millis(10));
+    sampler->start();
+  }
+
   trace::BorderRouterConfig trace_config;  // the full 32 s, ~4.4 M packets
   auto source = trace::make_border_router_source(trace_config);
   nic::TrafficInjector injector{scheduler, *source, nic};
   injector.start();
   scheduler.run_until(Nanos::from_seconds(trace_config.duration_s + 2));
+  flags.write(tel);
 
   std::printf("packets injected: %llu, NIC drops: %llu (paper: none)\n",
               static_cast<unsigned long long>(injector.injected()),
@@ -77,4 +101,6 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  return run(wirecap::apps::parse_telemetry_flags(argc, argv));
+}

@@ -19,7 +19,7 @@ namespace {
 
 using namespace wirecap;
 
-int run() {
+int run(const apps::TelemetryFlags& flags) {
   bench::title("Figure 11: advanced-mode offloading (border trace, x=300)");
 
   std::vector<apps::EngineParams> engines;
@@ -45,7 +45,13 @@ int run() {
   for (const auto& params : engines) {
     std::printf("%-26s", params.label().c_str());
     for (const std::uint32_t queues : {4u, 5u, 6u}) {
-      const auto result = bench::run_border_trace(params, queues, 16.0);
+      // Telemetry only for the offloading runs (successive writes
+      // overwrite, so the files describe the last WireCAP-A run — the
+      // configuration this figure exists to show).
+      const bool observed =
+          params.kind == apps::EngineKind::kWirecapAdvanced && flags.any();
+      const auto result = bench::run_border_trace(
+          params, queues, 16.0, false, 300, 5.0, observed ? &flags : nullptr);
       std::printf(" %10s", bench::percent(result.drop_rate()).c_str());
     }
     std::printf("\n");
@@ -58,4 +64,6 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  return run(wirecap::apps::parse_telemetry_flags(argc, argv));
+}

@@ -20,7 +20,7 @@ namespace {
 
 using namespace wirecap;
 
-int run() {
+int run(const apps::TelemetryFlags& flags) {
   bench::title("Table 1: packet drop rates (border trace, 6 queues, x=300)");
 
   struct Row {
@@ -32,7 +32,11 @@ int run() {
                           apps::EngineKind::kPfRing}) {
     apps::EngineParams params;
     params.kind = kind;
-    rows.push_back(Row{kind, bench::run_border_trace(params, 6, 32.0)});
+    // Last run wins the telemetry files: PF_RING, the engine whose
+    // delivery-drop column this table exists to explain.
+    rows.push_back(Row{kind, bench::run_border_trace(
+                                 params, 6, 32.0, false, 300, 5.0,
+                                 flags.any() ? &flags : nullptr)});
   }
 
   const auto print_metric = [&](const char* name, auto getter) {
@@ -70,4 +74,6 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  return run(wirecap::apps::parse_telemetry_flags(argc, argv));
+}

@@ -24,13 +24,16 @@ inline void note(const std::string& text) {
 
 /// "The traffic generator transmits P 64-byte packets at the wire rate
 /// (14.88 Mp/s)": single queue, one flow, pkt_handler with the given x.
-inline apps::ExperimentResult run_burst(const apps::EngineParams& engine,
-                                        std::uint64_t packets, unsigned x,
-                                        double drain_s = 5.0) {
+/// With `flags`, the run writes --metrics-out/--trace-out files
+/// (successive runs overwrite: last run wins).
+inline apps::ExperimentResult run_burst(
+    const apps::EngineParams& engine, std::uint64_t packets, unsigned x,
+    double drain_s = 5.0, const apps::TelemetryFlags* flags = nullptr) {
   apps::ExperimentConfig config;
   config.engine = engine;
   config.num_queues = 1;
   config.x = x;
+  if (flags) flags->apply(config);
   apps::Experiment experiment{config};
 
   trace::ConstantRateConfig trace_config;
@@ -41,7 +44,9 @@ inline apps::ExperimentResult run_burst(const apps::EngineParams& engine,
 
   const Nanos horizon = Nanos::from_seconds(
       static_cast<double>(packets) / source.rate().per_second() + drain_s);
-  return experiment.run(source, horizon);
+  auto result = experiment.run(source, horizon);
+  if (flags) flags->write(experiment.telemetry());
+  return result;
 }
 
 /// "The traffic generator replays the captured data at the speed exactly
@@ -49,12 +54,13 @@ inline apps::ExperimentResult run_burst(const apps::EngineParams& engine,
 inline apps::ExperimentResult run_border_trace(
     const apps::EngineParams& engine, std::uint32_t num_queues,
     double duration_s, bool forward = false, unsigned x = 300,
-    double drain_s = 5.0) {
+    double drain_s = 5.0, const apps::TelemetryFlags* flags = nullptr) {
   apps::ExperimentConfig config;
   config.engine = engine;
   config.num_queues = num_queues;
   config.x = x;
   config.forward = forward;
+  if (flags) flags->apply(config);
   apps::Experiment experiment{config};
 
   trace::BorderRouterConfig trace_config;
@@ -63,8 +69,10 @@ inline apps::ExperimentResult run_border_trace(
   trace_config.hot_queue = 0;
   trace_config.bursty_queue = 3 % num_queues;
   auto source = trace::make_border_router_source(trace_config);
-  return experiment.run(*source,
-                        Nanos::from_seconds(duration_s + drain_s));
+  auto result = experiment.run(*source,
+                               Nanos::from_seconds(duration_s + drain_s));
+  if (flags) flags->write(experiment.telemetry());
+  return result;
 }
 
 inline std::string percent(double fraction) {

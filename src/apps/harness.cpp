@@ -1,9 +1,11 @@
 #include "apps/harness.hpp"
 
 #include "engines/dpdk_engine.hpp"
+#include "telemetry/export.hpp"
 
 #include <cstdio>
 #include <stdexcept>
+#include <string_view>
 
 namespace wirecap::apps {
 
@@ -144,6 +146,96 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
     std::vector<std::uint32_t> group;
     for (std::uint32_t q = 0; q < config_.num_queues; ++q) group.push_back(q);
     dpdk->set_peer_group(group);
+  }
+
+  bind_telemetry();
+}
+
+void Experiment::bind_telemetry() {
+  telemetry_.tracer.set_enabled(config_.telemetry.trace);
+  if (config_.telemetry.trace_capacity != telemetry_.tracer.capacity()) {
+    telemetry_.tracer.set_capacity(config_.telemetry.trace_capacity);
+  }
+
+  // The engine publishes under engine.<sanitized name>.q<N>.*; the NIC,
+  // application cores and pkt_handlers under nic./core./app. — one tree
+  // for the whole experiment.
+  const std::string prefix =
+      "engine." +
+      wirecap::telemetry::MetricRegistry::sanitize_component(engine_->name());
+  engine_->bind_telemetry(telemetry_, prefix, config_.num_queues);
+
+  for (std::uint32_t q = 0; q < config_.num_queues; ++q) {
+    const std::string qn = std::to_string(q);
+    telemetry_.registry.bind_counter(
+        "nic.q" + qn + ".rx_received",
+        [this, q] { return nic_->rx_stats(q).received; });
+    telemetry_.registry.bind_counter(
+        "nic.q" + qn + ".rx_dropped",
+        [this, q] { return nic_->rx_stats(q).dropped; });
+    telemetry_.registry.bind_gauge(
+        "core.q" + qn + ".app_core.utilization",
+        [this, q] { return app_cores_[q]->utilization(); });
+    const PktHandlerStats& hs = handlers_[q]->stats();
+    telemetry_.registry.bind_counter("app.q" + qn + ".processed",
+                                     [&hs] { return hs.processed; });
+    telemetry_.registry.bind_counter("app.q" + qn + ".matched",
+                                     [&hs] { return hs.matched; });
+    if (config_.forward) {
+      telemetry_.registry.bind_counter("app.q" + qn + ".forwarded",
+                                       [&hs] { return hs.forwarded; });
+      telemetry_.registry.bind_counter("app.q" + qn + ".forward_failures",
+                                       [&hs] { return hs.forward_failures; });
+    }
+  }
+  telemetry_.registry.bind_counter(
+      "nic.total_rx_dropped", [this] { return nic_->total_rx_dropped(); });
+  if (nic2_) {
+    telemetry_.registry.bind_counter(
+        "nic2.tx_transmitted", [this] { return nic2_->total_transmitted(); });
+  }
+
+  if (config_.telemetry.sample_interval > Nanos::zero()) {
+    sampler_ = std::make_unique<wirecap::telemetry::Sampler>(
+        scheduler_, telemetry_, config_.telemetry.sample_interval);
+    sampler_->start();
+  }
+}
+
+TelemetryFlags parse_telemetry_flags(int argc, char** argv) {
+  TelemetryFlags flags;
+  constexpr std::string_view kMetrics = "--metrics-out=";
+  constexpr std::string_view kTrace = "--trace-out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with(kMetrics)) {
+      flags.metrics_out = std::string(arg.substr(kMetrics.size()));
+    } else if (arg.starts_with(kTrace)) {
+      flags.trace_out = std::string(arg.substr(kTrace.size()));
+    }
+  }
+  return flags;
+}
+
+void TelemetryFlags::apply(ExperimentConfig& config) const {
+  if (!trace_out.empty()) {
+    config.telemetry.trace = true;
+    // The multi-second border traces record millions of events; a bench-
+    // sized ring keeps the interesting (offload-heavy) tail.
+    config.telemetry.trace_capacity = 1u << 20;
+  }
+  if (any()) {
+    // Figure-3 granularity for the gauge counter series.
+    config.telemetry.sample_interval = Nanos::from_millis(10);
+  }
+}
+
+void TelemetryFlags::write(const telemetry::Telemetry& source) const {
+  if (!metrics_out.empty()) {
+    telemetry::write_metrics(source.registry, metrics_out);
+  }
+  if (!trace_out.empty()) {
+    telemetry::write_trace(source.tracer, trace_out);
   }
 }
 

@@ -15,6 +15,8 @@
 #include "engines/baselines.hpp"
 #include "nic/wire.hpp"
 #include "sim/bus.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/source.hpp"
 
 namespace wirecap::apps {
@@ -65,7 +67,32 @@ struct ExperimentConfig {
   /// I/O bus capacity in transactions/s; 0 = unconstrained.
   double bus_transactions_per_second = 0.0;
   sim::CostModel costs{};
+  /// Observability knobs (tracer gate/capacity, sampler period).
+  /// (Fully qualified: the member name shadows the namespace in class
+  /// scope.)
+  wirecap::telemetry::TelemetryConfig telemetry{};
 };
+
+/// The standard observability command-line surface of the benches:
+///   --metrics-out=FILE   write the metrics snapshot (JSON; CSV if .csv)
+///   --trace-out=FILE     enable tracing, write Chrome-trace JSON
+/// Unrecognized arguments are ignored so benches can mix in their own.
+struct TelemetryFlags {
+  std::string metrics_out;
+  std::string trace_out;
+
+  [[nodiscard]] bool any() const {
+    return !metrics_out.empty() || !trace_out.empty();
+  }
+  /// Turns the flags into harness knobs: tracing on when --trace-out was
+  /// given (with a bench-sized ring), gauge sampling on when either
+  /// output is requested.
+  void apply(ExperimentConfig& config) const;
+  /// Writes the requested files from a finished experiment's telemetry.
+  void write(const telemetry::Telemetry& source) const;
+};
+
+[[nodiscard]] TelemetryFlags parse_telemetry_flags(int argc, char** argv);
 
 struct QueueResult {
   std::uint64_t arrived = 0;          // steered to this queue
@@ -138,16 +165,26 @@ class Experiment {
     return *handlers_.at(queue);
   }
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] wirecap::telemetry::Telemetry& telemetry() {
+    return telemetry_;
+  }
+  [[nodiscard]] const wirecap::telemetry::Telemetry& telemetry() const {
+    return telemetry_;
+  }
 
  private:
+  void bind_telemetry();
+
   ExperimentConfig config_;
   sim::Scheduler scheduler_;
+  wirecap::telemetry::Telemetry telemetry_;
   std::unique_ptr<sim::IoBus> bus_;
   std::unique_ptr<nic::MultiQueueNic> nic_;
   std::unique_ptr<nic::MultiQueueNic> nic2_;  // forwarding target
   std::unique_ptr<engines::CaptureEngine> engine_;
   std::vector<std::unique_ptr<sim::SimCore>> app_cores_;
   std::vector<std::unique_ptr<PktHandler>> handlers_;
+  std::unique_ptr<wirecap::telemetry::Sampler> sampler_;
 };
 
 /// Creates an engine of `kind` over `nic`.

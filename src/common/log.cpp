@@ -10,6 +10,7 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_io_mutex;
+LogSink g_sink;  // guarded by g_io_mutex
 
 [[nodiscard]] const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,12 +29,30 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_io_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (level < log_level()) return;
+  // Format outside the lock, emit in one call: lines from concurrent
+  // loggers can interleave with each other, but never mid-line.
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line.push_back('[');
+  line.append(level_name(level));
+  line.append("] ");
+  line.append(component);
+  line.append(": ");
+  line.append(message);
+  line.push_back('\n');
   std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  if (g_sink) {
+    g_sink(level, std::string_view{line.data(), line.size() - 1});
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 LogMessage::~LogMessage() {

@@ -2,6 +2,7 @@
 // on kInfo to narrate what the engine is doing.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -14,7 +15,17 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emits one line to stderr: "[level] component: message".
+/// Receives each formatted line ("[level] component: message", no
+/// trailing newline) instead of stderr.
+using LogSink = std::function<void(LogLevel, std::string_view line)>;
+
+/// Installs `sink` as the log destination; a null sink restores stderr.
+/// Tests capture warnings this way; long-running tools can tee to a file.
+void set_log_sink(LogSink sink);
+
+/// Emits one line, "[level] component: message".  The line is formatted
+/// into a single buffer and written with one fwrite (or one sink call),
+/// so concurrent loggers cannot interleave mid-line.
 void log_line(LogLevel level, std::string_view component, std::string_view message);
 
 /// Stream-style convenience: LogMessage(kInfo, "nic") << "ring " << i;

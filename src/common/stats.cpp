@@ -47,11 +47,19 @@ double Log2Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > 0) last = i;
+  }
   double cumulative = 0.0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
     const double next = cumulative + static_cast<double>(buckets_[i]);
-    if (next >= target && buckets_[i] > 0) {
-      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+    if (next >= target) {
+      // Bucket 0 is degenerate — it holds only the value 0 — so there
+      // is nothing to interpolate across.
+      if (i == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
       const double hi = std::ldexp(1.0, static_cast<int>(i));
       const double within =
           (target - cumulative) / static_cast<double>(buckets_[i]);
@@ -59,7 +67,10 @@ double Log2Histogram::quantile(double q) const {
     }
     cumulative = next;
   }
-  return std::ldexp(1.0, 64);
+  // Reachable only when floating-point dust pushes `target` past the
+  // total: answer with the upper bound of the last non-empty bucket
+  // rather than an impossible 2^64.
+  return last == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(last));
 }
 
 void SummaryStats::record(double value) {

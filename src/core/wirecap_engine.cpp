@@ -93,6 +93,15 @@ void WirecapEngine::poll(std::uint32_t queue) {
   cost += Nanos{static_cast<std::int64_t>(captured.size()) *
                 costs_.capture_chunk_cost.count()};
 
+  // A poll that moved data is a unit of capture-thread work in the
+  // trace; idle polls are omitted to keep the ring for the useful ones.
+  if (copied > 0 || !captured.empty()) {
+    WIRECAP_TRACE(tracer_,
+                  complete("capture.poll", "engine", scheduler_.now(), cost,
+                           queue, "chunks", captured.size(), "copied_pkts",
+                           copied));
+  }
+
   // Park-and-retry keeps ordering: anything parked earlier goes first.
   std::deque<driver::ChunkMeta> to_place;
   to_place.swap(qs.pending);
@@ -166,6 +175,9 @@ void WirecapEngine::dispatch(std::uint32_t queue,
       // Nowhere to put it: hold the chunk; backpressure will show up as
       // pool exhaustion and, eventually, capture drops at the NIC.
       qs.pending.push_back(meta);
+      qs.extra.pending_high_water =
+          std::max(qs.extra.pending_high_water,
+                   static_cast<std::uint64_t>(qs.pending.size()));
       return;
     }
     target = queue;
@@ -174,6 +186,11 @@ void WirecapEngine::dispatch(std::uint32_t queue,
   if (target != queue) {
     ++qs.stats.chunks_offloaded_out;
     ++queues_[target].stats.chunks_offloaded_in;
+    // The Figure 11 mechanism, event by event: which queue shed which
+    // chunk to which buddy.
+    WIRECAP_TRACE(tracer_,
+                  instant("chunk.offload", "engine", scheduler_.now(), queue,
+                          "to_queue", target, "chunk", meta.chunk_id));
   }
   QueueState& ts = queues_[target];
   ts.extra.capture_queue_high_water = std::max(
@@ -192,6 +209,10 @@ std::optional<engines::CaptureView> WirecapEngine::try_next(
     qs.current = CurrentChunk{*meta, 0};
     outstanding_[chunk_key(meta->ring_id, meta->chunk_id)] =
         Outstanding{*meta, meta->pkt_count};
+    // Application-side dequeue of one chunk's worth of packets.
+    WIRECAP_TRACE(tracer_,
+                  instant("chunk.dequeue", "app", scheduler_.now(), queue,
+                          "chunk", meta->chunk_id, "pkts", meta->pkt_count));
   }
 
   CurrentChunk& current = *qs.current;
@@ -285,6 +306,67 @@ const driver::RingBufferPool& WirecapEngine::pool(std::uint32_t queue) const {
 double WirecapEngine::capture_core_utilization(std::uint32_t queue) const {
   const QueueState& qs = queues_.at(queue);
   return qs.capture_core ? qs.capture_core->utilization() : 0.0;
+}
+
+void WirecapEngine::bind_telemetry(telemetry::Telemetry& telemetry,
+                                   const std::string& prefix,
+                                   std::uint32_t num_queues) {
+  engines::CaptureEngine::bind_telemetry(telemetry, prefix, num_queues);
+  auto clock = [this] { return scheduler_.now(); };
+  for (std::uint32_t q = 0; q < num_queues && q < queues_.size(); ++q) {
+    QueueState& qs = queues_[q];
+    if (!qs.open) continue;
+    const std::string qp = prefix + ".q" + std::to_string(q) + ".";
+    telemetry.registry.bind_gauge(qp + "capture_queue.depth", [&qs] {
+      return static_cast<double>(qs.capture_queue->size());
+    });
+    telemetry.registry.bind_gauge(qp + "pending.depth", [&qs] {
+      return static_cast<double>(qs.pending.size());
+    });
+    telemetry.registry.bind_gauge(qp + "pool.free_chunks", [&qs] {
+      return static_cast<double>(qs.driver->pool().free_chunks());
+    });
+    telemetry.registry.bind_gauge(qp + "capture_core.utilization", [&qs] {
+      return qs.capture_core ? qs.capture_core->utilization() : 0.0;
+    });
+    telemetry.registry.bind_counter(qp + "capture_queue.high_water", [&qs] {
+      return qs.extra.capture_queue_high_water;
+    });
+    telemetry.registry.bind_counter(qp + "pending.high_water", [&qs] {
+      return qs.extra.pending_high_water;
+    });
+    telemetry.registry.bind_counter(qp + "polls",
+                                    [&qs] { return qs.extra.polls; });
+    const driver::WirecapDriverStats& ds = qs.driver->stats();
+    telemetry.registry.bind_counter(qp + "driver.chunks_captured",
+                                    [&ds] { return ds.chunks_captured; });
+    telemetry.registry.bind_counter(qp + "driver.partial_rescues",
+                                    [&ds] { return ds.partial_rescues; });
+    telemetry.registry.bind_counter(qp + "driver.packets_copied",
+                                    [&ds] { return ds.packets_copied; });
+    telemetry.registry.bind_counter(qp + "driver.packets_captured",
+                                    [&ds] { return ds.packets_captured; });
+    telemetry.registry.bind_counter(qp + "driver.chunks_recycled",
+                                    [&ds] { return ds.chunks_recycled; });
+    telemetry.registry.bind_counter(qp + "driver.recycle_rejects",
+                                    [&ds] { return ds.recycle_rejects; });
+    telemetry.registry.bind_counter(qp + "driver.attach_failures",
+                                    [&ds] { return ds.attach_failures; });
+    qs.driver->set_tracer(&telemetry.tracer, clock);
+  }
+  telemetry.probes.push_back([this](Nanos now) { sample_depths(now); });
+}
+
+void WirecapEngine::sample_depths(Nanos /*now*/) {
+  for (QueueState& qs : queues_) {
+    if (!qs.open) continue;
+    qs.extra.capture_queue_high_water =
+        std::max(qs.extra.capture_queue_high_water,
+                 static_cast<std::uint64_t>(qs.capture_queue->size()));
+    qs.extra.pending_high_water = std::max(
+        qs.extra.pending_high_water,
+        static_cast<std::uint64_t>(qs.pending.size()));
+  }
 }
 
 std::uint64_t WirecapEngine::total_pool_bytes() const {

@@ -61,6 +61,10 @@ struct WirecapConfig {
 
 struct WirecapQueueExtraStats {
   std::uint64_t capture_queue_high_water = 0;
+  /// Peak depth of `pending` — chunks captured but parked because no
+  /// capture queue had room (the Type-II overflow signal of §3.3); also
+  /// sampled periodically by the telemetry sampler.
+  std::uint64_t pending_high_water = 0;
   std::uint64_t polls = 0;
 };
 
@@ -93,6 +97,18 @@ class WirecapEngine final : public engines::CaptureEngine {
                          std::function<void()> fn) override;
   [[nodiscard]] engines::EngineQueueStats queue_stats(
       std::uint32_t queue) const override;
+
+  /// Base metrics plus, per open queue: capture/pending queue depths and
+  /// high waters, pool free-chunk gauge, the full driver stats, and the
+  /// capture core's utilization.  Also hands the tracer to the drivers
+  /// and registers the depth-sampling probe.
+  void bind_telemetry(telemetry::Telemetry& telemetry,
+                      const std::string& prefix,
+                      std::uint32_t num_queues) override;
+
+  /// Telemetry-sampler probe: folds the current capture-queue and
+  /// pending depths of every open queue into the high-water marks.
+  void sample_depths(Nanos now);
 
   // --- introspection ---
   [[nodiscard]] const driver::WirecapDriverStats& driver_stats(

@@ -49,6 +49,11 @@ void WirecapQueueDriver::replenish() {
       if (!ok) throw std::logic_error("WirecapQueueDriver: attach failed");
     }
     segments_.push_back(Segment{chunk_id, 0});
+    // Descriptor-segment transition: a free chunk entered the ring.
+    if (tracer_ && tracer_->enabled() && clock_) {
+      tracer_->instant("segment.attach", "driver", clock_(), queue_, "chunk",
+                       chunk_id);
+    }
   }
   nic_.kick(queue_);
 }
@@ -97,6 +102,8 @@ std::uint32_t WirecapQueueDriver::capture(Nanos now, std::size_t max_chunks,
     out.push_back(meta.value());
     ++stats_.chunks_captured;
     stats_.packets_captured += remaining;
+    WIRECAP_TRACE(tracer_, instant("chunk.capture", "driver", now, queue_,
+                                   "chunk", meta->chunk_id, "pkts", remaining));
     segments_.pop_front();
     ++produced;
     replenish();
@@ -133,6 +140,8 @@ std::uint32_t WirecapQueueDriver::capture(Nanos now, std::size_t max_chunks,
   ++stats_.partial_rescues;
   stats_.packets_copied += filled;
   stats_.packets_captured += filled;
+  WIRECAP_TRACE(tracer_, instant("chunk.rescue", "driver", now, queue_,
+                                 "chunk", rescue->chunk_id, "copied", filled));
   return filled;
 }
 
@@ -140,6 +149,10 @@ Status WirecapQueueDriver::recycle(const ChunkMeta& meta) {
   const Status status = pool_.recycle(meta);
   if (status.is_ok()) {
     ++stats_.chunks_recycled;
+    if (tracer_ && tracer_->enabled() && clock_) {
+      tracer_->instant("chunk.recycle", "driver", clock_(), queue_, "chunk",
+                       meta.chunk_id);
+    }
     replenish();
   } else {
     ++stats_.recycle_rejects;
@@ -168,6 +181,12 @@ bool WirecapQueueDriver::transmit(std::uint32_t tx_queue,
 void WirecapQueueDriver::close() {
   open_ = false;
   segments_.clear();
+}
+
+void WirecapQueueDriver::set_tracer(telemetry::EventTracer* tracer,
+                                    std::function<Nanos()> clock) {
+  tracer_ = tracer;
+  clock_ = std::move(clock);
 }
 
 }  // namespace wirecap::driver

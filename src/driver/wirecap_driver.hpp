@@ -25,6 +25,7 @@
 #include "common/units.hpp"
 #include "driver/chunk_pool.hpp"
 #include "nic/device.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace wirecap::driver {
 
@@ -84,6 +85,11 @@ class WirecapQueueDriver {
   /// The close operation.
   void close();
 
+  /// Hands the driver the experiment's tracer and a virtual-time source
+  /// so segment attaches and chunk capture/rescue/recycle transitions
+  /// show up in the event trace.  Both may be null (tracing off).
+  void set_tracer(telemetry::EventTracer* tracer, std::function<Nanos()> clock);
+
  private:
   /// One descriptor segment currently attached to the ring.
   struct Segment {
@@ -106,6 +112,8 @@ class WirecapQueueDriver {
   std::deque<Segment> segments_;  // oldest first
   WirecapDriverStats stats_;
   bool open_ = false;
+  telemetry::EventTracer* tracer_ = nullptr;
+  std::function<Nanos()> clock_;  // virtual time for sites without a `now`
 };
 
 }  // namespace wirecap::driver

@@ -237,4 +237,23 @@ EngineQueueStats DpdkEngine::queue_stats(std::uint32_t queue) const {
   return queues_.at(queue).stats;
 }
 
+void DpdkEngine::bind_telemetry(telemetry::Telemetry& telemetry,
+                                const std::string& prefix,
+                                std::uint32_t num_queues) {
+  CaptureEngine::bind_telemetry(telemetry, prefix, num_queues);
+  for (std::uint32_t q = 0; q < num_queues && q < queues_.size(); ++q) {
+    const std::string qp = prefix + ".q" + std::to_string(q) + ".";
+    telemetry.registry.bind_gauge(qp + "mempool.in_use", [this, q] {
+      return static_cast<double>(in_use(q));
+    });
+    telemetry.registry.bind_gauge(qp + "sw_ring.depth", [this, q] {
+      return static_cast<double>(queues_[q].local.size() +
+                                 queues_[q].inbound.size());
+    });
+    telemetry.registry.bind_gauge(qp + "io_core.utilization", [this, q] {
+      return queues_[q].io_core ? queues_[q].io_core->utilization() : 0.0;
+    });
+  }
+}
+
 }  // namespace wirecap::engines

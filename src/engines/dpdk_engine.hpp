@@ -83,6 +83,11 @@ class DpdkEngine final : public CaptureEngine {
                          std::function<void()> fn) override;
   [[nodiscard]] EngineQueueStats queue_stats(
       std::uint32_t queue) const override;
+  /// Base metrics plus mempool occupancy, software-ring depths and the
+  /// RX lcore's utilization.
+  void bind_telemetry(telemetry::Telemetry& telemetry,
+                      const std::string& prefix,
+                      std::uint32_t num_queues) override;
 
   /// Declares the application threads that may exchange packets through
   /// the app-layer software queues (the DPDK analogue of a buddy group,

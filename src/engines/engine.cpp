@@ -1,0 +1,28 @@
+#include "engines/engine.hpp"
+
+namespace wirecap::engines {
+
+void CaptureEngine::bind_telemetry(telemetry::Telemetry& telemetry,
+                                   const std::string& prefix,
+                                   std::uint32_t num_queues) {
+  tracer_ = &telemetry.tracer;
+  telemetry::MetricRegistry& registry = telemetry.registry;
+  for (std::uint32_t q = 0; q < num_queues; ++q) {
+    const std::string qp = prefix + ".q" + std::to_string(q) + ".";
+    registry.bind_counter(qp + "delivered",
+                          [this, q] { return queue_stats(q).delivered; });
+    registry.bind_counter(qp + "delivery_dropped", [this, q] {
+      return queue_stats(q).delivery_dropped;
+    });
+    registry.bind_counter(qp + "copies",
+                          [this, q] { return queue_stats(q).copies; });
+    registry.bind_counter(qp + "chunks_offloaded_out", [this, q] {
+      return queue_stats(q).chunks_offloaded_out;
+    });
+    registry.bind_counter(qp + "chunks_offloaded_in", [this, q] {
+      return queue_stats(q).chunks_offloaded_in;
+    });
+  }
+}
+
+}  // namespace wirecap::engines

@@ -17,11 +17,13 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 
 #include "common/units.hpp"
 #include "nic/device.hpp"
 #include "sim/core.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace wirecap::engines {
 
@@ -90,6 +92,17 @@ class CaptureEngine {
   [[nodiscard]] virtual EngineQueueStats queue_stats(
       std::uint32_t queue) const = 0;
 
+  /// Publishes this engine's metrics into `telemetry.registry` under
+  /// `prefix` (e.g. "engine.wirecap_a") and stores the tracer for
+  /// hot-path event emission.  The base implementation binds every
+  /// EngineQueueStats field of queues [0, num_queues) as
+  /// "<prefix>.q<N>.<field>"; engines override to add engine-specific
+  /// gauges (pool occupancy, capture-queue depth, ...) on top.
+  /// The engine must outlive the registry's last snapshot.
+  virtual void bind_telemetry(telemetry::Telemetry& telemetry,
+                              const std::string& prefix,
+                              std::uint32_t num_queues);
+
   /// Sums queue_stats over all opened queues.
   [[nodiscard]] EngineQueueStats total_stats(std::uint32_t num_queues) const {
     EngineQueueStats total;
@@ -103,6 +116,11 @@ class CaptureEngine {
     }
     return total;
   }
+
+ protected:
+  /// Set by bind_telemetry; null (the default) keeps every trace site at
+  /// its single-branch disabled cost.
+  telemetry::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace wirecap::engines

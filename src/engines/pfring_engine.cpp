@@ -158,4 +158,19 @@ EngineQueueStats PfRingEngine::queue_stats(std::uint32_t queue) const {
   return queues_.at(queue).stats;
 }
 
+void PfRingEngine::bind_telemetry(telemetry::Telemetry& telemetry,
+                                  const std::string& prefix,
+                                  std::uint32_t num_queues) {
+  CaptureEngine::bind_telemetry(telemetry, prefix, num_queues);
+  for (std::uint32_t q = 0; q < num_queues && q < queues_.size(); ++q) {
+    const std::string qp = prefix + ".q" + std::to_string(q) + ".";
+    telemetry.registry.bind_gauge(qp + "pf_ring.depth", [this, q] {
+      return static_cast<double>(queues_[q].count);
+    });
+    telemetry.registry.bind_gauge(qp + "pf_ring.slots", [this] {
+      return static_cast<double>(config_.pf_ring_slots);
+    });
+  }
+}
+
 }  // namespace wirecap::engines

@@ -53,6 +53,11 @@ class PfRingEngine final : public CaptureEngine {
                          std::function<void()> fn) override;
   [[nodiscard]] EngineQueueStats queue_stats(
       std::uint32_t queue) const override;
+  /// Base metrics plus the pf_ring intermediate-buffer occupancy — the
+  /// Type-I delivery-drop signal (Table 1's 56.8%).
+  void bind_telemetry(telemetry::Telemetry& telemetry,
+                      const std::string& prefix,
+                      std::uint32_t num_queues) override;
 
  private:
   struct PfSlot {

@@ -111,4 +111,15 @@ EngineQueueStats Type2Engine::queue_stats(std::uint32_t queue) const {
   return queues_.at(queue).stats;
 }
 
+void Type2Engine::bind_telemetry(telemetry::Telemetry& telemetry,
+                                 const std::string& prefix,
+                                 std::uint32_t num_queues) {
+  CaptureEngine::bind_telemetry(telemetry, prefix, num_queues);
+  for (std::uint32_t q = 0; q < num_queues && q < queues_.size(); ++q) {
+    telemetry.registry.bind_gauge(
+        prefix + ".q" + std::to_string(q) + ".released.pending",
+        [this, q] { return static_cast<double>(queues_[q].released.size()); });
+  }
+}
+
 }  // namespace wirecap::engines

@@ -52,6 +52,11 @@ class Type2Engine final : public CaptureEngine {
                          std::function<void()> fn) override;
   [[nodiscard]] EngineQueueStats queue_stats(
       std::uint32_t queue) const override;
+  /// Base metrics plus the released-but-unsynced descriptor backlog
+  /// (the batched-sync pressure NETMAP exhibits under load).
+  void bind_telemetry(telemetry::Telemetry& telemetry,
+                      const std::string& prefix,
+                      std::uint32_t num_queues) override;
 
  private:
   struct QueueState {

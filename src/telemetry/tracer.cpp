@@ -1,0 +1,56 @@
+#include "telemetry/tracer.hpp"
+
+#include <stdexcept>
+
+namespace wirecap::telemetry {
+
+EventTracer::EventTracer(std::size_t capacity) { set_capacity(capacity); }
+
+void EventTracer::set_capacity(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("EventTracer: capacity must be positive");
+  }
+  ring_.assign(capacity, TraceEvent{});
+  total_ = 0;
+}
+
+void EventTracer::clear() { total_ = 0; }
+
+void EventTracer::instant(const char* name, const char* category, Nanos ts,
+                          std::uint32_t tid, const char* arg0_name,
+                          std::uint64_t arg0, const char* arg1_name,
+                          std::uint64_t arg1) {
+  if (!enabled()) return;
+  record(TraceEvent{name, category, TracePhase::kInstant, ts.count(), 0, tid,
+                    arg0_name, arg0, arg1_name, arg1});
+}
+
+void EventTracer::complete(const char* name, const char* category, Nanos ts,
+                           Nanos dur, std::uint32_t tid, const char* arg0_name,
+                           std::uint64_t arg0, const char* arg1_name,
+                           std::uint64_t arg1) {
+  if (!enabled()) return;
+  record(TraceEvent{name, category, TracePhase::kComplete, ts.count(),
+                    dur.count(), tid, arg0_name, arg0, arg1_name, arg1});
+}
+
+void EventTracer::counter(const char* name, Nanos ts, std::uint32_t tid,
+                          double value) {
+  if (!enabled()) return;
+  record(TraceEvent{name, "sampler", TracePhase::kCounter, ts.count(), 0, tid,
+                    nullptr, 0, nullptr, 0, value});
+}
+
+std::vector<TraceEvent> EventTracer::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = total_ - static_cast<std::uint64_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        ring_[static_cast<std::size_t>((first + i) % ring_.size())]);
+  }
+  return out;
+}
+
+}  // namespace wirecap::telemetry

@@ -1,0 +1,132 @@
+// Virtual-time event tracing (ROADMAP: unified telemetry).
+//
+// A fixed-capacity ring buffer of trace events stamped with Scheduler
+// virtual time.  Producers are the hot paths of the capture stack —
+// chunk capture/recycle/offload, descriptor-segment attaches, capture-
+// thread polls, application dequeues — so the design goal is that a
+// *disabled* tracer costs exactly one predicted branch per site:
+//
+//   * runtime gate: every call site checks `tracer && tracer->enabled()`
+//     (or goes through WIRECAP_TRACE, which does it for you);
+//   * compile-time gate: building with -DWIRECAP_TRACING_COMPILED_IN=0
+//     turns enabled() into a constant false and lets the compiler delete
+//     the recording code entirely.
+//
+// Event names/categories are `const char*` and must point to string
+// literals (or other storage outliving the tracer) — nothing is copied
+// on the hot path.  The buffer wraps: the most recent `capacity` events
+// survive, `dropped()` reports how many were overwritten.  Export to
+// Chrome-trace JSON (export.hpp) makes a run openable in Perfetto.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+#ifndef WIRECAP_TRACING_COMPILED_IN
+#define WIRECAP_TRACING_COMPILED_IN 1
+#endif
+
+namespace wirecap::telemetry {
+
+/// Chrome-trace phases (the subset the stack emits).
+enum class TracePhase : char {
+  kBegin = 'B',
+  kEnd = 'E',
+  kComplete = 'X',  // ts + dur
+  kInstant = 'i',
+  kCounter = 'C',
+};
+
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  TracePhase phase = TracePhase::kInstant;
+  std::int64_t ts_ns = 0;   // virtual time
+  std::int64_t dur_ns = 0;  // kComplete only
+  /// Track id: receive-queue index for engine/driver events, core id for
+  /// core events.
+  std::uint32_t tid = 0;
+  /// Up to two integer arguments, labeled.
+  const char* arg0_name = nullptr;
+  std::uint64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1 = 0;
+  /// Sample value for kCounter events (doubles survive, so fractional
+  /// gauges like core utilization stay meaningful in the trace viewer).
+  double counter_value = 0.0;
+};
+
+class EventTracer {
+ public:
+  static constexpr bool kCompiledIn = WIRECAP_TRACING_COMPILED_IN != 0;
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit EventTracer(std::size_t capacity = kDefaultCapacity);
+
+  /// The one-branch hot-path gate.
+  [[nodiscard]] bool enabled() const { return kCompiledIn && enabled_; }
+  void set_enabled(bool enabled) { enabled_ = kCompiledIn && enabled; }
+
+  /// Resizes the ring; discards recorded events.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  void record(const TraceEvent& event) {
+    if (!enabled()) return;
+    ring_[static_cast<std::size_t>(total_ % ring_.size())] = event;
+    ++total_;
+  }
+
+  // Convenience constructors for the common shapes.  Deliberately
+  // out-of-line: the hot paths carry only the enabled() test and a call
+  // that is never taken while tracing is off — inlining the TraceEvent
+  // construction at every site measurably bloats the capture loop.
+  void instant(const char* name, const char* category, Nanos ts,
+               std::uint32_t tid, const char* arg0_name = nullptr,
+               std::uint64_t arg0 = 0, const char* arg1_name = nullptr,
+               std::uint64_t arg1 = 0);
+  void complete(const char* name, const char* category, Nanos ts, Nanos dur,
+                std::uint32_t tid, const char* arg0_name = nullptr,
+                std::uint64_t arg0 = 0, const char* arg1_name = nullptr,
+                std::uint64_t arg1 = 0);
+  /// `name` is the counter-series name; `value` its sample at `ts`.
+  void counter(const char* name, Nanos ts, std::uint32_t tid, double value);
+
+  void clear();
+
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(
+        total_ < static_cast<std::uint64_t>(ring_.size())
+            ? total_
+            : static_cast<std::uint64_t>(ring_.size()));
+  }
+  /// Everything ever recorded, including overwritten events.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ - static_cast<std::uint64_t>(size());
+  }
+
+  /// Retained events in recording (= chronological) order, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+ private:
+  bool enabled_ = false;
+  std::uint64_t total_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+/// Records through `tracer` (a possibly-null EventTracer*) with the
+/// disabled cost of a single branch.  `op` is one of the convenience
+/// member calls, e.g.:
+///   WIRECAP_TRACE(tracer_, instant("chunk.offload", "engine", now, q));
+#define WIRECAP_TRACE(tracer, op)                                  \
+  do {                                                             \
+    if ((tracer) && (tracer)->enabled()) [[unlikely]] (tracer)->op; \
+  } while (0)
+
+}  // namespace wirecap::telemetry

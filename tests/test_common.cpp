@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fixed_ring.hpp"
+#include "common/log.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/rng.hpp"
 #include "common/spsc_queue.hpp"
@@ -268,6 +269,37 @@ TEST(Log2Histogram, QuantileApproximation) {
   EXPECT_LT(p50, 1024.0);
 }
 
+TEST(Log2Histogram, QuantileOfAllZerosIsZero) {
+  // Bucket 0 holds only the value 0; no quantile of it may interpolate
+  // to a fractional value.
+  Log2Histogram hist;
+  for (int i = 0; i < 7; ++i) hist.record(0);
+  EXPECT_EQ(hist.quantile(0.0), 0.0);
+  EXPECT_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_EQ(hist.quantile(1.0), 0.0);
+}
+
+TEST(Log2Histogram, QuantileExtremesAreFiniteBucketBounds) {
+  Log2Histogram hist;
+  for (int i = 0; i < 10; ++i) hist.record(100);  // bucket 7: [64, 128)
+  // q=0 is the lower bound of the first non-empty bucket, q=1 the upper
+  // bound of the last — never interpolated past it, never 2^64.
+  EXPECT_EQ(hist.quantile(0.0), 64.0);
+  EXPECT_EQ(hist.quantile(1.0), 128.0);
+  EXPECT_LT(hist.quantile(0.999999), 128.0 + 1e-9);
+}
+
+TEST(Log2Histogram, QuantileMixedZeroAndLarge) {
+  Log2Histogram hist;
+  for (int i = 0; i < 50; ++i) hist.record(0);
+  for (int i = 0; i < 50; ++i) hist.record(1'000'000);  // bucket 20
+  EXPECT_EQ(hist.quantile(0.25), 0.0);
+  const double p99 = hist.quantile(0.99);
+  EXPECT_GE(p99, 524288.0);           // 2^19, bucket 20's lower bound
+  EXPECT_LE(p99, 1048576.0);          // 2^20, its upper bound
+  EXPECT_EQ(hist.quantile(1.0), 1048576.0);
+}
+
 TEST(SummaryStats, WelfordMatchesDirect) {
   SummaryStats stats;
   const std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
@@ -276,6 +308,29 @@ TEST(SummaryStats, WelfordMatchesDirect) {
   EXPECT_NEAR(stats.variance(), 9.1666667, 1e-6);
   EXPECT_EQ(stats.min(), 1.0);
   EXPECT_EQ(stats.max(), 10.0);
+}
+
+TEST(Log, SinkCapturesWholeFormattedLines) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  log_line(LogLevel::kWarn, "test", "hello world");
+  log_line(LogLevel::kError, "test", "second");
+  set_log_sink(nullptr);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[warn] test: hello world");
+  EXPECT_EQ(lines[1], "[error] test: second");
+}
+
+TEST(Log, SinkRespectsLevelFilter) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  log_line(LogLevel::kDebug, "test", "below the default kWarn threshold");
+  set_log_sink(nullptr);
+  EXPECT_TRUE(lines.empty());
 }
 
 TEST(Formatting, Thousands) {
