@@ -127,6 +127,15 @@ class MpmcQueue {
     return closed_;
   }
 
+  /// Copy of the current contents, oldest first.  For introspection
+  /// (conservation censuses, tests); the snapshot is stale the moment
+  /// the lock drops, so use it only when producers/consumers are
+  /// quiesced or approximate answers are acceptable.
+  [[nodiscard]] std::deque<T> snapshot() const {
+    std::lock_guard lock(mutex_);
+    return items_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;

@@ -35,6 +35,22 @@ void WirecapEngine::open(std::uint32_t queue, sim::SimCore& /*app_core*/) {
   qs.capture_core = std::make_unique<sim::SimCore>(
       scheduler_, 1000 + nic_.nic_id() * 64 + queue);
 
+  // Anything still sitting in the previous incarnation's work queues
+  // belongs to a still-open buddy's pool (close() drained our own
+  // chunks).  Send it home before the queue objects are replaced, or
+  // the chunks would be destroyed while their pools still count them
+  // as captured.
+  const auto drain_home = [this](MpmcQueue<driver::ChunkMeta>* stale) {
+    if (!stale) return;
+    while (auto meta = stale->try_pop()) {
+      if (queues_[meta->ring_id].open) {
+        static_cast<void>(queues_[meta->ring_id].driver->recycle(*meta));
+      }
+    }
+  };
+  drain_home(qs.capture_queue.get());
+  drain_home(qs.recycle_queue.get());
+
   // Capture queues may receive chunks from every buddy, so size them for
   // the whole NIC's chunk population.
   const std::size_t capacity = static_cast<std::size_t>(config_.chunk_count) *
@@ -43,7 +59,11 @@ void WirecapEngine::open(std::uint32_t queue, sim::SimCore& /*app_core*/) {
   qs.recycle_queue = std::make_unique<MpmcQueue<driver::ChunkMeta>>(
       config_.chunk_count);
 
+  if (pool_observer_) qs.driver->pool().set_observer(pool_observer_);
   qs.driver->open();
+  // Late-opened queues publish like queues open at bind time
+  // (bind_queue_telemetry is a no-op until bind_telemetry() runs).
+  bind_queue_telemetry(queue);
   poll(queue);
 }
 
@@ -51,8 +71,66 @@ void WirecapEngine::close(std::uint32_t queue) {
   QueueState& qs = queues_.at(queue);
   if (!qs.open) return;
   qs.open = false;
-  qs.driver->close();
   qs.data_callback = nullptr;
+
+  // Drain the work-queue pair and `pending` back to the owning pools
+  // while the old pool is still alive.  The recycle queue and `pending`
+  // only ever hold this ring's chunks; the capture queue may also hold
+  // chunks buddies offloaded in, which go home to *their* pools.
+  const auto recycle_to_owner = [this](const driver::ChunkMeta& meta) {
+    const Status status = queues_[meta.ring_id].driver->recycle(meta);
+    if (!status.is_ok()) {
+      throw std::logic_error("WirecapEngine: close-drain recycle failed");
+    }
+  };
+  while (auto meta = qs.capture_queue->try_pop()) recycle_to_owner(*meta);
+  for (const driver::ChunkMeta& meta : qs.pending) recycle_to_owner(meta);
+  qs.pending.clear();
+  drop_current(qs);
+
+  // Chunks this ring offloaded to buddies that are still queued (or
+  // being read) over there reference the pool being torn down: pull
+  // them back and recycle them before it disappears.
+  for (QueueState& other : queues_) {
+    if (&other == &qs || !other.capture_queue) continue;
+    std::deque<driver::ChunkMeta> kept;
+    while (auto meta = other.capture_queue->try_pop()) {
+      if (meta->ring_id == queue) {
+        recycle_to_owner(*meta);
+      } else {
+        kept.push_back(*meta);
+      }
+    }
+    for (const driver::ChunkMeta& meta : kept) {
+      if (!other.capture_queue->try_push(meta)) {
+        throw std::logic_error("WirecapEngine: close sweep lost a chunk");
+      }
+    }
+    if (other.current && other.current->meta.ring_id == queue) {
+      drop_current(other);
+    }
+  }
+
+  // Last: the recycle queue, which the drop_current() calls above may
+  // have fed (a fully-released current chunk goes home via deref).
+  while (auto meta = qs.recycle_queue->try_pop()) recycle_to_owner(*meta);
+
+  // Chunks still held by application threads (outstanding_) cannot be
+  // reclaimed synchronously; bumping the epoch makes their final
+  // done()/TX completion drop the stale metadata instead of recycling
+  // it into whatever pool a reopen creates.
+  ++qs.epoch;
+  qs.driver->close();
+}
+
+void WirecapEngine::drop_current(QueueState& qs) {
+  if (!qs.current) return;
+  const driver::ChunkMeta meta = qs.current->meta;
+  const std::uint32_t undelivered = meta.pkt_count - qs.current->cursor;
+  qs.current.reset();
+  const std::uint64_t key = chunk_key(meta.ring_id, meta.chunk_id,
+                                      queues_[meta.ring_id].epoch);
+  for (std::uint32_t i = 0; i < undelivered; ++i) deref(key);
 }
 
 void WirecapEngine::set_buddy_group(const std::vector<std::uint32_t>& queues) {
@@ -145,6 +223,7 @@ void WirecapEngine::dispatch(std::uint32_t queue,
         case OffloadPolicy::kLeastBusy: {
           std::size_t best_len = std::numeric_limits<std::size_t>::max();
           for (const std::uint32_t buddy : qs.buddies) {
+            if (!queues_[buddy].open) continue;
             const std::size_t len = queues_[buddy].capture_queue->size();
             if (len < best_len) {
               best_len = len;
@@ -167,6 +246,10 @@ void WirecapEngine::dispatch(std::uint32_t queue,
           target = qs.buddies[offload_rr_++ % qs.buddies.size()];
           break;
       }
+      // A buddy that closed after the group was bound still sits in the
+      // buddy list; its capture queue would be destroyed on reopen with
+      // our chunk inside, leaking it from the engine's accounting.
+      if (!queues_[target].open) target = queue;
     }
   }
 
@@ -203,12 +286,19 @@ std::optional<engines::CaptureView> WirecapEngine::try_next(
     std::uint32_t queue) {
   QueueState& qs = queues_.at(queue);
   if (!qs.open) return std::nullopt;
-  if (!qs.current) {
+  while (!qs.current) {
     auto meta = qs.capture_queue->try_pop();
     if (!meta) return std::nullopt;
+    if (meta->pkt_count == 0) {
+      // Defensive: an empty capture (nothing to deliver) goes straight
+      // home rather than minting a zero-packet view.
+      static_cast<void>(queues_[meta->ring_id].driver->recycle(*meta));
+      continue;
+    }
     qs.current = CurrentChunk{*meta, 0};
-    outstanding_[chunk_key(meta->ring_id, meta->chunk_id)] =
-        Outstanding{*meta, meta->pkt_count};
+    const std::uint64_t epoch = queues_[meta->ring_id].epoch;
+    outstanding_[chunk_key(meta->ring_id, meta->chunk_id, epoch)] =
+        Outstanding{*meta, meta->pkt_count, epoch};
     // Application-side dequeue of one chunk's worth of packets.
     WIRECAP_TRACE(tracer_,
                   instant("chunk.dequeue", "app", scheduler_.now(), queue,
@@ -226,7 +316,8 @@ std::optional<engines::CaptureView> WirecapEngine::try_next(
   view.wire_len = info.wire_length;
   view.timestamp = Nanos{info.timestamp_ns};
   view.seq = info.seq;
-  view.handle = make_handle(meta.ring_id, meta.chunk_id, cell_index);
+  view.handle = make_handle(meta.ring_id, queues_[meta.ring_id].epoch,
+                            meta.chunk_id, cell_index);
 
   ++current.cursor;
   if (current.cursor == meta.pkt_count) qs.current.reset();
@@ -241,10 +332,18 @@ void WirecapEngine::deref(std::uint64_t key) {
   }
   if (--it->second.remaining == 0) {
     const driver::ChunkMeta meta = it->second.meta;
+    const std::uint64_t epoch = it->second.epoch;
     outstanding_.erase(it);
+    QueueState& owner = queues_[meta.ring_id];
+    if (epoch != owner.epoch) {
+      // The owning queue closed since this chunk was dequeued; its pool
+      // is gone (or about to be).  Dropping the metadata is the correct
+      // end of life — recycling it would corrupt a reopened pool.
+      return;
+    }
     // The chunk goes home: recycling happens on the pool that owns it,
     // regardless of which application thread processed it.
-    if (!queues_[meta.ring_id].recycle_queue->try_push(meta)) {
+    if (!owner.recycle_queue->try_push(meta)) {
       throw std::logic_error("WirecapEngine: recycle queue overflow");
     }
   }
@@ -252,7 +351,7 @@ void WirecapEngine::deref(std::uint64_t key) {
 
 void WirecapEngine::done(std::uint32_t /*queue*/,
                          const engines::CaptureView& view) {
-  deref(chunk_key(handle_ring(view.handle), handle_chunk(view.handle)));
+  deref(handle_key(view.handle));
 }
 
 bool WirecapEngine::forward(std::uint32_t /*queue*/,
@@ -261,8 +360,7 @@ bool WirecapEngine::forward(std::uint32_t /*queue*/,
                             std::uint32_t tx_queue) {
   // Zero-copy forwarding: attach the pool cell to a transmit descriptor;
   // the chunk cannot be recycled until the frame has left the wire.
-  const std::uint64_t key =
-      chunk_key(handle_ring(view.handle), handle_chunk(view.handle));
+  const std::uint64_t key = handle_key(view.handle);
   nic::TxRequest request;
   request.frame = view.bytes;
   request.wire_length = view.wire_len;
@@ -312,49 +410,101 @@ void WirecapEngine::bind_telemetry(telemetry::Telemetry& telemetry,
                                    const std::string& prefix,
                                    std::uint32_t num_queues) {
   engines::CaptureEngine::bind_telemetry(telemetry, prefix, num_queues);
-  auto clock = [this] { return scheduler_.now(); };
+  telemetry_ = &telemetry;
+  telemetry_prefix_ = prefix;
   for (std::uint32_t q = 0; q < num_queues && q < queues_.size(); ++q) {
-    QueueState& qs = queues_[q];
-    if (!qs.open) continue;
-    const std::string qp = prefix + ".q" + std::to_string(q) + ".";
-    telemetry.registry.bind_gauge(qp + "capture_queue.depth", [&qs] {
-      return static_cast<double>(qs.capture_queue->size());
-    });
-    telemetry.registry.bind_gauge(qp + "pending.depth", [&qs] {
-      return static_cast<double>(qs.pending.size());
-    });
-    telemetry.registry.bind_gauge(qp + "pool.free_chunks", [&qs] {
-      return static_cast<double>(qs.driver->pool().free_chunks());
-    });
-    telemetry.registry.bind_gauge(qp + "capture_core.utilization", [&qs] {
-      return qs.capture_core ? qs.capture_core->utilization() : 0.0;
-    });
-    telemetry.registry.bind_counter(qp + "capture_queue.high_water", [&qs] {
-      return qs.extra.capture_queue_high_water;
-    });
-    telemetry.registry.bind_counter(qp + "pending.high_water", [&qs] {
-      return qs.extra.pending_high_water;
-    });
-    telemetry.registry.bind_counter(qp + "polls",
-                                    [&qs] { return qs.extra.polls; });
-    const driver::WirecapDriverStats& ds = qs.driver->stats();
-    telemetry.registry.bind_counter(qp + "driver.chunks_captured",
-                                    [&ds] { return ds.chunks_captured; });
-    telemetry.registry.bind_counter(qp + "driver.partial_rescues",
-                                    [&ds] { return ds.partial_rescues; });
-    telemetry.registry.bind_counter(qp + "driver.packets_copied",
-                                    [&ds] { return ds.packets_copied; });
-    telemetry.registry.bind_counter(qp + "driver.packets_captured",
-                                    [&ds] { return ds.packets_captured; });
-    telemetry.registry.bind_counter(qp + "driver.chunks_recycled",
-                                    [&ds] { return ds.chunks_recycled; });
-    telemetry.registry.bind_counter(qp + "driver.recycle_rejects",
-                                    [&ds] { return ds.recycle_rejects; });
-    telemetry.registry.bind_counter(qp + "driver.attach_failures",
-                                    [&ds] { return ds.attach_failures; });
-    qs.driver->set_tracer(&telemetry.tracer, clock);
+    if (queues_[q].open) bind_queue_telemetry(q);
   }
   telemetry.probes.push_back([this](Nanos now) { sample_depths(now); });
+}
+
+void WirecapEngine::bind_queue_telemetry(std::uint32_t queue) {
+  if (!telemetry_) return;
+  QueueState& qs = queues_[queue];
+  const std::string qp = telemetry_prefix_ + ".q" + std::to_string(queue) + ".";
+  telemetry::MetricRegistry& registry = telemetry_->registry;
+  // Every binding resolves through the QueueState at sample time: a
+  // close()/open() cycle replaces the driver and queues, and bindings
+  // made against the old instances would dangle.
+  registry.bind_gauge(qp + "capture_queue.depth", [&qs] {
+    return qs.capture_queue ? static_cast<double>(qs.capture_queue->size())
+                            : 0.0;
+  });
+  registry.bind_gauge(qp + "pending.depth", [&qs] {
+    return static_cast<double>(qs.pending.size());
+  });
+  registry.bind_gauge(qp + "pool.free_chunks", [&qs] {
+    return qs.driver ? static_cast<double>(qs.driver->pool().free_chunks())
+                     : 0.0;
+  });
+  registry.bind_gauge(qp + "capture_core.utilization", [&qs] {
+    return qs.capture_core ? qs.capture_core->utilization() : 0.0;
+  });
+  registry.bind_counter(qp + "capture_queue.high_water", [&qs] {
+    return qs.extra.capture_queue_high_water;
+  });
+  registry.bind_counter(qp + "pending.high_water", [&qs] {
+    return qs.extra.pending_high_water;
+  });
+  registry.bind_counter(qp + "polls", [&qs] { return qs.extra.polls; });
+  const auto driver_counter = [&registry, &qs, &qp](
+                                  const char* name,
+                                  std::uint64_t driver::WirecapDriverStats::*
+                                      field) {
+    registry.bind_counter(qp + name, [&qs, field] {
+      return qs.driver ? qs.driver->stats().*field : 0;
+    });
+  };
+  driver_counter("driver.chunks_captured",
+                 &driver::WirecapDriverStats::chunks_captured);
+  driver_counter("driver.partial_rescues",
+                 &driver::WirecapDriverStats::partial_rescues);
+  driver_counter("driver.packets_copied",
+                 &driver::WirecapDriverStats::packets_copied);
+  driver_counter("driver.packets_captured",
+                 &driver::WirecapDriverStats::packets_captured);
+  driver_counter("driver.chunks_recycled",
+                 &driver::WirecapDriverStats::chunks_recycled);
+  driver_counter("driver.recycle_rejects",
+                 &driver::WirecapDriverStats::recycle_rejects);
+  driver_counter("driver.attach_failures",
+                 &driver::WirecapDriverStats::attach_failures);
+  if (qs.driver) {
+    qs.driver->set_tracer(&telemetry_->tracer,
+                          [this] { return scheduler_.now(); });
+  }
+}
+
+void WirecapEngine::set_pool_observer(driver::PoolObserver* observer) {
+  pool_observer_ = observer;
+  for (QueueState& qs : queues_) {
+    if (qs.driver) qs.driver->pool().set_observer(observer);
+  }
+}
+
+WirecapEngine::CapturedCensus WirecapEngine::captured_census(
+    std::uint32_t ring) const {
+  CapturedCensus census;
+  const QueueState& owner = queues_.at(ring);
+  for (const QueueState& qs : queues_) {
+    if (qs.capture_queue) {
+      for (const driver::ChunkMeta& meta : qs.capture_queue->snapshot()) {
+        if (meta.ring_id == ring) ++census.in_capture_queues;
+      }
+    }
+    for (const driver::ChunkMeta& meta : qs.pending) {
+      if (meta.ring_id == ring) ++census.in_pending;
+    }
+  }
+  if (owner.recycle_queue) {
+    census.in_recycle_queue = owner.recycle_queue->snapshot().size();
+  }
+  for (const auto& [key, entry] : outstanding_) {
+    if (entry.meta.ring_id == ring && entry.epoch == owner.epoch) {
+      ++census.outstanding;
+    }
+  }
+  return census;
 }
 
 void WirecapEngine::sample_depths(Nanos /*now*/) {

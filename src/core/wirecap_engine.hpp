@@ -88,6 +88,14 @@ class WirecapEngine final : public engines::CaptureEngine {
 
   // --- CaptureEngine interface ---
   void open(std::uint32_t queue, sim::SimCore& app_core) override;
+  /// Closes `queue` and invalidates every chunk its pool owns: the
+  /// work-queue pair and `pending` are drained back to their owning
+  /// pools, chunks this queue offloaded to buddies are pulled off their
+  /// capture queues and recycled, and the queue's epoch is bumped so a
+  /// late done()/TX completion on a chunk captured before the close is
+  /// dropped instead of recycling stale metadata into a future pool.
+  /// CaptureViews obtained before close() must not be dereferenced
+  /// afterwards (their cells belong to the torn-down pool).
   void close(std::uint32_t queue) override;
   std::optional<engines::CaptureView> try_next(std::uint32_t queue) override;
   void done(std::uint32_t queue, const engines::CaptureView& view) override;
@@ -124,6 +132,28 @@ class WirecapEngine final : public engines::CaptureEngine {
   /// input).
   [[nodiscard]] std::uint64_t total_pool_bytes() const;
 
+  /// Registers an observer handed to every queue's RingBufferPool —
+  /// pools already open get it immediately, pools created by later
+  /// open() calls get it at creation.  Used by the lifecycle auditor
+  /// (src/testing); null clears.
+  void set_pool_observer(driver::PoolObserver* observer);
+
+  /// Where every captured chunk of `ring`'s pool currently lives inside
+  /// the engine.  The locations are disjoint, so for a quiesced engine
+  /// (no capture poll mid-flight):
+  ///   pool(ring).state_counts().captured == census.total()
+  /// — the conservation law the lifecycle auditor asserts.
+  struct CapturedCensus {
+    std::uint64_t in_capture_queues = 0;  ///< dispatched, not yet dequeued
+    std::uint64_t in_pending = 0;         ///< parked, awaiting re-dispatch
+    std::uint64_t in_recycle_queue = 0;   ///< released, awaiting recycle
+    std::uint64_t outstanding = 0;        ///< held by applications / TX
+    [[nodiscard]] std::uint64_t total() const {
+      return in_capture_queues + in_pending + in_recycle_queue + outstanding;
+    }
+  };
+  [[nodiscard]] CapturedCensus captured_census(std::uint32_t ring) const;
+
  private:
   struct CurrentChunk {
     driver::ChunkMeta meta;
@@ -133,10 +163,17 @@ class WirecapEngine final : public engines::CaptureEngine {
   struct Outstanding {
     driver::ChunkMeta meta;
     std::uint32_t remaining = 0;  // undelivered done()/TX completions
+    /// Owning queue's epoch when the chunk was dequeued; a mismatch at
+    /// final release means the queue closed in between and the metadata
+    /// must be dropped, not recycled.
+    std::uint64_t epoch = 0;
   };
 
   struct QueueState {
     bool open = false;
+    /// Bumped by close(); distinguishes chunks of the current pool from
+    /// chunks of pools torn down by earlier close() calls.
+    std::uint64_t epoch = 0;
     std::unique_ptr<driver::WirecapQueueDriver> driver;
     std::unique_ptr<sim::SimCore> capture_core;
     std::unique_ptr<MpmcQueue<driver::ChunkMeta>> capture_queue;
@@ -149,17 +186,27 @@ class WirecapEngine final : public engines::CaptureEngine {
     WirecapQueueExtraStats extra;
   };
 
+  // Outstanding-map keys and application handles carry the owning
+  // queue's epoch (mod 256) alongside {ring, chunk}, so a handle minted
+  // before a close() can never alias an entry for the same chunk id
+  // captured after a reopen.
   [[nodiscard]] static constexpr std::uint64_t chunk_key(
-      std::uint32_t ring_id, std::uint32_t chunk_id) {
-    return (static_cast<std::uint64_t>(ring_id) << 32) | chunk_id;
+      std::uint32_t ring_id, std::uint32_t chunk_id, std::uint64_t epoch) {
+    return (static_cast<std::uint64_t>(ring_id) << 40) |
+           ((epoch & 0xFF) << 32) | chunk_id;
   }
   [[nodiscard]] static constexpr std::uint64_t make_handle(
-      std::uint32_t ring_id, std::uint32_t chunk_id, std::uint32_t cell) {
-    return (static_cast<std::uint64_t>(ring_id) << 48) |
+      std::uint32_t ring_id, std::uint64_t epoch, std::uint32_t chunk_id,
+      std::uint32_t cell) {
+    return (static_cast<std::uint64_t>(ring_id) << 56) |
+           ((epoch & 0xFF) << 48) |
            (static_cast<std::uint64_t>(chunk_id) << 24) | cell;
   }
   [[nodiscard]] static constexpr std::uint32_t handle_ring(std::uint64_t h) {
-    return static_cast<std::uint32_t>(h >> 48);
+    return static_cast<std::uint32_t>(h >> 56);
+  }
+  [[nodiscard]] static constexpr std::uint64_t handle_epoch(std::uint64_t h) {
+    return (h >> 48) & 0xFF;
   }
   [[nodiscard]] static constexpr std::uint32_t handle_chunk(std::uint64_t h) {
     return static_cast<std::uint32_t>((h >> 24) & 0xFFFFFF);
@@ -167,12 +214,23 @@ class WirecapEngine final : public engines::CaptureEngine {
   [[nodiscard]] static constexpr std::uint32_t handle_cell(std::uint64_t h) {
     return static_cast<std::uint32_t>(h & 0xFFFFFF);
   }
+  [[nodiscard]] static constexpr std::uint64_t handle_key(std::uint64_t h) {
+    return chunk_key(handle_ring(h), handle_chunk(h), handle_epoch(h));
+  }
 
   void poll(std::uint32_t queue);
   /// Places a captured chunk on a capture queue per the offloading
   /// policy; on failure parks it in `pending`.
   void dispatch(std::uint32_t queue, const driver::ChunkMeta& meta);
   void deref(std::uint64_t key);
+  /// Forgets a queue's partially-read current chunk: releases the
+  /// undelivered packets' share of its refcount (close-time teardown).
+  void drop_current(QueueState& qs);
+  /// Registers `queue`'s per-queue metrics (depths, pool, driver stats)
+  /// and hands the tracer to its driver.  Reopen-safe: every binding
+  /// resolves through QueueState at sample time.  No-op until
+  /// bind_telemetry() has supplied the registry.
+  void bind_queue_telemetry(std::uint32_t queue);
 
   sim::Scheduler& scheduler_;
   nic::MultiQueueNic& nic_;
@@ -182,6 +240,11 @@ class WirecapEngine final : public engines::CaptureEngine {
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;
   std::uint32_t offload_rr_ = 0;        // round-robin ablation state
   std::uint64_t offload_rng_ = 0x9E3779B97F4A7C15ULL;  // random ablation state
+  driver::PoolObserver* pool_observer_ = nullptr;
+  // Telemetry context retained so queues opened after bind_telemetry()
+  // still publish their per-queue metrics.
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::string telemetry_prefix_;
 };
 
 }  // namespace wirecap::core

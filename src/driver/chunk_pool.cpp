@@ -6,6 +6,11 @@
 
 namespace wirecap::driver {
 
+std::uint64_t RingBufferPool::next_uid() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
 RingBufferPool::RingBufferPool(std::uint32_t nic_id, std::uint32_t ring_id,
                                std::uint32_t cells_per_chunk,
                                std::uint32_t chunk_count,
@@ -31,6 +36,7 @@ Result<std::uint32_t> RingBufferPool::acquire_for_attach() {
   const std::uint32_t chunk_id = free_list_.back();
   free_list_.pop_back();
   states_[chunk_id] = ChunkState::kAttached;
+  notify(chunk_id, ChunkState::kFree, ChunkState::kAttached, "attach");
   return chunk_id;
 }
 
@@ -45,6 +51,7 @@ Result<ChunkMeta> RingBufferPool::mark_captured(std::uint32_t chunk_id,
     return StatusCode::kInvalidArgument;
   }
   states_[chunk_id] = ChunkState::kCaptured;
+  notify(chunk_id, ChunkState::kAttached, ChunkState::kCaptured, "capture");
   return ChunkMeta{nic_id_, ring_id_, chunk_id, first_cell, pkt_count};
 }
 
@@ -54,32 +61,60 @@ Result<ChunkMeta> RingBufferPool::capture_free_chunk(std::uint32_t pkt_count) {
   const std::uint32_t chunk_id = free_list_.back();
   free_list_.pop_back();
   states_[chunk_id] = ChunkState::kCaptured;
+  notify(chunk_id, ChunkState::kFree, ChunkState::kCaptured, "rescue");
   return ChunkMeta{nic_id_, ring_id_, chunk_id, 0, pkt_count};
 }
 
 Status RingBufferPool::recycle(const ChunkMeta& meta) {
   // Strict validation: the kernel trusts nothing in user-supplied
   // metadata (§3.2.2c).
+  const auto reject = [&](StatusCode code) {
+    if (observer_) observer_->on_recycle_reject(*this, meta, code);
+    return Status{code};
+  };
   if (meta.nic_id != nic_id_ || meta.ring_id != ring_id_) {
-    return Status{StatusCode::kPermissionDenied};
+    return reject(StatusCode::kPermissionDenied);
   }
   if (meta.chunk_id >= chunk_count_) {
-    return Status{StatusCode::kInvalidArgument};
+    return reject(StatusCode::kInvalidArgument);
   }
   if (meta.first_cell + meta.pkt_count > cells_per_chunk_) {
-    return Status{StatusCode::kInvalidArgument};
+    return reject(StatusCode::kInvalidArgument);
   }
   if (states_[meta.chunk_id] != ChunkState::kCaptured) {
-    return Status{StatusCode::kInvalidArgument};  // double recycle / foreign
+    return reject(StatusCode::kInvalidArgument);  // double recycle / foreign
   }
   states_[meta.chunk_id] = ChunkState::kFree;
   free_list_.push_back(meta.chunk_id);
+  notify(meta.chunk_id, ChunkState::kCaptured, ChunkState::kFree, "recycle");
   return Status::ok();
+}
+
+void RingBufferPool::release_attached(std::uint32_t chunk_id) {
+  check_chunk_id(chunk_id);
+  if (states_[chunk_id] != ChunkState::kAttached) {
+    throw std::logic_error("RingBufferPool::release_attached: not attached");
+  }
+  states_[chunk_id] = ChunkState::kFree;
+  free_list_.push_back(chunk_id);
+  notify(chunk_id, ChunkState::kAttached, ChunkState::kFree, "release");
 }
 
 ChunkState RingBufferPool::state(std::uint32_t chunk_id) const {
   check_chunk_id(chunk_id);
   return states_[chunk_id];
+}
+
+ChunkStateCounts RingBufferPool::state_counts() const {
+  ChunkStateCounts counts;
+  for (const ChunkState state : states_) {
+    switch (state) {
+      case ChunkState::kFree: ++counts.free; break;
+      case ChunkState::kAttached: ++counts.attached; break;
+      case ChunkState::kCaptured: ++counts.captured; break;
+    }
+  }
+  return counts;
 }
 
 std::span<std::byte> RingBufferPool::cell(std::uint32_t chunk_id,

@@ -25,6 +25,42 @@ namespace wirecap::driver {
 
 enum class ChunkState : std::uint8_t { kFree, kAttached, kCaptured };
 
+class RingBufferPool;
+struct ChunkMeta;
+
+/// Observation seam for every chunk state transition a pool performs.
+/// The production pool runs with a null observer (one predicted branch
+/// per transition); the lifecycle auditor (src/testing) subscribes here
+/// to shadow the state machine and fail fast on violations.
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+
+  /// Fired after a transition commits.  `cause` is a static string
+  /// naming the operation ("attach", "capture", "rescue", "recycle",
+  /// "release").
+  virtual void on_transition(const RingBufferPool& pool,
+                             std::uint32_t chunk_id, ChunkState from,
+                             ChunkState to, const char* cause) = 0;
+
+  /// Fired when recycle() rejects user-supplied metadata (the chunk, if
+  /// any, did not change state).
+  virtual void on_recycle_reject(const RingBufferPool& pool,
+                                 const ChunkMeta& meta, StatusCode code) {
+    static_cast<void>(pool);
+    static_cast<void>(meta);
+    static_cast<void>(code);
+  }
+};
+
+/// Per-state population of a pool; free + attached + captured always
+/// equals R (every chunk is in exactly one state).
+struct ChunkStateCounts {
+  std::uint32_t free = 0;
+  std::uint32_t attached = 0;
+  std::uint32_t captured = 0;
+};
+
 [[nodiscard]] constexpr const char* to_string(ChunkState state) {
   switch (state) {
     case ChunkState::kFree: return "free";
@@ -72,6 +108,11 @@ class RingBufferPool {
 
   [[nodiscard]] std::uint32_t nic_id() const { return nic_id_; }
   [[nodiscard]] std::uint32_t ring_id() const { return ring_id_; }
+  /// Process-unique pool instance id.  {nic_id, ring_id} repeats across
+  /// close()/open() cycles (a reopened queue builds a fresh pool with
+  /// the same coordinates); observers that shadow per-pool state key on
+  /// this instead so a recycled heap address can't alias a dead pool.
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
   [[nodiscard]] std::uint32_t cells_per_chunk() const { return cells_per_chunk_; }
   [[nodiscard]] std::uint32_t chunk_count() const { return chunk_count_; }
   [[nodiscard]] std::uint32_t cell_size() const { return cell_size_; }
@@ -115,9 +156,23 @@ class RingBufferPool {
   /// not in the captured state (double recycle).
   Status recycle(const ChunkMeta& meta);
 
+  /// attached -> free: the driver detaches a chunk whose descriptors are
+  /// no longer in the ring — a rescue donor whose cells were all copied
+  /// out, or a still-attached chunk at close().  Throws on a chunk that
+  /// is not attached (this is a driver-internal path, not a user one).
+  void release_attached(std::uint32_t chunk_id);
+
+  /// Registers (or clears, with null) the transition observer.  The
+  /// observer must outlive the pool or be cleared before destruction.
+  void set_observer(PoolObserver* observer) { observer_ = observer; }
+  [[nodiscard]] PoolObserver* observer() const { return observer_; }
+
   // --- cell access ---
 
   [[nodiscard]] ChunkState state(std::uint32_t chunk_id) const;
+
+  /// Current population of each state (O(R); for audits and tests).
+  [[nodiscard]] ChunkStateCounts state_counts() const;
 
   /// Memory of one cell (the DMA target / packet bytes).
   [[nodiscard]] std::span<std::byte> cell(std::uint32_t chunk_id,
@@ -144,8 +199,16 @@ class RingBufferPool {
   }
 
  private:
+  static std::uint64_t next_uid();
+
   void check_chunk_id(std::uint32_t chunk_id) const;
 
+  void notify(std::uint32_t chunk_id, ChunkState from, ChunkState to,
+              const char* cause) {
+    if (observer_) observer_->on_transition(*this, chunk_id, from, to, cause);
+  }
+
+  std::uint64_t uid_ = next_uid();
   std::uint32_t nic_id_;
   std::uint32_t ring_id_;
   std::uint32_t cells_per_chunk_;
@@ -157,6 +220,7 @@ class RingBufferPool {
   std::vector<CellInfo> cell_info_;
   std::vector<ChunkState> states_;
   std::vector<std::uint32_t> free_list_;
+  PoolObserver* observer_ = nullptr;
 };
 
 }  // namespace wirecap::driver

@@ -142,6 +142,13 @@ std::uint32_t WirecapQueueDriver::capture(Nanos now, std::size_t max_chunks,
   stats_.packets_captured += filled;
   WIRECAP_TRACE(tracer_, instant("chunk.rescue", "driver", now, queue_,
                                  "chunk", rescue->chunk_id, "copied", filled));
+  // The rescue consumed ring cells: re-attach free chunks where whole
+  // segments now fit and kick the NIC.  When the ring size is not a
+  // multiple of M, the rescue itself is what pushes empty_slots past
+  // the segment threshold — without replenishing here the free chunk
+  // sits idle and the ring runs short until the next recycle happens
+  // to arrive.
+  replenish();
   return filled;
 }
 
@@ -179,8 +186,17 @@ bool WirecapQueueDriver::transmit(std::uint32_t tx_queue,
 }
 
 void WirecapQueueDriver::close() {
+  if (!open_) return;
   open_ = false;
+  // Detach every chunk still tied to the ring and rewind the ring's
+  // descriptors/cursors, so a later open() (or a reopened queue's fresh
+  // driver) starts from a clean slate instead of consuming descriptors
+  // whose cookies reference a dead pool.
+  for (const Segment& segment : segments_) {
+    pool_.release_attached(segment.chunk_id);
+  }
   segments_.clear();
+  nic_.rx_ring(queue_).reset();
 }
 
 void WirecapQueueDriver::set_tracer(telemetry::EventTracer* tracer,

@@ -82,7 +82,10 @@ class WirecapQueueDriver {
   bool transmit(std::uint32_t tx_queue, const ChunkMeta& meta,
                 std::uint32_t cell_index, std::function<void()> on_complete);
 
-  /// The close operation.
+  /// The close operation: detaches every still-attached chunk back to
+  /// the free pool and resets the receive ring.  Packets sitting
+  /// unconsumed in the ring are discarded.  Requires a quiesced NIC (no
+  /// DMA in flight into this queue).
   void close();
 
   /// Hands the driver the experiment's tracer and a virtual-time source

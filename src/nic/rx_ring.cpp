@@ -58,6 +58,21 @@ const RxWriteback& RxRing::peek_writeback() const {
   return descriptors_[wrap(consume_)].writeback;
 }
 
+bool RxRing::dma_in_flight() const {
+  for (const RxDescriptor& desc : descriptors_) {
+    if (desc.state == RxDescState::kDmaInFlight) return true;
+  }
+  return false;
+}
+
+void RxRing::reset() {
+  if (dma_in_flight()) {
+    throw std::logic_error("RxRing::reset: DMA in flight");
+  }
+  for (RxDescriptor& desc : descriptors_) desc = RxDescriptor{};
+  attach_ = dma_ = consume_ = 0;
+}
+
 bool RxRing::can_receive() const {
   return dma_ < attach_ &&
          descriptors_[wrap(dma_)].state == RxDescState::kReady;

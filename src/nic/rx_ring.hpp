@@ -56,6 +56,17 @@ class RxRing {
   /// Precondition: has_filled().
   [[nodiscard]] const RxWriteback& peek_writeback() const;
 
+  /// Detaches every descriptor and rewinds all cursors — the driver's
+  /// close operation, after which a fresh open() starts from a clean
+  /// ring.  Throws if a DMA is in flight: the caller must quiesce the
+  /// NIC first (a completion landing on a reset slot would corrupt the
+  /// new owner's buffer).
+  void reset();
+
+  /// True while any descriptor has a DMA in flight — the condition the
+  /// caller must wait out before reset().
+  [[nodiscard]] bool dma_in_flight() const;
+
   // --- NIC side ---
 
   /// True when the descriptor at the DMA cursor is ready to receive.

@@ -1,0 +1,389 @@
+#include "testing/faults.hpp"
+
+#include <algorithm>
+
+#include "core/wirecap_engine.hpp"
+#include "net/packet.hpp"
+#include "nic/device.hpp"
+#include "sim/core.hpp"
+#include "sim/costs.hpp"
+#include "trace/flow_gen.hpp"
+
+namespace wirecap::testing {
+
+namespace {
+
+/// Delay before a close attempt / between retries, letting in-flight
+/// DMA into the queue complete (RxRing::reset requires a quiesced
+/// ring).
+constexpr Nanos kDmaSettle = Nanos::from_micros(20);
+/// Gap between a successful close and the reopen — long enough for TX
+/// requests still referencing the torn-down pool to leave the wire.
+constexpr Nanos kReopenDelay = Nanos::from_micros(100);
+constexpr Nanos kAppPollInterval = Nanos::from_micros(2);
+constexpr int kCloseRetries = 50;
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDelayedRecycle: return "delayed-recycle";
+    case FaultKind::kWithheldRecycle: return "withheld-recycle";
+    case FaultKind::kAppStall: return "app-stall";
+    case FaultKind::kTxBurst: return "tx-burst";
+    case FaultKind::kPoolExhaust: return "pool-exhaust";
+    case FaultKind::kTimeoutStorm: return "timeout-storm";
+    case FaultKind::kQueueReopen: return "queue-reopen";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::generate(const FaultPlanConfig& config) {
+  FaultPlan plan;
+  plan.seed_ = config.seed;
+  Xoshiro256 rng{config.seed ^ 0xFA017EC7ULL};
+
+  std::vector<FaultKind> kinds = {
+      FaultKind::kDelayedRecycle, FaultKind::kWithheldRecycle,
+      FaultKind::kAppStall,       FaultKind::kTxBurst,
+      FaultKind::kPoolExhaust,    FaultKind::kTimeoutStorm,
+  };
+  if (config.allow_reopen) kinds.push_back(FaultKind::kQueueReopen);
+
+  const double window = static_cast<double>(config.horizon.count());
+  for (std::uint32_t i = 0; i < config.event_count; ++i) {
+    FaultEvent event;
+    // Leave the first 5% as warmup so adversity hits a flowing pipeline.
+    event.at = Nanos{static_cast<std::int64_t>(
+        window * (0.05 + 0.90 * rng.next_double()))};
+    event.kind = kinds[rng.next_below(kinds.size())];
+    event.queue = static_cast<std::uint32_t>(
+        rng.next_below(config.num_queues));
+    switch (event.kind) {
+      case FaultKind::kDelayedRecycle:
+        event.duration = Nanos::from_micros(
+            static_cast<double>(rng.next_in(10, 80)));
+        event.magnitude = static_cast<std::uint32_t>(rng.next_in(4, 24));
+        break;
+      case FaultKind::kWithheldRecycle:
+        event.duration = Nanos::from_micros(
+            static_cast<double>(rng.next_in(500, 2000)));
+        event.magnitude = static_cast<std::uint32_t>(rng.next_in(2, 8));
+        break;
+      case FaultKind::kAppStall:
+        event.duration = Nanos::from_micros(
+            static_cast<double>(rng.next_in(20, 200)));
+        break;
+      case FaultKind::kTxBurst:
+        event.magnitude = static_cast<std::uint32_t>(rng.next_in(16, 64));
+        break;
+      case FaultKind::kPoolExhaust:
+        event.duration = Nanos::from_micros(
+            static_cast<double>(rng.next_in(50, 300)));
+        break;
+      case FaultKind::kTimeoutStorm:
+        event.magnitude = static_cast<std::uint32_t>(rng.next_in(3, 8));
+        break;
+      case FaultKind::kQueueReopen:
+        break;
+    }
+    plan.events_.push_back(event);
+  }
+  std::sort(plan.events_.begin(), plan.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at < b.at;
+            });
+  return plan;
+}
+
+FaultHarness::FaultHarness(FaultHarnessConfig config)
+    : config_(config),
+      plan_(FaultPlan::generate(config.plan)),
+      rng_(config.plan.seed),
+      bus_(scheduler_),
+      auditor_(AuditorConfig{config.throw_on_violation, 64}) {
+  const std::uint32_t queues = config_.plan.num_queues;
+
+  nic::NicConfig nic_config;
+  nic_config.nic_id = 1;
+  nic_config.num_rx_queues = queues;
+  nic_config.num_tx_queues = 1;
+  nic_config.rx_ring_size = config_.rx_ring_size;
+  nic_config.tx_ring_size = config_.tx_ring_size;
+  nic_ = std::make_unique<nic::MultiQueueNic>(scheduler_, bus_, nic_config);
+
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = config_.cells_per_chunk;
+  engine_config.chunk_count = config_.chunk_count;
+  engine_config.cell_size = 2048;
+  if (config_.advanced_mode && queues > 1) {
+    engine_config.offload_threshold = 0.5;
+  }
+  // Aggressive timing so the short horizon covers many rescue and poll
+  // cycles.
+  sim::CostModel costs;
+  costs.partial_chunk_timeout = Nanos::from_micros(30);
+  costs.capture_poll_interval = Nanos::from_micros(10);
+  engine_ = std::make_unique<core::WirecapEngine>(scheduler_, *nic_,
+                                                  engine_config, costs);
+
+  // Auditor and telemetry attach *before* any queue opens: this is the
+  // late-open binding path (metrics must appear when open() happens).
+  engine_->set_pool_observer(&auditor_);
+  engine_->bind_telemetry(telemetry_, "faults", queues);
+  auditor_.bind_telemetry(telemetry_, "faults",
+                          [this] { return scheduler_.now(); });
+
+  apps_.resize(queues);
+  queue_open_.assign(queues, false);
+  for (std::uint32_t q = 0; q < queues; ++q) {
+    app_cores_.push_back(std::make_unique<sim::SimCore>(scheduler_, 2000 + q));
+    flows_.push_back(trace::flows_for_queue(rng_, q, queues, 4));
+  }
+}
+
+FaultHarness::~FaultHarness() = default;
+
+void FaultHarness::open_queue(std::uint32_t queue) {
+  engine_->open(queue, *app_cores_[queue]);
+  queue_open_[queue] = true;
+  rebind_buddies();
+}
+
+void FaultHarness::rebind_buddies() {
+  if (!config_.advanced_mode) return;
+  std::vector<std::uint32_t> open;
+  for (std::uint32_t q = 0; q < queue_open_.size(); ++q) {
+    if (queue_open_[q]) open.push_back(q);
+  }
+  if (open.size() >= 2) engine_->set_buddy_group(open);
+}
+
+void FaultHarness::schedule_traffic(std::uint32_t queue, Nanos at) {
+  if (at >= config_.plan.horizon) return;
+  scheduler_.schedule_at(at, [this, queue] {
+    AppState& app = apps_[queue];
+    const auto& flows = flows_[queue];
+    const std::uint32_t wire_len =
+        64 + static_cast<std::uint32_t>(rng_.next_below(200));
+    nic_->receive(net::WirePacket::make(
+        scheduler_.now(), flows[rng_.next_below(flows.size())], wire_len,
+        app.seq++));
+    const double jitter = 0.2 + 1.6 * rng_.next_double();
+    schedule_traffic(queue,
+                     scheduler_.now() +
+                         Nanos{static_cast<std::int64_t>(
+                             jitter *
+                             static_cast<double>(config_.mean_gap.count()))});
+  });
+}
+
+void FaultHarness::release_due(std::uint32_t queue) {
+  AppState& app = apps_[queue];
+  const Nanos now = scheduler_.now();
+  for (std::size_t i = 0; i < app.held.size();) {
+    if (app.held[i].release_at <= now) {
+      if (!queue_open_[queue]) ++late_releases_;
+      engine_->done(queue, app.held[i].view);
+      app.held[i] = app.held.back();
+      app.held.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void FaultHarness::consume(std::uint32_t queue,
+                           const engines::CaptureView& view) {
+  AppState& app = apps_[queue];
+  const Nanos now = scheduler_.now();
+  if (app.tx_burst_remaining > 0) {
+    --app.tx_burst_remaining;
+    // forward() releases the chunk itself when the TX ring is full.
+    if (engine_->forward(queue, view, *nic_, 0)) ++forwarded_;
+    return;
+  }
+  if (app.exhaust_until > now) {
+    app.held.push_back(HeldView{view, queue, app.exhaust_until});
+    return;
+  }
+  if (app.delay_remaining > 0) {
+    --app.delay_remaining;
+    const double jitter = 0.5 + rng_.next_double();
+    Nanos release =
+        now + Nanos{static_cast<std::int64_t>(
+                  jitter * static_cast<double>(app.delay_for.count()))};
+    // Everything must be released before the final audit.
+    const Nanos latest = config_.plan.horizon +
+                         Nanos{config_.drain.count() / 2};
+    if (release > latest) release = latest;
+    app.held.push_back(HeldView{view, queue, release});
+    return;
+  }
+  engine_->done(queue, view);
+}
+
+void FaultHarness::app_poll(std::uint32_t queue) {
+  AppState& app = apps_[queue];
+  const Nanos now = scheduler_.now();
+  release_due(queue);
+  if (queue_open_[queue] && now >= app.stall_until) {
+    int budget = 32;
+    while (budget-- > 0) {
+      auto view = engine_->try_next(queue);
+      if (!view) break;
+      consume(queue, *view);
+    }
+  }
+  if (now < end_of_run_) {
+    const Nanos jitter{static_cast<std::int64_t>(rng_.next_below(1000))};
+    scheduler_.schedule_after(kAppPollInterval + jitter,
+                              [this, queue] { app_poll(queue); });
+  }
+}
+
+void FaultHarness::apply(const FaultEvent& event) {
+  AppState& app = apps_[event.queue];
+  const Nanos now = scheduler_.now();
+  switch (event.kind) {
+    case FaultKind::kDelayedRecycle:
+    case FaultKind::kWithheldRecycle:
+      app.delay_remaining += event.magnitude;
+      app.delay_for = event.duration;
+      break;
+    case FaultKind::kAppStall:
+      app.stall_until = std::max(app.stall_until, now + event.duration);
+      break;
+    case FaultKind::kTxBurst:
+      app.tx_burst_remaining += event.magnitude;
+      break;
+    case FaultKind::kPoolExhaust:
+      app.exhaust_until = std::max(app.exhaust_until, now + event.duration);
+      break;
+    case FaultKind::kTimeoutStorm: {
+      // Sub-chunk bursts spaced past the partial-chunk timeout: each
+      // one can only leave the ring via the rescue path.
+      const Nanos gap = Nanos::from_micros(45);  // 1.5x the timeout
+      for (std::uint32_t burst = 0; burst < event.magnitude; ++burst) {
+        const std::uint32_t pkts = 1 + static_cast<std::uint32_t>(
+            rng_.next_below(config_.cells_per_chunk - 1));
+        const std::uint32_t queue = event.queue;
+        scheduler_.schedule_after(
+            Nanos{gap.count() * (burst + 1)}, [this, queue, pkts] {
+              for (std::uint32_t p = 0; p < pkts; ++p) {
+                nic_->receive(net::WirePacket::make(
+                    scheduler_.now(), flows_[queue][0], 64,
+                    apps_[queue].seq++));
+              }
+            });
+      }
+      break;
+    }
+    case FaultKind::kQueueReopen: {
+      if (!queue_open_[event.queue]) break;
+      const std::uint32_t queue = event.queue;
+      // Closing needs a quiesced ring: retry past in-flight DMA.
+      auto attempt = std::make_shared<std::function<void(int)>>();
+      *attempt = [this, queue, attempt](int retries) {
+        if (!queue_open_[queue]) return;
+        if (nic_->rx_ring(queue).dma_in_flight() && retries > 0) {
+          scheduler_.schedule_after(
+              kDmaSettle, [attempt, retries] { (*attempt)(retries - 1); });
+          return;
+        }
+        engine_->close(queue);
+        queue_open_[queue] = false;
+        ++reopens_;
+        scheduler_.schedule_after(kReopenDelay,
+                                  [this, queue] { open_queue(queue); });
+      };
+      scheduler_.schedule_after(kDmaSettle,
+                                [attempt] { (*attempt)(kCloseRetries); });
+      break;
+    }
+  }
+}
+
+void FaultHarness::audit_tick() {
+  for (std::uint32_t q = 0; q < queue_open_.size(); ++q) {
+    // The conservation law only holds for an open ring: a closed one
+    // intentionally strands app-held chunks behind the epoch bump.
+    if (queue_open_[q]) auditor_.check_conservation(*engine_, q);
+  }
+  if (scheduler_.now() < end_of_run_) {
+    scheduler_.schedule_after(config_.check_interval,
+                              [this] { audit_tick(); });
+  }
+}
+
+FaultRunResult FaultHarness::run() {
+  end_of_run_ = config_.plan.horizon + config_.drain;
+
+  for (std::uint32_t q = 0; q < config_.plan.num_queues; ++q) {
+    open_queue(q);
+    schedule_traffic(q, Nanos{static_cast<std::int64_t>(
+                            rng_.next_below(
+                                static_cast<std::uint64_t>(
+                                    config_.mean_gap.count())))});
+    scheduler_.schedule_at(Nanos::zero(), [this, q] { app_poll(q); });
+  }
+  for (const FaultEvent& event : plan_.events()) {
+    scheduler_.schedule_at(event.at, [this, event] { apply(event); });
+  }
+  scheduler_.schedule_after(config_.check_interval, [this] { audit_tick(); });
+
+  scheduler_.run_until(end_of_run_);
+
+  // Straggler releases (clamped to before end_of_run_, but be safe),
+  // then the final audit on a fully quiesced fabric.
+  for (std::uint32_t q = 0; q < config_.plan.num_queues; ++q) {
+    AppState& app = apps_[q];
+    while (!app.held.empty()) {
+      if (!queue_open_[q]) ++late_releases_;
+      engine_->done(q, app.held.back().view);
+      app.held.pop_back();
+    }
+  }
+  scheduler_.run_until(end_of_run_ + Nanos::from_millis(1));
+  for (std::uint32_t q = 0; q < queue_open_.size(); ++q) {
+    if (queue_open_[q]) auditor_.check_conservation(*engine_, q);
+  }
+
+  FaultRunResult result;
+  result.seed = plan_.seed();
+  result.auditor = auditor_.stats();
+  result.forwarded = forwarded_;
+  result.reopens = reopens_;
+  result.late_releases = late_releases_;
+  result.violations = auditor_.violations();
+  for (std::uint32_t q = 0; q < config_.plan.num_queues; ++q) {
+    result.delivered += engine_->queue_stats(q).delivered;
+  }
+  return result;
+}
+
+SoakResult run_fault_soak(std::uint64_t first_seed, std::uint32_t count,
+                          FaultHarnessConfig base) {
+  SoakResult soak;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    base.plan.seed = first_seed + i;
+    FaultHarness harness{base};
+    const FaultRunResult result = harness.run();
+    ++soak.seeds_run;
+    if (result.clean()) ++soak.seeds_clean;
+    soak.total_violations += result.auditor.violations;
+    soak.total_transitions += result.auditor.transitions;
+    soak.total_conservation_checks += result.auditor.conservation_checks;
+    soak.total_delivered += result.delivered;
+    soak.total_reopens += result.reopens;
+    if (!result.clean()) {
+      soak.failures.push_back(
+          "seed " + std::to_string(result.seed) + ": " +
+          (result.violations.empty() ? "(no message recorded)"
+                                     : result.violations.front()));
+    }
+  }
+  return soak;
+}
+
+}  // namespace wirecap::testing

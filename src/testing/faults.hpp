@@ -1,0 +1,206 @@
+// Deterministic fault injection for the WireCAP data path.
+//
+// A FaultPlan is a seeded, pre-generated schedule of adversities aimed
+// at the chunk lifecycle: application threads that stall or withhold
+// recycles, TX-ring-full bursts on the forwarding path, forced pool
+// exhaustion, partial-chunk-timeout storms, and close()/open() cycles
+// racing application-held chunks.  The FaultHarness builds a full
+// fabric (scheduler, NIC, WireCAP engine in advanced mode), attaches a
+// ChunkLifecycleAuditor to every pool, executes the plan over
+// background traffic, and audits the conservation law at a fixed
+// virtual-time cadence.  Everything derives from the single seed, so a
+// violating seed replays bit-for-bit.
+//
+// run_fault_soak() sweeps consecutive seeds — the regression gate the
+// CI sanitizer job runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "engines/engine.hpp"
+#include "net/flow.hpp"
+#include "sim/bus.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
+#include "testing/lifecycle_auditor.hpp"
+
+namespace wirecap::nic {
+class MultiQueueNic;
+}
+namespace wirecap::core {
+class WirecapEngine;
+}
+namespace wirecap::sim {
+class SimCore;
+}
+
+namespace wirecap::testing {
+
+enum class FaultKind : std::uint8_t {
+  kDelayedRecycle,  // app defers done() on a batch of packets briefly
+  kWithheldRecycle, // app sits on packets for a long time (near-leak)
+  kAppStall,        // app thread stops consuming entirely for a while
+  kTxBurst,         // burst of zero-copy forwards at a tiny TX ring
+  kPoolExhaust,     // app holds everything it can until the pool drains
+  kTimeoutStorm,    // sub-chunk trickle bursts forcing partial rescues
+  kQueueReopen,     // close() + later open() while chunks are in flight
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  Nanos at = Nanos::zero();
+  FaultKind kind = FaultKind::kAppStall;
+  std::uint32_t queue = 0;
+  Nanos duration = Nanos::zero();
+  std::uint32_t magnitude = 0;  // views / packets / bursts, per kind
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  /// Virtual-time window faults are scheduled in (traffic also stops
+  /// here; the harness then drains).
+  Nanos horizon = Nanos::from_millis(3);
+  std::uint32_t num_queues = 2;
+  std::uint32_t event_count = 24;
+  /// Close/open cycles are the most invasive adversity; tests that
+  /// want a steady-state-only schedule turn them off.
+  bool allow_reopen = true;
+};
+
+class FaultPlan {
+ public:
+  /// Expands `config.seed` into a time-sorted adversity schedule.
+  [[nodiscard]] static FaultPlan generate(const FaultPlanConfig& config);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::uint64_t seed_ = 0;
+};
+
+struct FaultHarnessConfig {
+  FaultPlanConfig plan;
+  // Small geometry so adversities actually bite: a 12-chunk pool
+  // exhausts, an 8-cell chunk rescues, a 4-slot TX ring fills.
+  std::uint32_t cells_per_chunk = 8;
+  std::uint32_t chunk_count = 12;
+  std::uint32_t rx_ring_size = 32;
+  std::uint32_t tx_ring_size = 4;
+  /// Advanced mode (buddy offloading) puts chunks on foreign capture
+  /// queues — the paths close() must sweep.
+  bool advanced_mode = true;
+  /// Mean inter-arrival of background traffic, per queue.
+  Nanos mean_gap = Nanos::from_micros(2);
+  /// Cadence of the conservation audit.
+  Nanos check_interval = Nanos::from_micros(25);
+  /// Settling time after the horizon before the final audit.
+  Nanos drain = Nanos::from_millis(1);
+  /// Fail at the violating call site instead of collecting (the soak
+  /// collects so one bad seed reports all its violations).
+  bool throw_on_violation = false;
+};
+
+struct FaultRunResult {
+  std::uint64_t seed = 0;
+  AuditorStats auditor;
+  std::uint64_t delivered = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t reopens = 0;
+  /// done() calls that landed after the owning queue had closed —
+  /// exercised epoch-drop paths.
+  std::uint64_t late_releases = 0;
+  std::vector<std::string> violations;
+  [[nodiscard]] bool clean() const { return auditor.violations == 0; }
+};
+
+/// One deterministic fault-injection run: fabric + plan + auditor.
+class FaultHarness {
+ public:
+  explicit FaultHarness(FaultHarnessConfig config);
+  ~FaultHarness();
+
+  FaultRunResult run();
+
+  [[nodiscard]] const ChunkLifecycleAuditor& auditor() const {
+    return auditor_;
+  }
+  [[nodiscard]] const telemetry::Telemetry& telemetry() const {
+    return telemetry_;
+  }
+
+ private:
+  struct HeldView {
+    engines::CaptureView view;
+    std::uint32_t queue = 0;
+    Nanos release_at = Nanos::zero();
+  };
+
+  struct AppState {
+    Nanos stall_until = Nanos::zero();
+    Nanos exhaust_until = Nanos::zero();
+    std::uint32_t delay_remaining = 0;  // views still to be delayed
+    Nanos delay_for = Nanos::zero();
+    std::uint32_t tx_burst_remaining = 0;
+    std::deque<HeldView> held;
+    std::uint64_t seq = 0;  // traffic sequence numbers
+  };
+
+  void open_queue(std::uint32_t queue);
+  void rebind_buddies();
+  void apply(const FaultEvent& event);
+  void schedule_traffic(std::uint32_t queue, Nanos at);
+  void app_poll(std::uint32_t queue);
+  void consume(std::uint32_t queue, const engines::CaptureView& view);
+  void release_due(std::uint32_t queue);
+  void audit_tick();
+
+  FaultHarnessConfig config_;
+  FaultPlan plan_;
+  Xoshiro256 rng_;
+  sim::Scheduler scheduler_;
+  sim::IoBus bus_;
+  telemetry::Telemetry telemetry_;
+  ChunkLifecycleAuditor auditor_;
+  std::unique_ptr<nic::MultiQueueNic> nic_;
+  std::unique_ptr<core::WirecapEngine> engine_;
+  std::vector<std::unique_ptr<sim::SimCore>> app_cores_;
+  std::vector<AppState> apps_;
+  std::vector<bool> queue_open_;
+  std::vector<std::vector<net::FlowKey>> flows_;
+  Nanos end_of_run_ = Nanos::zero();
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t reopens_ = 0;
+  std::uint64_t late_releases_ = 0;
+};
+
+struct SoakResult {
+  std::uint32_t seeds_run = 0;
+  std::uint32_t seeds_clean = 0;
+  std::uint64_t total_violations = 0;
+  std::uint64_t total_transitions = 0;
+  std::uint64_t total_conservation_checks = 0;
+  std::uint64_t total_delivered = 0;
+  std::uint64_t total_reopens = 0;
+  /// "seed N: <first violation>" per dirty seed.
+  std::vector<std::string> failures;
+  [[nodiscard]] bool clean() const { return total_violations == 0; }
+};
+
+/// Runs the harness over `count` consecutive seeds starting at
+/// `first_seed`, with `base` supplying everything but the seed.
+[[nodiscard]] SoakResult run_fault_soak(std::uint64_t first_seed,
+                                        std::uint32_t count,
+                                        FaultHarnessConfig base = {});
+
+}  // namespace wirecap::testing
