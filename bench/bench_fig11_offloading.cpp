@@ -65,5 +65,5 @@ int run(const apps::TelemetryFlags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  return run(wirecap::apps::parse_telemetry_flags(argc, argv));
+  return wirecap::bench::telemetry_main(argc, argv, run);
 }

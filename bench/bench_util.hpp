@@ -81,4 +81,13 @@ inline std::string percent(double fraction) {
   return buf;
 }
 
+/// Shared main() body for benches taking the standard observability
+/// flags (--metrics-out/--trace-out): parses argv once and forwards the
+/// flags into the bench's run().  Replaces the main() previously
+/// copy-pasted into every flag-aware bench.
+inline int telemetry_main(int argc, char** argv,
+                          int (*run)(const apps::TelemetryFlags&)) {
+  return run(apps::parse_telemetry_flags(argc, argv));
+}
+
 }  // namespace wirecap::bench

@@ -9,10 +9,16 @@
 //       size histogram, per-queue RSS split
 //   trace_tools filter <in.pcap> <out.pcap> <expression>
 //       copy packets matching a BPF filter expression
-//   trace_tools replay <in.pcap|in.pcapng> [queues] [x]
+//   trace_tools replay <in.pcap|in.pcapng> [queues] [x] [--spool-dir=DIR]
 //       replay the file through the full simulated capture stack
 //       (RSS -> NIC -> WireCAP advanced mode -> pkt_handlers) and
-//       report per-queue delivery and drops
+//       report per-queue delivery and drops; with --spool-dir the
+//       pkt_handlers are replaced by the capture-to-disk spool and the
+//       run leaves indexed pcapng segments in DIR
+//   trace_tools read-spool <dir> [expression]
+//       k-way-merge a spool directory back into global timestamp order,
+//       optionally filtered by a BPF expression, and print what the
+//       segment indexes let the reader skip
 //
 // Run with no arguments for a self-contained demo in a temp directory.
 #include <cstdio>
@@ -21,6 +27,7 @@
 #include <map>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "bpf/codegen.hpp"
 #include "bpf/disasm.hpp"
@@ -29,6 +36,8 @@
 #include "net/pcapng.hpp"
 #include "net/rss.hpp"
 #include "apps/harness.hpp"
+#include "store/reader.hpp"
+#include "store/spool.hpp"
 #include "trace/border_router.hpp"
 #include "trace/pcap_source.hpp"
 
@@ -149,11 +158,17 @@ int cmd_filter(const std::string& in, const std::string& out,
   return 0;
 }
 
-int cmd_replay(const std::string& path, std::uint32_t queues, unsigned x) {
+int cmd_replay(const std::string& path, std::uint32_t queues, unsigned x,
+               const std::string& spool_dir = {}) {
   apps::ExperimentConfig config;
   config.engine.kind = apps::EngineKind::kWirecapAdvanced;
   config.num_queues = queues;
   config.x = x;
+  if (!spool_dir.empty()) {
+    store::SpoolConfig spool_config;
+    spool_config.dir = spool_dir;
+    config.spool = spool_config;
+  }
   apps::Experiment experiment{config};
 
   trace::PcapReplayConfig replay_config;
@@ -179,6 +194,48 @@ int cmd_replay(const std::string& path, std::uint32_t queues, unsigned x) {
                 static_cast<unsigned long long>(
                     result.per_queue[q].delivered));
   }
+  if (store::Spool* spool = experiment.spool()) {
+    const store::ShardStats stats = spool->total_stats();
+    std::printf("spooled %llu packets (%llu bytes) into %llu segment(s) "
+                "under %s\n",
+                static_cast<unsigned long long>(stats.packets_written),
+                static_cast<unsigned long long>(stats.bytes_written),
+                static_cast<unsigned long long>(stats.segments_opened),
+                spool_dir.c_str());
+    std::printf("read it back with: read-spool %s [expression]\n",
+                spool_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_read_spool(const std::string& dir, const std::string& expression) {
+  store::StoreReader reader{dir};
+  std::printf("%zu segment(s) under %s\n", reader.segments().size(),
+              dir.c_str());
+  store::StoreQuery query;
+  query.filter = expression;
+  std::uint64_t packets = 0, bytes = 0;
+  Nanos first{}, last{};
+  const auto stats = reader.read_merged(
+      query, [&](const net::PcapngRecord& record, std::uint32_t) {
+        if (packets == 0) first = record.timestamp;
+        last = record.timestamp;
+        ++packets;
+        bytes += record.orig_len;
+      });
+  const double duration = packets ? (last - first).seconds() : 0.0;
+  std::printf("merged %llu packets (%llu bytes) in timestamp order, "
+              "spanning %.3f s\n",
+              static_cast<unsigned long long>(packets),
+              static_cast<unsigned long long>(bytes), duration);
+  std::printf("scanned %llu packets; indexes skipped %llu of %llu "
+              "segment(s) (%llu by time, %llu by flow)\n",
+              static_cast<unsigned long long>(stats.packets_scanned),
+              static_cast<unsigned long long>(stats.segments_skipped_time +
+                                              stats.segments_skipped_flow),
+              static_cast<unsigned long long>(stats.segments_total),
+              static_cast<unsigned long long>(stats.segments_skipped_time),
+              static_cast<unsigned long long>(stats.segments_skipped_flow));
   return 0;
 }
 
@@ -193,8 +250,12 @@ int demo() {
   if (const int rc = cmd_filter(full, udp, "udp and 131.225.2")) return rc;
   if (const int rc = cmd_inspect(udp)) return rc;
   if (const int rc = cmd_replay(full, 4, 50)) return rc;
+  const auto spool = (dir / "wirecap_demo_spool").string();
+  if (const int rc = cmd_replay(full, 4, 50, spool)) return rc;
+  if (const int rc = cmd_read_spool(spool, "udp")) return rc;
   std::filesystem::remove(full);
   std::filesystem::remove(udp);
+  std::filesystem::remove_all(spool);
   return 0;
 }
 
@@ -213,19 +274,37 @@ int main(int argc, char** argv) {
       return cmd_filter(argv[2], argv[3], argv[4]);
     }
     if (command == "replay" && argc >= 3) {
-      return cmd_replay(argv[2],
-                        argc > 3 ? static_cast<std::uint32_t>(
-                                       std::atoi(argv[3]))
-                                 : 6,
-                        argc > 4 ? static_cast<unsigned>(std::atoi(argv[4]))
-                                 : 300);
+      // Positional [queues] [x] mixed with the --spool-dir=DIR flag.
+      std::string spool_dir;
+      std::vector<std::string> positional;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--spool-dir=", 0) == 0) {
+          spool_dir = arg.substr(12);
+        } else {
+          positional.push_back(arg);
+        }
+      }
+      const std::uint32_t queues =
+          positional.size() > 0
+              ? static_cast<std::uint32_t>(std::atoi(positional[0].c_str()))
+              : 6;
+      const unsigned x =
+          positional.size() > 1
+              ? static_cast<unsigned>(std::atoi(positional[1].c_str()))
+              : 300;
+      return cmd_replay(argv[2], queues, x, spool_dir);
+    }
+    if (command == "read-spool" && argc >= 3) {
+      return cmd_read_spool(argv[2], argc > 3 ? argv[3] : "");
     }
     std::fprintf(stderr,
                  "usage: %s generate <out.pcap|out.pcapng> [seconds] [scale]\n"
                  "       %s inspect <in.pcap>\n"
                  "       %s filter <in.pcap> <out.pcap> <expression>\n"
-                 "       %s replay <in.pcap> [queues] [x]\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 "       %s replay <in.pcap> [queues] [x] [--spool-dir=DIR]\n"
+                 "       %s read-spool <dir> [expression]\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -122,6 +122,7 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   for (std::uint32_t q = 0; q < config_.num_queues; ++q) {
     app_cores_.push_back(
         std::make_unique<sim::SimCore>(scheduler_, q, config_.cpu_ghz));
+    if (config_.spool) continue;  // spool mode replaces the handlers
     PktHandlerConfig handler_config;
     handler_config.x = config_.x;
     handler_config.filter = config_.filter;
@@ -131,6 +132,25 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
     }
     handlers_.push_back(std::make_unique<PktHandler>(
         *app_cores_[q], *engine_, q, handler_config, config_.costs));
+  }
+
+  if (config_.spool) {
+    store::SpoolConfig spool_config = *config_.spool;
+    spool_config.num_shards = config_.num_queues;
+    spool_ = std::make_unique<store::Spool>(scheduler_, config_.costs,
+                                            spool_config);
+    auto* wirecap = dynamic_cast<core::WirecapEngine*>(engine_.get());
+    for (std::uint32_t q = 0; q < config_.num_queues; ++q) {
+      engine_->open(q, *app_cores_[q]);  // done by PktHandler otherwise
+      sinks_.push_back(std::make_unique<store::StoreSink>(
+          *engine_, q, spool_->shard(q)));
+      if (wirecap) {
+        store::SpoolShard* shard = &spool_->shard(q);
+        wirecap->set_spool_backlog_probe(
+            q, [shard] { return shard->backlog(); });
+      }
+    }
+    for (const auto& sink : sinks_) sink->start();
   }
 
   if (config_.engine.kind == EngineKind::kWirecapAdvanced) {
@@ -176,6 +196,13 @@ void Experiment::bind_telemetry() {
     telemetry_.registry.bind_gauge(
         "core.q" + qn + ".app_core.utilization",
         [this, q] { return app_cores_[q]->utilization(); });
+    if (config_.spool) {
+      const store::StoreSink& sink = *sinks_[q];
+      telemetry_.registry.bind_counter(
+          "app.q" + qn + ".processed",
+          [&sink] { return sink.packets_consumed(); });
+      continue;
+    }
     const PktHandlerStats& hs = handlers_[q]->stats();
     telemetry_.registry.bind_counter("app.q" + qn + ".processed",
                                      [&hs] { return hs.processed; });
@@ -188,6 +215,7 @@ void Experiment::bind_telemetry() {
                                        [&hs] { return hs.forward_failures; });
     }
   }
+  if (spool_) spool_->bind_telemetry(telemetry_, "store");
   telemetry_.registry.bind_counter(
       "nic.total_rx_dropped", [this] { return nic_->total_rx_dropped(); });
   if (nic2_) {
@@ -246,6 +274,18 @@ ExperimentResult Experiment::run(trace::TrafficSource& source, Nanos horizon) {
   injector.start();
   scheduler_.run_until(horizon);
 
+  if (spool_) {
+    // Let the disks catch up, then finalize the footers.  Bounded: a
+    // shard stuck behind a never-ending disk-full fault would otherwise
+    // spin the capture polls forever.
+    Nanos deadline = scheduler_.now();
+    for (int i = 0; i < 10'000 && !spool_->drained(); ++i) {
+      deadline += Nanos::from_millis(1.0);
+      scheduler_.run_until(deadline);
+    }
+    spool_->close();
+  }
+
   ExperimentResult result;
   result.engine_label = config_.engine.label();
   result.sent = injector.injected();
@@ -258,7 +298,8 @@ ExperimentResult Experiment::run(trace::TrafficSource& source, Nanos horizon) {
     queue_result.capture_dropped = rx.dropped;
     queue_result.delivery_dropped = engine_stats.delivery_dropped;
     queue_result.delivered = engine_stats.delivered;
-    queue_result.processed = handlers_[q]->stats().processed;
+    queue_result.processed = config_.spool ? sinks_[q]->packets_consumed()
+                                           : handlers_[q]->stats().processed;
 
     result.capture_dropped += rx.dropped;
     result.delivery_dropped += engine_stats.delivery_dropped;

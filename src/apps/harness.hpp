@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "engines/baselines.hpp"
 #include "nic/wire.hpp"
 #include "sim/bus.hpp"
+#include "store/spool.hpp"
+#include "store/store_sink.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/source.hpp"
@@ -71,6 +74,11 @@ struct ExperimentConfig {
   /// (Fully qualified: the member name shadows the namespace in class
   /// scope.)
   wirecap::telemetry::TelemetryConfig telemetry{};
+  /// Capture-to-disk mode: the per-queue pkt_handlers are replaced by
+  /// StoreSinks spooling whole chunks into `spool->dir`, one shard per
+  /// queue (num_shards is overridden to num_queues).  WireCAP engines
+  /// additionally get the spool-backlog offload feedback wired up.
+  std::optional<store::SpoolConfig> spool;
 };
 
 /// The standard observability command-line surface of the benches:
@@ -164,6 +172,11 @@ class Experiment {
   [[nodiscard]] PktHandler& handler(std::uint32_t queue) {
     return *handlers_.at(queue);
   }
+  /// Null unless the experiment was configured with a spool.
+  [[nodiscard]] store::Spool* spool() { return spool_.get(); }
+  [[nodiscard]] store::StoreSink& store_sink(std::uint32_t queue) {
+    return *sinks_.at(queue);
+  }
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] wirecap::telemetry::Telemetry& telemetry() {
     return telemetry_;
@@ -184,6 +197,10 @@ class Experiment {
   std::unique_ptr<engines::CaptureEngine> engine_;
   std::vector<std::unique_ptr<sim::SimCore>> app_cores_;
   std::vector<std::unique_ptr<PktHandler>> handlers_;
+  // Declared after engine_: sinks/spool hold chunk views into engine
+  // pools and must be torn down first.
+  std::unique_ptr<store::Spool> spool_;
+  std::vector<std::unique_ptr<store::StoreSink>> sinks_;
   std::unique_ptr<wirecap::telemetry::Sampler> sampler_;
 };
 

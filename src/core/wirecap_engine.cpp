@@ -212,10 +212,21 @@ void WirecapEngine::dispatch(std::uint32_t queue,
   QueueState& qs = queues_[queue];
   std::uint32_t target = queue;
 
+  // A queue's load toward the threshold T is its capture-queue depth
+  // plus any registered spool backlog: chunks the disk shard has
+  // accepted but not yet written are work the consumer side still owes,
+  // so a slow disk pushes this queue over T (and makes it a poor
+  // offload target) exactly like a slow application would.
+  const auto effective_load = [this](std::uint32_t q) -> std::size_t {
+    const QueueState& s = queues_[q];
+    std::size_t load = s.capture_queue->size();
+    if (s.spool_backlog) load += s.spool_backlog();
+    return load;
+  };
+
   if (config_.offload_threshold && !qs.buddies.empty()) {
-    const double fill =
-        static_cast<double>(qs.capture_queue->size()) /
-        static_cast<double>(config_.chunk_count);
+    const double fill = static_cast<double>(effective_load(queue)) /
+                        static_cast<double>(config_.chunk_count);
     if (fill > *config_.offload_threshold) {
       // Long-term load imbalance indicator tripped: pick a buddy per the
       // configured policy (the paper's is least-busy).
@@ -224,14 +235,14 @@ void WirecapEngine::dispatch(std::uint32_t queue,
           std::size_t best_len = std::numeric_limits<std::size_t>::max();
           for (const std::uint32_t buddy : qs.buddies) {
             if (!queues_[buddy].open) continue;
-            const std::size_t len = queues_[buddy].capture_queue->size();
+            const std::size_t len = effective_load(buddy);
             if (len < best_len) {
               best_len = len;
               target = buddy;
             }
           }
           // Only offload to somewhere actually less busy.
-          if (best_len >= qs.capture_queue->size()) target = queue;
+          if (best_len >= effective_load(queue)) target = queue;
           break;
         }
         case OffloadPolicy::kRandomBuddy: {
@@ -325,6 +336,58 @@ std::optional<engines::CaptureView> WirecapEngine::try_next(
   return view;
 }
 
+std::optional<engines::ChunkCaptureView> WirecapEngine::try_next_chunk(
+    std::uint32_t queue, std::size_t /*max_packets*/) {
+  QueueState& qs = queues_.at(queue);
+  if (!qs.open) return std::nullopt;
+
+  driver::ChunkMeta meta;
+  std::uint32_t start_cursor = 0;
+  if (qs.current) {
+    // A chunk partially consumed through try_next(): hand over its
+    // remaining packets.  Their refcount share is already registered.
+    meta = qs.current->meta;
+    start_cursor = qs.current->cursor;
+    qs.current.reset();
+  } else {
+    for (;;) {
+      auto popped = qs.capture_queue->try_pop();
+      if (!popped) return std::nullopt;
+      if (popped->pkt_count == 0) {
+        static_cast<void>(queues_[popped->ring_id].driver->recycle(*popped));
+        continue;
+      }
+      meta = *popped;
+      break;
+    }
+    const std::uint64_t epoch = queues_[meta.ring_id].epoch;
+    outstanding_[chunk_key(meta.ring_id, meta.chunk_id, epoch)] =
+        Outstanding{meta, meta.pkt_count, epoch};
+    WIRECAP_TRACE(tracer_,
+                  instant("chunk.dequeue", "app", scheduler_.now(), queue,
+                          "chunk", meta.chunk_id, "pkts", meta.pkt_count));
+  }
+
+  const std::uint64_t epoch = queues_[meta.ring_id].epoch;
+  driver::RingBufferPool& pool = queues_[meta.ring_id].driver->pool();
+  engines::ChunkCaptureView chunk;
+  chunk.source_ring = meta.ring_id;
+  chunk.packets.reserve(meta.pkt_count - start_cursor);
+  for (std::uint32_t cursor = start_cursor; cursor < meta.pkt_count; ++cursor) {
+    const std::uint32_t cell_index = meta.first_cell + cursor;
+    const driver::CellInfo& info = pool.cell_info(meta.chunk_id, cell_index);
+    engines::CaptureView view;
+    view.bytes = pool.cell(meta.chunk_id, cell_index).first(info.length);
+    view.wire_len = info.wire_length;
+    view.timestamp = Nanos{info.timestamp_ns};
+    view.seq = info.seq;
+    view.handle = make_handle(meta.ring_id, epoch, meta.chunk_id, cell_index);
+    chunk.packets.push_back(view);
+  }
+  qs.stats.delivered += meta.pkt_count - start_cursor;
+  return chunk;
+}
+
 void WirecapEngine::deref(std::uint64_t key) {
   const auto it = outstanding_.find(key);
   if (it == outstanding_.end()) {
@@ -376,6 +439,11 @@ bool WirecapEngine::forward(std::uint32_t /*queue*/,
 void WirecapEngine::set_data_callback(std::uint32_t queue,
                                       std::function<void()> fn) {
   queues_.at(queue).data_callback = std::move(fn);
+}
+
+void WirecapEngine::set_spool_backlog_probe(std::uint32_t queue,
+                                            std::function<std::size_t()> probe) {
+  queues_.at(queue).spool_backlog = std::move(probe);
 }
 
 engines::EngineQueueStats WirecapEngine::queue_stats(
@@ -439,6 +507,9 @@ void WirecapEngine::bind_queue_telemetry(std::uint32_t queue) {
   });
   registry.bind_gauge(qp + "capture_core.utilization", [&qs] {
     return qs.capture_core ? qs.capture_core->utilization() : 0.0;
+  });
+  registry.bind_gauge(qp + "spool_backlog", [&qs] {
+    return qs.spool_backlog ? static_cast<double>(qs.spool_backlog()) : 0.0;
   });
   registry.bind_counter(qp + "capture_queue.high_water", [&qs] {
     return qs.extra.capture_queue_high_water;

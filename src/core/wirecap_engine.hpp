@@ -99,6 +99,14 @@ class WirecapEngine final : public engines::CaptureEngine {
   void close(std::uint32_t queue) override;
   std::optional<engines::CaptureView> try_next(std::uint32_t queue) override;
   void done(std::uint32_t queue, const engines::CaptureView& view) override;
+  /// Chunk-native handoff: pops one ChunkMeta off the capture queue and
+  /// serves views of all its cells without copying — the spool consumes
+  /// whole chunks exactly as the capture ioctl produced them.  If the
+  /// application left a chunk partially read via try_next(), its
+  /// remaining packets form the returned chunk (so the two read APIs
+  /// compose).  `max_packets` is ignored: the chunk size is M.
+  std::optional<engines::ChunkCaptureView> try_next_chunk(
+      std::uint32_t queue, std::size_t max_packets = 64) override;
   bool forward(std::uint32_t queue, const engines::CaptureView& view,
                nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) override;
   void set_data_callback(std::uint32_t queue,
@@ -117,6 +125,16 @@ class WirecapEngine final : public engines::CaptureEngine {
   /// Telemetry-sampler probe: folds the current capture-queue and
   /// pending depths of every open queue into the high-water marks.
   void sample_depths(Nanos now);
+
+  /// Registers a probe reporting `queue`'s capture-to-disk spool backlog
+  /// (chunks accepted by the spool shard but not yet written out).
+  /// dispatch() adds it to the capture-queue depth when computing the
+  /// fill level compared against T and when ranking buddies, so a queue
+  /// whose disk shard falls behind sheds chunks to buddies before its
+  /// capture queue alone would trip the threshold.  Null clears; the
+  /// probe must stay valid until cleared or the engine is destroyed.
+  void set_spool_backlog_probe(std::uint32_t queue,
+                               std::function<std::size_t()> probe);
 
   // --- introspection ---
   [[nodiscard]] const driver::WirecapDriverStats& driver_stats(
@@ -182,6 +200,8 @@ class WirecapEngine final : public engines::CaptureEngine {
     std::vector<std::uint32_t> buddies;
     std::optional<CurrentChunk> current;
     std::function<void()> data_callback;
+    /// Spool-shard backlog probe (see set_spool_backlog_probe).
+    std::function<std::size_t()> spool_backlog;
     engines::EngineQueueStats stats;
     WirecapQueueExtraStats extra;
   };

@@ -2,6 +2,24 @@
 
 namespace wirecap::engines {
 
+std::optional<ChunkCaptureView> CaptureEngine::try_next_chunk(
+    std::uint32_t queue, std::size_t max_packets) {
+  ChunkCaptureView chunk;
+  chunk.source_ring = queue;
+  while (chunk.packets.size() < max_packets) {
+    auto view = try_next(queue);
+    if (!view) break;
+    chunk.packets.push_back(*view);
+  }
+  if (chunk.packets.empty()) return std::nullopt;
+  return chunk;
+}
+
+void CaptureEngine::done_chunk(std::uint32_t queue,
+                               const ChunkCaptureView& chunk) {
+  for (const CaptureView& view : chunk.packets) done(queue, view);
+}
+
 void CaptureEngine::bind_telemetry(telemetry::Telemetry& telemetry,
                                    const std::string& prefix,
                                    std::uint32_t num_queues) {

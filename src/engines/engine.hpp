@@ -19,6 +19,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/units.hpp"
 #include "nic/device.hpp"
@@ -36,6 +37,19 @@ struct CaptureView {
   Nanos timestamp{};
   std::uint64_t seq = 0;
   std::uint64_t handle = 0;  // engine-internal
+};
+
+/// A whole captured chunk delivered to a chunk-granularity consumer
+/// (the capture-to-disk spool, src/store).  `packets` are zero-copy
+/// views into the chunk's cells, valid until done_chunk(); the chunk
+/// body is never copied — this mirrors the paper's metadata-only
+/// capture handoff at the application boundary.
+struct ChunkCaptureView {
+  std::vector<CaptureView> packets;
+  /// Receive queue whose pool owns the cells (with WireCAP offloading
+  /// this can differ from the queue the chunk was read from).  Consumers
+  /// holding chunks across a close() of this ring must drop them first.
+  std::uint32_t source_ring = 0;
 };
 
 struct EngineQueueStats {
@@ -70,6 +84,17 @@ class CaptureEngine {
 
   /// The application is finished with the packet.
   virtual void done(std::uint32_t queue, const CaptureView& view) = 0;
+
+  /// Non-blocking read of the next whole chunk of `queue` for
+  /// chunk-granularity consumers.  The base implementation synthesizes a
+  /// pseudo-chunk by draining up to `max_packets` try_next() views, so
+  /// every engine can feed the spool; chunk-native engines (WireCAP)
+  /// override it to hand over one ring-buffer-pool chunk zero-copy.
+  virtual std::optional<ChunkCaptureView> try_next_chunk(
+      std::uint32_t queue, std::size_t max_packets = 64);
+
+  /// Releases every packet of a chunk obtained from try_next_chunk().
+  virtual void done_chunk(std::uint32_t queue, const ChunkCaptureView& chunk);
 
   /// Forwards the packet out `tx_queue` of `out_nic`, releasing the
   /// underlying buffer when transmission completes (zero-copy where the

@@ -59,6 +59,17 @@ void PcapWriter::write(Nanos timestamp, std::span<const std::byte> data,
 
 void PcapWriter::flush() { out_.flush(); }
 
+PcapWriter::~PcapWriter() {
+  if (out_.is_open()) out_.flush();
+}
+
+void PcapWriter::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  out_.close();
+  if (!out_) throw std::runtime_error("PcapWriter: close failed");
+}
+
 PcapReader::PcapReader(const std::filesystem::path& path)
     : in_(path, std::ios::binary) {
   if (!in_) {

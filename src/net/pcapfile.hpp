@@ -34,6 +34,13 @@ class PcapWriter {
   explicit PcapWriter(const std::filesystem::path& path,
                       std::uint32_t snaplen = 65535, bool nanosecond = true);
 
+  /// Flushes any buffered tail bytes; errors are swallowed (use close()
+  /// to observe them).
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
   /// Appends one record; `timestamp` is seconds.nanos since file epoch.
   void write(Nanos timestamp, std::span<const std::byte> data,
              std::uint32_t orig_len);
@@ -46,6 +53,9 @@ class PcapWriter {
   [[nodiscard]] std::uint64_t records_written() const { return records_; }
 
   void flush();
+  /// Flushes and closes the underlying stream, throwing on failure.
+  /// Idempotent; further write() calls throw.
+  void close();
 
  private:
   std::ofstream out_;

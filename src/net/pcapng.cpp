@@ -90,16 +90,21 @@ PcapngWriter::PcapngWriter(const std::filesystem::path& path,
                     reinterpret_cast<const std::byte*>(&tsresol), 1});
   put_end_of_options();
   put32(idb_len);
+  bytes_ = shb_len + idb_len;
 }
 
 void PcapngWriter::write(Nanos timestamp, std::span<const std::byte> data,
-                         std::uint32_t orig_len, std::uint32_t interface_id) {
+                         std::uint32_t orig_len, std::uint32_t interface_id,
+                         std::optional<std::uint64_t> packet_id) {
   if (timestamp.count() < 0) {
     throw std::invalid_argument("PcapngWriter: negative timestamp");
   }
   const auto ts = static_cast<std::uint64_t>(timestamp.count());
   const auto captured = static_cast<std::uint32_t>(data.size());
-  const std::uint32_t block_len = 32 + pad4(captured);
+  // With a packet id: epb_packetid option (4 header + 8 value) plus the
+  // 4-byte opt_endofopt.
+  const std::uint32_t options_len = packet_id ? 12 + 4 : 0;
+  const std::uint32_t block_len = 32 + pad4(captured) + options_len;
 
   put32(kPcapngEpbType);
   put32(block_len);
@@ -112,12 +117,46 @@ void PcapngWriter::write(Nanos timestamp, std::span<const std::byte> data,
              static_cast<std::streamsize>(captured));
   const char zeros[4] = {};
   out_.write(zeros, pad4(captured) - captured);
+  if (packet_id) {
+    const std::uint64_t id = *packet_id;
+    put_option(5, std::span<const std::byte>{
+                      reinterpret_cast<const std::byte*>(&id), 8});
+    put_end_of_options();
+  }
   put32(block_len);
   if (!out_) throw std::runtime_error("PcapngWriter: write failed");
   ++records_;
+  bytes_ += block_len;
+}
+
+void PcapngWriter::write_custom_block(std::uint32_t pen,
+                                      std::span<const std::byte> payload) {
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t block_len = 16 + pad4(size);
+  put32(kPcapngCbType);
+  put32(block_len);
+  put32(pen);
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(size));
+  const char zeros[4] = {};
+  out_.write(zeros, pad4(size) - size);
+  put32(block_len);
+  if (!out_) throw std::runtime_error("PcapngWriter: custom block failed");
+  bytes_ += block_len;
+}
+
+PcapngWriter::~PcapngWriter() {
+  if (out_.is_open()) out_.flush();
 }
 
 void PcapngWriter::flush() { out_.flush(); }
+
+void PcapngWriter::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  out_.close();
+  if (!out_) throw std::runtime_error("PcapngWriter: close failed");
+}
 
 // --- reader ---
 
@@ -247,6 +286,30 @@ std::optional<PcapngRecord> PcapngReader::next() {
     }
     record.data.assign(body.begin() + 20,
                        body.begin() + 20 + static_cast<std::ptrdiff_t>(captured));
+    // Options (after the padded data): extract epb_packetid (code 5).
+    std::size_t opt = 20 + pad4(captured);
+    while (opt + 4 <= body.size()) {
+      std::uint16_t code, length;
+      std::memcpy(&code, body.data() + opt, 2);
+      std::memcpy(&length, body.data() + opt + 2, 2);
+      if (swapped_) {
+        code = static_cast<std::uint16_t>((code << 8) | (code >> 8));
+        length = static_cast<std::uint16_t>((length << 8) | (length >> 8));
+      }
+      if (code == 0) break;
+      if (code == 5 && length == 8 && opt + 12 <= body.size()) {
+        std::uint64_t id;
+        std::memcpy(&id, body.data() + opt + 4, 8);
+        if (swapped_) {
+          id = (static_cast<std::uint64_t>(bswap32(
+                    static_cast<std::uint32_t>(id & 0xFFFFFFFFu)))
+                << 32) |
+               bswap32(static_cast<std::uint32_t>(id >> 32));
+        }
+        record.packet_id = id;
+      }
+      opt += 4 + pad4(length);
+    }
     const std::uint32_t digits =
         record.interface_id < tsresol_digits_.size()
             ? tsresol_digits_[record.interface_id]

@@ -24,6 +24,10 @@ namespace wirecap::net {
 inline constexpr std::uint32_t kPcapngShbType = 0x0A0D0D0A;
 inline constexpr std::uint32_t kPcapngIdbType = 0x00000001;
 inline constexpr std::uint32_t kPcapngEpbType = 0x00000006;
+/// Custom Block (copyable variant) — carries a Private Enterprise
+/// Number plus opaque payload; foreign readers skip it.  The store
+/// layer uses it for per-segment footer indexes.
+inline constexpr std::uint32_t kPcapngCbType = 0x00000BAD;
 inline constexpr std::uint32_t kPcapngByteOrderMagic = 0x1A2B3C4D;
 
 struct PcapngRecord {
@@ -31,6 +35,8 @@ struct PcapngRecord {
   Nanos timestamp;
   std::uint32_t orig_len = 0;
   std::vector<std::byte> data;
+  /// epb_packetid option (code 5), when the writer stamped one.
+  std::optional<std::uint64_t> packet_id;
 };
 
 class PcapngWriter {
@@ -43,16 +49,36 @@ class PcapngWriter {
                         const std::string& hardware = "WireCAP simulated NIC",
                         const std::string& application = "wirecap");
 
-  /// Appends an Enhanced Packet Block.
+  /// Flushes any buffered tail bytes; errors are swallowed (use close()
+  /// to observe them).
+  ~PcapngWriter();
+
+  PcapngWriter(const PcapngWriter&) = delete;
+  PcapngWriter& operator=(const PcapngWriter&) = delete;
+
+  /// Appends an Enhanced Packet Block.  With `packet_id`, an
+  /// epb_packetid option stamps the record with a 64-bit identity
+  /// (StoreReader round-trips it for conservation checks).
   void write(Nanos timestamp, std::span<const std::byte> data,
-             std::uint32_t orig_len, std::uint32_t interface_id = 0);
+             std::uint32_t orig_len, std::uint32_t interface_id = 0,
+             std::optional<std::uint64_t> packet_id = std::nullopt);
 
   void write(const WirePacket& packet) {
     write(packet.timestamp(), packet.bytes(), packet.wire_len());
   }
 
+  /// Appends a Custom Block (type 0x00000BAD) carrying `payload` under
+  /// `pen`.  Readers that do not recognize the PEN skip the block.
+  void write_custom_block(std::uint32_t pen,
+                          std::span<const std::byte> payload);
+
   [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  /// File offset after the last completed block (segment-size rotation).
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
   void flush();
+  /// Flushes and closes the underlying stream, throwing on failure.
+  /// Idempotent; further write() calls throw.
+  void close();
 
  private:
   void put32(std::uint32_t value);
@@ -62,6 +88,7 @@ class PcapngWriter {
 
   std::ofstream out_;
   std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
 };
 
 class PcapngReader {

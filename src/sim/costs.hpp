@@ -83,6 +83,23 @@ struct CostModel {
   /// receive ring for too long").
   Nanos partial_chunk_timeout = Nanos::from_millis(1.0);
 
+  // --- capture-to-disk spool (src/store) ---
+
+  /// Sustained simulated-disk cost per byte spooled (0.25 ns/B ≈ 4 GB/s,
+  /// a modern NVMe stream).  The spool's slow-disk fault multiplies it.
+  double disk_write_ns_per_byte = 0.25;
+
+  /// Fixed per-chunk submission overhead of one spool write (syscall /
+  /// queued-IO doorbell, amortized over the chunk's M packets).
+  Nanos disk_write_op_cost = Nanos::from_micros(2.0);
+
+  /// Cost of rotating a spool segment: finalize the footer index, fsync,
+  /// open the successor.
+  Nanos disk_segment_rotate_cost = Nanos::from_micros(50.0);
+
+  /// How long a shard whose disk reported full waits before retrying.
+  Nanos disk_full_retry_interval = Nanos::from_micros(100.0);
+
   // --- bus transactions (dimensionless multipliers of one DMA write) ---
 
   /// A packet DMA'd from the NIC to host memory: one transaction.

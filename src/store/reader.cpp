@@ -1,0 +1,170 @@
+#include "store/reader.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "bpf/codegen.hpp"
+#include "bpf/vm.hpp"
+#include "net/headers.hpp"
+#include "store/spool.hpp"
+
+namespace wirecap::store {
+
+StoreReader::StoreReader(const std::filesystem::path& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    throw std::runtime_error("StoreReader: no such spool directory: " +
+                             dir.string());
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const auto parsed = SegmentWriter::parse_segment_name(name);
+    if (!parsed) continue;
+    std::optional<SegmentIndex> index = read_segment_index(entry.path());
+    if (!index) {
+      // No footer (writer died before finish()): synthesize the index by
+      // scanning the packets that did make it to disk.
+      SegmentIndex synth;
+      synth.shard_id = parsed->first;
+      synth.segment_seq = parsed->second;
+      net::PcapngReader reader(entry.path());
+      while (const auto record = reader.next()) {
+        ++synth.packet_count;
+        synth.byte_count += record->data.size();
+        synth.min_timestamp = std::min(synth.min_timestamp, record->timestamp);
+        synth.max_timestamp = std::max(synth.max_timestamp, record->timestamp);
+      }
+      synth.unindexed_packets = synth.packet_count;
+      index = synth;
+    }
+    files_.push_back(SegmentFile{entry.path(), *index});
+  }
+  std::sort(files_.begin(), files_.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              if (a.index.shard_id != b.index.shard_id) {
+                return a.index.shard_id < b.index.shard_id;
+              }
+              return a.index.segment_seq < b.index.segment_seq;
+            });
+  segments_.reserve(files_.size());
+  for (const SegmentFile& file : files_) segments_.push_back(file.index);
+}
+
+StoreReadStats StoreReader::read_merged(
+    const StoreQuery& query,
+    const std::function<void(const net::PcapngRecord&, std::uint32_t)>& fn)
+    const {
+  StoreReadStats stats;
+  stats.segments_total = files_.size();
+
+  std::optional<bpf::Program> program;
+  if (!query.filter.empty()) program = bpf::compile_filter(query.filter);
+
+  // One cursor per surviving segment; segments are loaded (and sorted)
+  // lazily the first time the merge needs their earliest record.
+  struct Cursor {
+    const SegmentFile* file = nullptr;
+    std::vector<net::PcapngRecord> records;
+    std::size_t next = 0;
+    bool loaded = false;
+  };
+  std::vector<Cursor> cursors;
+  for (const SegmentFile& file : files_) {
+    if (!file.index.overlaps(query.start, query.end)) {
+      ++stats.segments_skipped_time;
+      continue;
+    }
+    if (query.flow && !file.index.may_contain_flow(*query.flow)) {
+      ++stats.segments_skipped_flow;
+      continue;
+    }
+    cursors.push_back(Cursor{&file, {}, 0, false});
+  }
+
+  // Total merge order: (timestamp, shard id, segment seq); the record
+  // index within a segment is implied by each cursor advancing in
+  // sorted order.  stable_sort below preserves file order for equal
+  // timestamps within one segment.
+  struct HeapEntry {
+    Nanos key;
+    std::uint32_t shard_id;
+    std::uint32_t segment_seq;
+    std::size_t cursor;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      if (a.shard_id != b.shard_id) return a.shard_id > b.shard_id;
+      return a.segment_seq > b.segment_seq;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap;
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    const SegmentIndex& index = cursors[i].file->index;
+    if (index.packet_count == 0) continue;
+    heap.push(HeapEntry{index.min_timestamp, index.shard_id,
+                        index.segment_seq, i});
+  }
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    Cursor& cursor = cursors[top.cursor];
+    if (!cursor.loaded) {
+      net::PcapngReader reader(cursor.file->path);
+      cursor.records = reader.read_all();
+      std::stable_sort(cursor.records.begin(), cursor.records.end(),
+                       [](const net::PcapngRecord& a,
+                          const net::PcapngRecord& b) {
+                         return a.timestamp < b.timestamp;
+                       });
+      cursor.loaded = true;
+      if (cursor.records.empty()) continue;
+      heap.push(HeapEntry{cursor.records.front().timestamp, top.shard_id,
+                          top.segment_seq, top.cursor});
+      continue;
+    }
+
+    const net::PcapngRecord& record = cursor.records[cursor.next];
+    ++cursor.next;
+    if (cursor.next < cursor.records.size()) {
+      heap.push(HeapEntry{cursor.records[cursor.next].timestamp, top.shard_id,
+                          top.segment_seq, top.cursor});
+    }
+
+    ++stats.packets_scanned;
+    bool matches = true;
+    if (query.start && record.timestamp < *query.start) matches = false;
+    if (matches && query.end && record.timestamp > *query.end) matches = false;
+    if (matches && query.flow) {
+      matches = net::parse_flow(record.data) == *query.flow;
+    }
+    if (matches && program) {
+      matches = bpf::run(*program, record.data, record.orig_len) != 0;
+    }
+    if (matches) {
+      ++stats.packets_matched;
+      fn(record, top.shard_id);
+    }
+    // Release a drained segment's records early: the merge holds at
+    // most the segments whose time ranges currently overlap.
+    if (cursor.next >= cursor.records.size()) {
+      cursor.records.clear();
+      cursor.records.shrink_to_fit();
+    }
+  }
+  return stats;
+}
+
+std::vector<net::PcapngRecord> StoreReader::read_all(
+    const StoreQuery& query) const {
+  std::vector<net::PcapngRecord> records;
+  read_merged(query, [&records](const net::PcapngRecord& record,
+                                std::uint32_t /*shard*/) {
+    records.push_back(record);
+  });
+  return records;
+}
+
+}  // namespace wirecap::store

@@ -1,0 +1,83 @@
+// Time-ordered reader over a spool directory.
+//
+// A spool run leaves N shards × M segments of pcapng, each ending in a
+// footer index.  Shard streams are NOT timestamp-sorted (buddy-group
+// offloading interleaves chunks captured on other queues), so the
+// reader sorts each segment in memory and k-way-merges every segment
+// cursor into one globally timestamp-ordered stream.  Ties are broken
+// by (shard id, segment seq, record index): duplicate timestamps across
+// shards come out in a stable, deterministic order.
+//
+// Queries carry an optional time range, an optional exact flow, and an
+// optional BPF filter expression; the per-segment indexes prune
+// segments that provably cannot match before any packet is read.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/flow.hpp"
+#include "net/pcapng.hpp"
+#include "store/segment_index.hpp"
+
+namespace wirecap::store {
+
+struct StoreQuery {
+  /// Inclusive timestamp range; unset bounds are open.
+  std::optional<Nanos> start;
+  std::optional<Nanos> end;
+  /// Exact 5-tuple; segments whose index rules the flow out are skipped.
+  std::optional<net::FlowKey> flow;
+  /// BPF filter expression (tcpdump syntax); empty matches everything.
+  std::string filter;
+};
+
+struct StoreReadStats {
+  std::uint64_t segments_total = 0;
+  /// Segments never opened thanks to the footer index.
+  std::uint64_t segments_skipped_time = 0;
+  std::uint64_t segments_skipped_flow = 0;
+  std::uint64_t packets_scanned = 0;
+  std::uint64_t packets_matched = 0;
+};
+
+class StoreReader {
+ public:
+  /// Enumerates `dir` for shardNNN-segNNNNNN.pcapng files and loads
+  /// their footer indexes.  A segment without a footer (writer died
+  /// before finish()) gets an index synthesized by scanning its
+  /// packets.  Throws std::runtime_error if `dir` does not exist.
+  explicit StoreReader(const std::filesystem::path& dir);
+
+  /// Segment catalogue, ordered by (shard id, segment seq).
+  [[nodiscard]] const std::vector<SegmentIndex>& segments() const {
+    return segments_;
+  }
+
+  /// Streams every matching record in global timestamp order through
+  /// `fn` (second argument: owning shard id).  Returns skip/scan stats.
+  StoreReadStats read_merged(
+      const StoreQuery& query,
+      const std::function<void(const net::PcapngRecord&, std::uint32_t)>& fn)
+      const;
+
+  /// Convenience: collects the merged stream.
+  [[nodiscard]] std::vector<net::PcapngRecord> read_all(
+      const StoreQuery& query = {}) const;
+
+ private:
+  struct SegmentFile {
+    std::filesystem::path path;
+    SegmentIndex index;
+  };
+
+  std::vector<SegmentFile> files_;
+  std::vector<SegmentIndex> segments_;
+};
+
+}  // namespace wirecap::store

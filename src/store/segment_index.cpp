@@ -1,0 +1,157 @@
+#include "store/segment_index.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "net/pcapng.hpp"
+
+namespace wirecap::store {
+
+namespace {
+
+void put32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+void put64(std::vector<std::byte>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+/// Bounds-checked sequential decoder over the payload.
+class Getter {
+ public:
+  explicit Getter(std::span<const std::byte> data) : data_(data) {}
+
+  bool get32(std::uint32_t& v) { return get(&v, sizeof(v)); }
+  bool get64(std::uint64_t& v) { return get(&v, sizeof(v)); }
+
+ private:
+  bool get(void* out, std::size_t n) {
+    if (offset_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> encode_segment_index(const SegmentIndex& index) {
+  std::vector<std::byte> out;
+  out.reserve(64 + index.flows.size() * 16);
+  put32(out, kSegmentIndexMagic);
+  put32(out, kSegmentIndexVersion);
+  put32(out, index.shard_id);
+  put32(out, index.segment_seq);
+  put64(out, index.packet_count);
+  put64(out, index.byte_count);
+  put64(out, static_cast<std::uint64_t>(index.min_timestamp.count()));
+  put64(out, static_cast<std::uint64_t>(index.max_timestamp.count()));
+  put64(out, index.unindexed_packets);
+  put32(out, static_cast<std::uint32_t>(index.flows.size()));
+  for (const SegmentFlowEntry& entry : index.flows) {
+    put32(out, entry.flow.src_ip.value());
+    put32(out, entry.flow.dst_ip.value());
+    put32(out, (static_cast<std::uint32_t>(entry.flow.src_port) << 16) |
+                   entry.flow.dst_port);
+    put32(out, static_cast<std::uint32_t>(entry.flow.proto));
+    put64(out, entry.packets);
+  }
+  return out;
+}
+
+std::optional<SegmentIndex> decode_segment_index(
+    std::span<const std::byte> payload) {
+  Getter in(payload);
+  std::uint32_t magic = 0, version = 0;
+  if (!in.get32(magic) || magic != kSegmentIndexMagic) return std::nullopt;
+  if (!in.get32(version) || version != kSegmentIndexVersion) {
+    return std::nullopt;
+  }
+  SegmentIndex index;
+  std::uint64_t min_ts = 0, max_ts = 0;
+  std::uint32_t flow_count = 0;
+  if (!in.get32(index.shard_id) || !in.get32(index.segment_seq) ||
+      !in.get64(index.packet_count) || !in.get64(index.byte_count) ||
+      !in.get64(min_ts) || !in.get64(max_ts) ||
+      !in.get64(index.unindexed_packets) || !in.get32(flow_count)) {
+    return std::nullopt;
+  }
+  index.min_timestamp = Nanos{static_cast<std::int64_t>(min_ts)};
+  index.max_timestamp = Nanos{static_cast<std::int64_t>(max_ts)};
+  if (flow_count > (1u << 20)) return std::nullopt;  // implausible
+  index.flows.reserve(flow_count);
+  for (std::uint32_t i = 0; i < flow_count; ++i) {
+    std::uint32_t src = 0, dst = 0, ports = 0, proto = 0;
+    SegmentFlowEntry entry;
+    if (!in.get32(src) || !in.get32(dst) || !in.get32(ports) ||
+        !in.get32(proto) || !in.get64(entry.packets)) {
+      return std::nullopt;
+    }
+    entry.flow.src_ip = net::Ipv4Addr{src};
+    entry.flow.dst_ip = net::Ipv4Addr{dst};
+    entry.flow.src_port = static_cast<std::uint16_t>(ports >> 16);
+    entry.flow.dst_port = static_cast<std::uint16_t>(ports & 0xFFFF);
+    entry.flow.proto = static_cast<net::IpProto>(proto);
+    index.flows.push_back(entry);
+  }
+  return index;
+}
+
+std::optional<SegmentIndex> read_segment_index(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+
+  const auto get32 = [&in](std::uint32_t& v) {
+    return static_cast<bool>(
+        in.read(reinterpret_cast<char*>(&v), sizeof(v)));
+  };
+
+  // Walk the block sequence: [type, total_length, body..., total_length].
+  // Segments are written (and read back) on one host, so only native
+  // byte order is handled; a foreign-order SHB fails the magic check
+  // below and the scan reports "no index".
+  std::optional<SegmentIndex> found;
+  for (;;) {
+    std::uint32_t type = 0, total_len = 0;
+    if (!get32(type)) break;  // clean EOF
+    if (!get32(total_len)) break;
+    if (total_len < 12 || total_len % 4 != 0 || total_len > (1u << 28)) {
+      break;  // corrupt or foreign byte order: stop scanning
+    }
+    const std::uint32_t body_len = total_len - 12;
+    if (type == net::kPcapngCbType && body_len >= 4) {
+      std::vector<std::byte> body(body_len);
+      if (!in.read(reinterpret_cast<char*>(body.data()),
+                   static_cast<std::streamsize>(body_len))) {
+        break;
+      }
+      std::uint32_t pen = 0;
+      std::memcpy(&pen, body.data(), sizeof(pen));
+      if (pen == kSegmentIndexPen) {
+        const std::span<const std::byte> payload{body.data() + 4,
+                                                 body.size() - 4};
+        if (auto index = decode_segment_index(payload)) found = index;
+      }
+    } else if (type == net::kPcapngShbType) {
+      // Verify the byte-order magic before trusting any length field.
+      std::uint32_t bom = 0;
+      if (!get32(bom) || bom != net::kPcapngByteOrderMagic) break;
+      if (body_len < 4) break;
+      in.seekg(body_len - 4, std::ios::cur);
+    } else {
+      in.seekg(body_len, std::ios::cur);
+    }
+    std::uint32_t trailer = 0;
+    if (!get32(trailer) || trailer != total_len) break;
+  }
+  return found;
+}
+
+}  // namespace wirecap::store

@@ -1,0 +1,85 @@
+// Per-segment footer index for spooled pcapng segments.
+//
+// Each finished segment ends in a pcapng Custom Block carrying a compact
+// summary: packet/byte counts, the min/max packet timestamp, and a
+// capped per-flow packet tally.  The StoreReader uses it to skip whole
+// segments for time-range and exact-flow queries without touching their
+// packet blocks; foreign pcapng readers skip the block (unknown PEN) and
+// see a plain capture file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/flow.hpp"
+
+namespace wirecap::store {
+
+/// Private Enterprise Number namespacing our Custom Blocks ("WCAP").
+inline constexpr std::uint32_t kSegmentIndexPen = 0x57434150;
+/// First payload word of an index block ("WSIX").
+inline constexpr std::uint32_t kSegmentIndexMagic = 0x57534958;
+inline constexpr std::uint32_t kSegmentIndexVersion = 1;
+
+struct SegmentFlowEntry {
+  net::FlowKey flow;
+  std::uint64_t packets = 0;
+};
+
+struct SegmentIndex {
+  std::uint32_t shard_id = 0;
+  std::uint32_t segment_seq = 0;
+  std::uint64_t packet_count = 0;
+  /// Stored (possibly snapped) packet bytes, excluding block framing.
+  std::uint64_t byte_count = 0;
+  /// Minimum / maximum packet timestamp in the segment.  NOT first/last
+  /// written: offloaded chunks make shard streams non-monotonic.
+  Nanos min_timestamp = Nanos::max();
+  Nanos max_timestamp = Nanos{std::numeric_limits<std::int64_t>::min()};
+  /// Per-flow packet counts, capped at the writer's flow_index_cap.
+  std::vector<SegmentFlowEntry> flows;
+  /// Packets not attributed in `flows` (non-IPv4/TCP/UDP frames, or
+  /// flows beyond the cap).  Non-zero means a flow query cannot rule
+  /// this segment out.
+  std::uint64_t unindexed_packets = 0;
+
+  [[nodiscard]] bool overlaps(std::optional<Nanos> start,
+                              std::optional<Nanos> end) const {
+    if (packet_count == 0) return false;
+    if (start && max_timestamp < *start) return false;
+    if (end && min_timestamp > *end) return false;
+    return true;
+  }
+
+  /// False only when the index proves no packet of `flow` is present.
+  [[nodiscard]] bool may_contain_flow(const net::FlowKey& flow) const {
+    if (unindexed_packets > 0) return true;
+    for (const SegmentFlowEntry& entry : flows) {
+      if (entry.flow == flow) return true;
+    }
+    return false;
+  }
+};
+
+/// Serializes `index` into the Custom Block payload format.
+[[nodiscard]] std::vector<std::byte> encode_segment_index(
+    const SegmentIndex& index);
+
+/// Parses a payload produced by encode_segment_index(); nullopt on a
+/// foreign or corrupt payload.
+[[nodiscard]] std::optional<SegmentIndex> decode_segment_index(
+    std::span<const std::byte> payload);
+
+/// Scans the pcapng file at `path` for the footer index block (the last
+/// Custom Block under our PEN).  Returns nullopt when the file has none
+/// — e.g. a segment whose writer died before finish().
+[[nodiscard]] std::optional<SegmentIndex> read_segment_index(
+    const std::filesystem::path& path);
+
+}  // namespace wirecap::store

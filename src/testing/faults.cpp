@@ -1,12 +1,16 @@
 #include "testing/faults.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <utility>
 
 #include "core/wirecap_engine.hpp"
 #include "net/packet.hpp"
 #include "nic/device.hpp"
 #include "sim/core.hpp"
 #include "sim/costs.hpp"
+#include "store/reader.hpp"
 #include "trace/flow_gen.hpp"
 
 namespace wirecap::testing {
@@ -34,6 +38,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kPoolExhaust: return "pool-exhaust";
     case FaultKind::kTimeoutStorm: return "timeout-storm";
     case FaultKind::kQueueReopen: return "queue-reopen";
+    case FaultKind::kSlowDisk: return "slow-disk";
+    case FaultKind::kDiskFull: return "disk-full";
   }
   return "?";
 }
@@ -49,6 +55,10 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config) {
       FaultKind::kPoolExhaust,    FaultKind::kTimeoutStorm,
   };
   if (config.allow_reopen) kinds.push_back(FaultKind::kQueueReopen);
+  if (config.spool_faults) {
+    kinds.push_back(FaultKind::kSlowDisk);
+    kinds.push_back(FaultKind::kDiskFull);
+  }
 
   const double window = static_cast<double>(config.horizon.count());
   for (std::uint32_t i = 0; i < config.event_count; ++i) {
@@ -86,6 +96,17 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config) {
         break;
       case FaultKind::kQueueReopen:
         break;
+      case FaultKind::kSlowDisk:
+        // Long enough that the backlog builds into the offload feedback,
+        // short enough that the drain window clears it.
+        event.duration = Nanos::from_micros(
+            static_cast<double>(rng.next_in(100, 400)));
+        event.magnitude = static_cast<std::uint32_t>(rng.next_in(4, 16));
+        break;
+      case FaultKind::kDiskFull:
+        event.duration = Nanos::from_micros(
+            static_cast<double>(rng.next_in(50, 200)));
+        break;
     }
     plan.events_.push_back(event);
   }
@@ -121,11 +142,10 @@ FaultHarness::FaultHarness(FaultHarnessConfig config)
   }
   // Aggressive timing so the short horizon covers many rescue and poll
   // cycles.
-  sim::CostModel costs;
-  costs.partial_chunk_timeout = Nanos::from_micros(30);
-  costs.capture_poll_interval = Nanos::from_micros(10);
+  costs_.partial_chunk_timeout = Nanos::from_micros(30);
+  costs_.capture_poll_interval = Nanos::from_micros(10);
   engine_ = std::make_unique<core::WirecapEngine>(scheduler_, *nic_,
-                                                  engine_config, costs);
+                                                  engine_config, costs_);
 
   // Auditor and telemetry attach *before* any queue opens: this is the
   // late-open binding path (metrics must appear when open() happens).
@@ -139,6 +159,36 @@ FaultHarness::FaultHarness(FaultHarnessConfig config)
   for (std::uint32_t q = 0; q < queues; ++q) {
     app_cores_.push_back(std::make_unique<sim::SimCore>(scheduler_, 2000 + q));
     flows_.push_back(trace::flows_for_queue(rng_, q, queues, 4));
+  }
+
+  if (config_.spool) {
+    held_chunks_.resize(queues);
+    spool_dir_ = config_.spool_dir;
+    if (spool_dir_.empty()) {
+      spool_dir_ = std::filesystem::temp_directory_path() /
+                   ("wirecap-fault-spool-" + std::to_string(::getpid()) +
+                    "-seed" + std::to_string(config_.plan.seed));
+    }
+    std::filesystem::remove_all(spool_dir_);
+    store::SpoolConfig spool_config;
+    spool_config.dir = spool_dir_;
+    spool_config.num_shards = queues;
+    spool_config.policy = config_.spool_policy;
+    // Small bounds so backpressure and segment rotation actually engage
+    // under the harness's tiny geometry.
+    spool_config.queue_capacity_chunks = 8;
+    spool_config.segment_max_bytes = 64u << 10;
+    spool_config.segment_max_span = Nanos::from_micros(500);
+    spool_config.record_lost_seqs = true;
+    spool_ = std::make_unique<store::Spool>(scheduler_, costs_, spool_config);
+    spool_->bind_telemetry(telemetry_, "faults.store");
+    for (std::uint32_t q = 0; q < queues; ++q) {
+      store::SpoolShard* shard = &spool_->shard(q);
+      engine_->set_spool_backlog_probe(q, [shard] { return shard->backlog(); });
+      // Namespaced traffic seqs give every packet a globally unique id
+      // for the round-trip conservation audit.
+      apps_[q].seq = static_cast<std::uint64_t>(q) << 40;
+    }
   }
 }
 
@@ -226,19 +276,116 @@ void FaultHarness::consume(std::uint32_t queue,
 void FaultHarness::app_poll(std::uint32_t queue) {
   AppState& app = apps_[queue];
   const Nanos now = scheduler_.now();
-  release_due(queue);
+  if (spool_) {
+    release_due_chunks(queue);
+  } else {
+    release_due(queue);
+  }
   if (queue_open_[queue] && now >= app.stall_until) {
-    int budget = 32;
-    while (budget-- > 0) {
-      auto view = engine_->try_next(queue);
-      if (!view) break;
-      consume(queue, *view);
+    if (spool_) {
+      spool_poll(queue);
+    } else {
+      int budget = 32;
+      while (budget-- > 0) {
+        auto view = engine_->try_next(queue);
+        if (!view) break;
+        consume(queue, *view);
+      }
     }
   }
   if (now < end_of_run_) {
     const Nanos jitter{static_cast<std::int64_t>(rng_.next_below(1000))};
     scheduler_.schedule_after(kAppPollInterval + jitter,
                               [this, queue] { app_poll(queue); });
+  }
+}
+
+void FaultHarness::spool_poll(std::uint32_t queue) {
+  AppState& app = apps_[queue];
+  store::SpoolShard& shard = spool_->shard(queue);
+  const Nanos now = scheduler_.now();
+  int budget = 4;  // chunks, not packets
+  while (budget-- > 0) {
+    // The blocking-policy handshake: a full shard pushes back here, the
+    // chunks pile into the engine's capture queue, and the spool-backlog
+    // probe folds them into the buddy-group offload decision.
+    if (shard.policy() == store::BackpressurePolicy::kBlock &&
+        !shard.accepting()) {
+      break;
+    }
+    auto chunk = engine_->try_next_chunk(queue);
+    if (!chunk) break;
+    for (const engines::CaptureView& view : chunk->packets) {
+      expected_seqs_.insert(view.seq);
+    }
+    // The per-packet holding faults hold whole chunks here.
+    if (app.exhaust_until > now) {
+      held_chunks_[queue].push_back(
+          HeldChunk{std::move(*chunk), app.exhaust_until});
+      continue;
+    }
+    if (app.delay_remaining > 0) {
+      --app.delay_remaining;
+      const double jitter = 0.5 + rng_.next_double();
+      Nanos release =
+          now + Nanos{static_cast<std::int64_t>(
+                    jitter * static_cast<double>(app.delay_for.count()))};
+      const Nanos latest = config_.plan.horizon +
+                           Nanos{config_.drain.count() / 2};
+      if (release > latest) release = latest;
+      held_chunks_[queue].push_back(HeldChunk{std::move(*chunk), release});
+      continue;
+    }
+    offer_chunk(queue, std::move(*chunk));
+  }
+}
+
+void FaultHarness::offer_chunk(std::uint32_t queue,
+                               engines::ChunkCaptureView&& chunk) {
+  spool_->shard(queue).offer(
+      std::move(chunk), [this, queue](const engines::ChunkCaptureView& done) {
+        if (!queue_open_[queue]) ++late_releases_;
+        engine_->done_chunk(queue, done);
+      });
+}
+
+void FaultHarness::release_due_chunks(std::uint32_t queue) {
+  auto& held = held_chunks_[queue];
+  const Nanos now = scheduler_.now();
+  for (std::size_t i = 0; i < held.size();) {
+    if (held[i].release_at <= now) {
+      offer_chunk(queue, std::move(held[i].chunk));
+      held[i] = std::move(held.back());
+      held.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void FaultHarness::evict_ring_from_spool(std::uint32_t ring) {
+  if (!spool_) return;
+  for (std::uint32_t s = 0; s < spool_->num_shards(); ++s) {
+    spool_->shard(s).evict_ring(ring);
+  }
+  // Held chunks of that ring dangle too once the pool is torn down:
+  // release them now (the epoch is still current) and write off their
+  // packets.
+  for (std::uint32_t q = 0; q < held_chunks_.size(); ++q) {
+    auto& held = held_chunks_[q];
+    for (std::size_t i = 0; i < held.size();) {
+      if (held[i].chunk.source_ring == ring) {
+        for (const engines::CaptureView& view : held[i].chunk.packets) {
+          expected_seqs_.erase(view.seq);
+          ++spool_lost_;
+        }
+        engine_->done_chunk(q, held[i].chunk);
+        held[i] = std::move(held.back());
+        held.pop_back();
+      } else {
+        ++i;
+      }
+    }
   }
 }
 
@@ -291,6 +438,10 @@ void FaultHarness::apply(const FaultEvent& event) {
               kDmaSettle, [attempt, retries] { (*attempt)(retries - 1); });
           return;
         }
+        // Spooled chunks of this ring reference its pool cells: pull
+        // them out of every shard queue (and our held lists) before the
+        // pool is torn down.
+        evict_ring_from_spool(queue);
         engine_->close(queue);
         queue_open_[queue] = false;
         ++reopens_;
@@ -301,6 +452,18 @@ void FaultHarness::apply(const FaultEvent& event) {
                                 [attempt] { (*attempt)(kCloseRetries); });
       break;
     }
+    case FaultKind::kSlowDisk:
+      if (spool_) {
+        spool_->shard(event.queue)
+            .set_slow_disk(static_cast<double>(std::max(2u, event.magnitude)),
+                           now + event.duration);
+      }
+      break;
+    case FaultKind::kDiskFull:
+      if (spool_) {
+        spool_->shard(event.queue).set_disk_full(now + event.duration);
+      }
+      break;
   }
 }
 
@@ -343,8 +506,26 @@ FaultRunResult FaultHarness::run() {
       engine_->done(q, app.held.back().view);
       app.held.pop_back();
     }
+    if (spool_) {
+      auto& held = held_chunks_[q];
+      while (!held.empty()) {
+        offer_chunk(q, std::move(held.back().chunk));
+        held.pop_back();
+      }
+    }
   }
   scheduler_.run_until(end_of_run_ + Nanos::from_millis(1));
+  if (spool_) {
+    drain_spool();
+    spool_->close();
+    // Reconcile counted shard losses (drop policies, ring evictions)
+    // against the expectation set before the round-trip audit.
+    for (std::uint32_t s = 0; s < spool_->num_shards(); ++s) {
+      for (const std::uint64_t seq : spool_->shard(s).lost_seqs()) {
+        if (expected_seqs_.erase(seq) > 0) ++spool_lost_;
+      }
+    }
+  }
   for (std::uint32_t q = 0; q < queue_open_.size(); ++q) {
     if (queue_open_[q]) auditor_.check_conservation(*engine_, q);
   }
@@ -359,7 +540,70 @@ FaultRunResult FaultHarness::run() {
   for (std::uint32_t q = 0; q < config_.plan.num_queues; ++q) {
     result.delivered += engine_->queue_stats(q).delivered;
   }
+  if (spool_) result.spool = verify_spool();
   return result;
+}
+
+void FaultHarness::drain_spool() {
+  // Every queued write completes in bounded virtual time (disk-full
+  // windows expire), so stepping the clock forward must converge.
+  Nanos deadline = scheduler_.now();
+  for (int i = 0; i < 10'000 && !spool_->drained(); ++i) {
+    deadline += Nanos::from_micros(100);
+    scheduler_.run_until(deadline);
+  }
+}
+
+SpoolRunSummary FaultHarness::verify_spool() {
+  SpoolRunSummary summary;
+  summary.dir = spool_dir_;
+  summary.packets_expected = expected_seqs_.size();
+  summary.packets_lost = spool_lost_;
+  const auto problem = [&summary](std::string message) {
+    if (summary.problems.size() < 16) {
+      summary.problems.push_back(std::move(message));
+    }
+  };
+  if (!spool_->drained()) {
+    ++summary.conservation_failures;
+    problem("spool failed to drain within the settle window");
+  }
+
+  store::StoreReader reader(spool_dir_);
+  summary.segments = reader.segments().size();
+  std::unordered_set<std::uint64_t> seen;
+  Nanos last = Nanos::zero();
+  reader.read_merged({}, [&](const net::PcapngRecord& record,
+                             std::uint32_t shard) {
+    ++summary.packets_merged;
+    if (record.timestamp < last) {
+      ++summary.order_violations;
+      problem("merged stream went backwards at shard " +
+              std::to_string(shard) + ", ts " +
+              std::to_string(record.timestamp.count()));
+    }
+    last = record.timestamp;
+    if (!record.packet_id) {
+      ++summary.conservation_failures;
+      problem("spooled record without a packet id");
+      return;
+    }
+    const std::uint64_t seq = *record.packet_id;
+    if (expected_seqs_.count(seq) == 0) {
+      ++summary.conservation_failures;
+      problem("unexpected seq " + std::to_string(seq) + " in the spool");
+    } else if (!seen.insert(seq).second) {
+      ++summary.conservation_failures;
+      problem("duplicate seq " + std::to_string(seq) + " in the spool");
+    }
+  });
+  if (seen.size() != expected_seqs_.size()) {
+    const std::uint64_t missing = expected_seqs_.size() - seen.size();
+    summary.conservation_failures += missing;
+    problem(std::to_string(missing) +
+            " consumed packet(s) missing from the spool");
+  }
+  return summary;
 }
 
 SoakResult run_fault_soak(std::uint64_t first_seed, std::uint32_t count,
@@ -376,11 +620,28 @@ SoakResult run_fault_soak(std::uint64_t first_seed, std::uint32_t count,
     soak.total_conservation_checks += result.auditor.conservation_checks;
     soak.total_delivered += result.delivered;
     soak.total_reopens += result.reopens;
+    if (result.spool) {
+      const SpoolRunSummary& spool = *result.spool;
+      soak.total_spooled += spool.packets_merged;
+      soak.total_spool_lost += spool.packets_lost;
+      soak.total_spool_failures +=
+          spool.order_violations + spool.conservation_failures;
+      // Harness-picked temp spools are disposable once verified clean;
+      // a dirty one is left behind for inspection.
+      if (base.spool_dir.empty() && spool.clean()) {
+        std::error_code ec;
+        std::filesystem::remove_all(spool.dir, ec);
+      }
+    }
     if (!result.clean()) {
-      soak.failures.push_back(
-          "seed " + std::to_string(result.seed) + ": " +
-          (result.violations.empty() ? "(no message recorded)"
-                                     : result.violations.front()));
+      std::string message = "(no message recorded)";
+      if (!result.violations.empty()) {
+        message = result.violations.front();
+      } else if (result.spool && !result.spool->problems.empty()) {
+        message = result.spool->problems.front();
+      }
+      soak.failures.push_back("seed " + std::to_string(result.seed) + ": " +
+                              message);
     }
   }
   return soak;

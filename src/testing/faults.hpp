@@ -17,8 +17,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -26,7 +29,9 @@
 #include "engines/engine.hpp"
 #include "net/flow.hpp"
 #include "sim/bus.hpp"
+#include "sim/costs.hpp"
 #include "sim/scheduler.hpp"
+#include "store/spool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "testing/lifecycle_auditor.hpp"
 
@@ -50,6 +55,8 @@ enum class FaultKind : std::uint8_t {
   kPoolExhaust,     // app holds everything it can until the pool drains
   kTimeoutStorm,    // sub-chunk trickle bursts forcing partial rescues
   kQueueReopen,     // close() + later open() while chunks are in flight
+  kSlowDisk,        // one spool shard's disk slows by `magnitude`x
+  kDiskFull,        // one spool shard's disk reports ENOSPC for a while
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -72,6 +79,9 @@ struct FaultPlanConfig {
   /// Close/open cycles are the most invasive adversity; tests that
   /// want a steady-state-only schedule turn them off.
   bool allow_reopen = true;
+  /// Adds the simulated-disk adversities (kSlowDisk / kDiskFull) to the
+  /// schedule — only meaningful with FaultHarnessConfig::spool.
+  bool spool_faults = false;
 };
 
 class FaultPlan {
@@ -109,6 +119,36 @@ struct FaultHarnessConfig {
   /// Fail at the violating call site instead of collecting (the soak
   /// collects so one bad seed reports all its violations).
   bool throw_on_violation = false;
+  /// Capture-to-disk mode: the per-queue applications consume whole
+  /// chunks and spool them (one shard per queue) instead of per-packet
+  /// done(); after the drain the run merges the spool back and checks
+  /// the round-trip conservation law (every consumed packet on disk
+  /// exactly once, in global timestamp order, minus counted losses).
+  bool spool = false;
+  store::BackpressurePolicy spool_policy = store::BackpressurePolicy::kBlock;
+  /// Spool target; empty picks a per-seed temp directory.
+  std::filesystem::path spool_dir;
+};
+
+/// Round-trip accounting of one spooled fault run.
+struct SpoolRunSummary {
+  std::filesystem::path dir;
+  /// Packets consumed from the engine and still owed to the store
+  /// (consumed minus counted drops/evictions).
+  std::uint64_t packets_expected = 0;
+  /// Packets the merged StoreReader stream produced.
+  std::uint64_t packets_merged = 0;
+  /// Packets lost to drop policies / ring-close evictions (counted).
+  std::uint64_t packets_lost = 0;
+  std::uint64_t segments = 0;
+  /// Merged-stream records whose timestamp went backwards.
+  std::uint64_t order_violations = 0;
+  /// Missing, duplicated, unidentified or unexpected packets.
+  std::uint64_t conservation_failures = 0;
+  std::vector<std::string> problems;
+  [[nodiscard]] bool clean() const {
+    return order_violations == 0 && conservation_failures == 0;
+  }
 };
 
 struct FaultRunResult {
@@ -121,7 +161,11 @@ struct FaultRunResult {
   /// exercised epoch-drop paths.
   std::uint64_t late_releases = 0;
   std::vector<std::string> violations;
-  [[nodiscard]] bool clean() const { return auditor.violations == 0; }
+  /// Present when the harness ran in spool mode.
+  std::optional<SpoolRunSummary> spool;
+  [[nodiscard]] bool clean() const {
+    return auditor.violations == 0 && (!spool || spool->clean());
+  }
 };
 
 /// One deterministic fault-injection run: fabric + plan + auditor.
@@ -156,6 +200,11 @@ class FaultHarness {
     std::uint64_t seq = 0;  // traffic sequence numbers
   };
 
+  struct HeldChunk {
+    engines::ChunkCaptureView chunk;
+    Nanos release_at = Nanos::zero();
+  };
+
   void open_queue(std::uint32_t queue);
   void rebind_buddies();
   void apply(const FaultEvent& event);
@@ -164,11 +213,23 @@ class FaultHarness {
   void consume(std::uint32_t queue, const engines::CaptureView& view);
   void release_due(std::uint32_t queue);
   void audit_tick();
+  // --- spool mode ---
+  void spool_poll(std::uint32_t queue);
+  void offer_chunk(std::uint32_t queue, engines::ChunkCaptureView&& chunk);
+  void release_due_chunks(std::uint32_t queue);
+  /// Pre-close teardown: pulls ring-owned chunks out of every shard
+  /// queue and out of the applications' held lists (their cells dangle
+  /// once the pool is torn down).
+  void evict_ring_from_spool(std::uint32_t ring);
+  void drain_spool();
+  [[nodiscard]] SpoolRunSummary verify_spool();
 
   FaultHarnessConfig config_;
   FaultPlan plan_;
   Xoshiro256 rng_;
   sim::Scheduler scheduler_;
+  /// Shared by the engine and the spool shards (which hold a reference).
+  sim::CostModel costs_;
   sim::IoBus bus_;
   telemetry::Telemetry telemetry_;
   ChunkLifecycleAuditor auditor_;
@@ -182,6 +243,14 @@ class FaultHarness {
   std::uint64_t forwarded_ = 0;
   std::uint64_t reopens_ = 0;
   std::uint64_t late_releases_ = 0;
+  // --- spool mode ---
+  std::unique_ptr<store::Spool> spool_;
+  std::filesystem::path spool_dir_;
+  std::vector<std::deque<HeldChunk>> held_chunks_;  // per consuming queue
+  /// Seqs consumed from the engine and owed to the store; shrinks when
+  /// a loss is counted (drop policy, ring-close eviction).
+  std::unordered_set<std::uint64_t> expected_seqs_;
+  std::uint64_t spool_lost_ = 0;  // held-chunk evictions (harness-side)
 };
 
 struct SoakResult {
@@ -192,9 +261,15 @@ struct SoakResult {
   std::uint64_t total_conservation_checks = 0;
   std::uint64_t total_delivered = 0;
   std::uint64_t total_reopens = 0;
+  /// Spool-mode totals (zero when the soak ran without a spool).
+  std::uint64_t total_spooled = 0;
+  std::uint64_t total_spool_lost = 0;
+  std::uint64_t total_spool_failures = 0;
   /// "seed N: <first violation>" per dirty seed.
   std::vector<std::string> failures;
-  [[nodiscard]] bool clean() const { return total_violations == 0; }
+  [[nodiscard]] bool clean() const {
+    return total_violations == 0 && total_spool_failures == 0;
+  }
 };
 
 /// Runs the harness over `count` consecutive seeds starting at

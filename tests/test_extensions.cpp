@@ -6,6 +6,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <unistd.h>
 
 #include "apps/harness.hpp"
@@ -231,6 +232,30 @@ TEST_F(PcapngTest, NonFourByteAlignedPayloadsPadded) {
   EXPECT_EQ(records[0].data.size(), 61u);
   EXPECT_EQ(records[0].data[60], std::byte{0xCD});
   EXPECT_EQ(records[1].data.size(), 64u);
+}
+
+TEST_F(PcapngTest, DestructorFlushesUnclosedTail) {
+  // Regression: an abandoned writer (destroyed without close()) used to
+  // lose buffered tail bytes; reopening must find every packet,
+  // including the last one and its packet id.
+  FlowKey flow{Ipv4Addr{131, 225, 2, 3}, Ipv4Addr{10, 0, 0, 1}, 999, 53,
+               IpProto::kUdp};
+  {
+    auto writer = std::make_unique<net::PcapngWriter>(path_);
+    for (int i = 0; i < 9; ++i) {
+      const auto pkt = net::WirePacket::make(Nanos{500LL * (i + 1)}, flow, 64,
+                                             static_cast<std::uint64_t>(i));
+      writer->write(pkt.timestamp(), pkt.bytes(), pkt.wire_len(), 0,
+                    static_cast<std::uint64_t>(100 + i));
+    }
+    writer.reset();  // destructor, no close()
+  }
+  net::PcapngReader reader{path_};
+  const auto records = reader.read_all();
+  ASSERT_EQ(records.size(), 9u);
+  EXPECT_EQ(records.back().timestamp.count(), 4'500LL);
+  ASSERT_TRUE(records.back().packet_id.has_value());
+  EXPECT_EQ(*records.back().packet_id, 108u);
 }
 
 TEST_F(PcapngTest, RejectsGarbage) {

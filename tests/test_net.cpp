@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
 #include <fstream>
 #include <unistd.h>
@@ -290,6 +291,27 @@ TEST_F(PcapFileTest, MicrosecondVariant) {
   // Microsecond resolution truncates the 500 ns.
   EXPECT_EQ(record->timestamp.count(), 5'000'001'000LL);
   EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(PcapFileTest, DestructorFlushesUnclosedTail) {
+  // Regression: a writer destroyed without close() used to lose its
+  // buffered tail bytes; the destructor must flush so the last packet
+  // survives a crashless-but-careless teardown.
+  FlowKey flow{Ipv4Addr{131, 225, 2, 9}, Ipv4Addr{8, 8, 8, 8}, 999, 53,
+               IpProto::kUdp};
+  {
+    auto writer = std::make_unique<PcapWriter>(path_);
+    for (int i = 0; i < 7; ++i) {
+      writer->write(WirePacket::make(Nanos{1'000LL * (i + 1)}, flow, 64,
+                                     static_cast<std::uint64_t>(i)));
+    }
+    writer.reset();  // destructor, no close()
+  }
+  PcapReader reader{path_};
+  const auto records = reader.read_all();
+  ASSERT_EQ(records.size(), 7u);
+  EXPECT_EQ(records.back().timestamp.count(), 7'000LL);
+  EXPECT_EQ(records.back().orig_len, 64u);
 }
 
 TEST_F(PcapFileTest, RejectsGarbage) {
