@@ -11,13 +11,23 @@ namespace wirecap::bpf {
 
 namespace {
 
-// Frame offsets for linktype EN10MB + IPv4.
+// Frame offsets for linktype EN10MB.  The L3 header starts at 14 on a
+// plain frame and at 18 behind a single 802.1Q tag; the dispatch in
+// require_ipv4() computes that offset at runtime into X (and M[0] so
+// later primitives can restore it), and all IPv4 field loads are
+// emitted X-relative.
 constexpr std::uint32_t kOffEtherType = 12;
-constexpr std::uint32_t kOffIpStart = 14;
-constexpr std::uint32_t kOffIpProto = kOffIpStart + 9;
-constexpr std::uint32_t kOffIpFrag = kOffIpStart + 6;
-constexpr std::uint32_t kOffIpSrc = kOffIpStart + 12;
-constexpr std::uint32_t kOffIpDst = kOffIpStart + 16;
+constexpr std::uint32_t kOffVlanTci = 14;
+constexpr std::uint32_t kOffInnerEtherType = 16;
+constexpr std::uint32_t kL3Plain = net::kEthernetHeaderLen;
+constexpr std::uint32_t kL3Vlan = net::kEthernetHeaderLen + net::kVlanTagLen;
+// IPv4 field offsets relative to the start of the IP header.
+constexpr std::uint32_t kRelIpFrag = 6;
+constexpr std::uint32_t kRelIpProto = 9;
+constexpr std::uint32_t kRelIpSrc = 12;
+constexpr std::uint32_t kRelIpDst = 16;
+// Scratch slot holding the L3 offset once an IPv4 dispatch succeeded.
+constexpr std::uint32_t kMemL3Offset = 0;
 
 /// Code generator with symbolic labels.  Conditional jumps record the
 /// label they target; resolve() converts them into the 8-bit relative
@@ -100,8 +110,9 @@ class CodeGen {
 
 /// Facts established on the true-path of already-generated code, used
 /// for common-subexpression elimination: inside an AND chain, once the
-/// left operand has proven the frame is IPv4, the right operand's
-/// primitives can skip their own ethertype check (the same elimination
+/// left operand has proven the frame is IPv4 (leaving the L3 offset in
+/// M[0]), the right operand's primitives can skip their own ethertype
+/// dispatch and reload X from M[0] instead (the same elimination
 /// tcpdump's optimizer performs).
 struct KnownFacts {
   bool ipv4 = false;
@@ -133,8 +144,9 @@ class Compiler {
  private:
   using Label = CodeGen::Label;
 
-  /// True when `expr` being satisfied proves the frame is IPv4 (so an
-  /// AND-sibling generated afterwards may omit its ethertype check).
+  /// True when `expr` being satisfied proves the frame is IPv4 with the
+  /// L3 offset in M[0] (so an AND-sibling generated afterwards may omit
+  /// its ethertype dispatch).
   [[nodiscard]] static bool establishes_ipv4(const Expr& expr) {
     switch (expr.kind) {
       case ExprKind::kAnd:
@@ -193,28 +205,67 @@ class Compiler {
     }
   }
 
-  /// Branches to on_false unless the frame is IPv4 (no-op when already
-  /// proven).
+  /// Branches to on_false unless the frame carries IPv4 — either
+  /// directly (ethertype 0x0800 at 12, L3 at 14) or behind exactly one
+  /// 802.1Q tag (0x8100 at 12, inner ethertype 0x0800 at 16, L3 at 18).
+  /// On the fall-through path X and M[0] hold the L3 offset.  When the
+  /// fact is already established only X needs restoring (a preceding
+  /// port primitive leaves X pointing at L4).
   void require_ipv4(Label on_false, const KnownFacts& facts) {
-    if (facts.ipv4) return;
-    const auto next = gen_.new_label();
+    if (facts.ipv4) {
+      gen_.emit(kClassLdx | kSizeW | kModeMem, kMemL3Offset);
+      return;
+    }
+    const auto check_vlan = gen_.new_label();
+    const auto vlan_tag = gen_.new_label();
+    const auto tagged = gen_.new_label();
+    const auto plain = gen_.new_label();
+    const auto join = gen_.new_label();
     gen_.emit(kClassLd | kSizeH | kModeAbs, kOffEtherType);
-    gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeIpv4, next,
+    gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeIpv4, plain,
+                     check_vlan);
+    gen_.place(check_vlan);
+    gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeVlan,
+                     vlan_tag, on_false);
+    gen_.place(vlan_tag);
+    gen_.emit(kClassLd | kSizeH | kModeAbs, kOffInnerEtherType);
+    gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeIpv4, tagged,
                      on_false);
-    gen_.place(next);
+    gen_.place(tagged);
+    gen_.emit(kClassLd | kSizeW | kModeImm, kL3Vlan);
+    gen_.emit_jump(join);
+    gen_.place(plain);
+    gen_.emit(kClassLd | kSizeW | kModeImm, kL3Plain);
+    gen_.place(join);
+    gen_.emit(kClassSt, kMemL3Offset);
+    gen_.emit(kClassMisc | kMiscTax, 0);
   }
 
   void gen_primitive(const Primitive& p, Label on_true, Label on_false,
                      const KnownFacts& facts) {
     switch (p.kind) {
       case PrimitiveKind::kProtoIp: {
-        gen_.emit(kClassLd | kSizeH | kModeAbs, kOffEtherType);
-        gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeIpv4,
-                         on_true, on_false);
+        if (facts.ipv4) {
+          gen_.emit_jump(on_true);
+          return;
+        }
+        require_ipv4(on_false, facts);
+        gen_.emit_jump(on_true);
         return;
       }
       case PrimitiveKind::kProtoIp6: {
+        // Same single-tag descent as IPv4, but no offset is recorded:
+        // no other primitive consumes an IPv6 L3 offset.
+        const auto check_vlan = gen_.new_label();
+        const auto vlan_tag = gen_.new_label();
         gen_.emit(kClassLd | kSizeH | kModeAbs, kOffEtherType);
+        gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeIpv6,
+                         on_true, check_vlan);
+        gen_.place(check_vlan);
+        gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeVlan,
+                         vlan_tag, on_false);
+        gen_.place(vlan_tag);
+        gen_.emit(kClassLd | kSizeH | kModeAbs, kOffInnerEtherType);
         gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, net::kEtherTypeIpv6,
                          on_true, on_false);
         return;
@@ -230,7 +281,7 @@ class Compiler {
           return;
         }
         // TCI at frame offset 14; VID is the low 12 bits.
-        gen_.emit(kClassLd | kSizeH | kModeAbs, 14);
+        gen_.emit(kClassLd | kSizeH | kModeAbs, kOffVlanTci);
         gen_.emit(kClassAlu | kAluAnd | kSrcK, 0x0FFF);
         gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, p.vlan_id, on_true,
                          on_false);
@@ -287,7 +338,7 @@ class Compiler {
   void gen_proto(std::uint8_t proto, Label on_true, Label on_false,
                  const KnownFacts& facts) {
     require_ipv4(on_false, facts);
-    gen_.emit(kClassLd | kSizeB | kModeAbs, kOffIpProto);
+    gen_.emit(kClassLd | kSizeB | kModeInd, kRelIpProto);
     gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK, proto, on_true, on_false);
   }
 
@@ -297,7 +348,7 @@ class Compiler {
     require_ipv4(on_false, facts);
     const auto test_one = [&](std::uint32_t offset, Label match_true,
                               Label match_false) {
-      gen_.emit(kClassLd | kSizeW | kModeAbs, offset);
+      gen_.emit(kClassLd | kSizeW | kModeInd, offset);
       if (mask != 0xFFFFFFFFu) {
         gen_.emit(kClassAlu | kAluAnd | kSrcK, mask);
       }
@@ -306,16 +357,16 @@ class Compiler {
     };
     switch (dir) {
       case Direction::kSrc:
-        test_one(kOffIpSrc, on_true, on_false);
+        test_one(kRelIpSrc, on_true, on_false);
         return;
       case Direction::kDst:
-        test_one(kOffIpDst, on_true, on_false);
+        test_one(kRelIpDst, on_true, on_false);
         return;
       case Direction::kEither: {
         const auto try_dst = gen_.new_label();
-        test_one(kOffIpSrc, on_true, try_dst);
+        test_one(kRelIpSrc, on_true, try_dst);
         gen_.place(try_dst);
-        test_one(kOffIpDst, on_true, on_false);
+        test_one(kRelIpDst, on_true, on_false);
         return;
       }
     }
@@ -327,7 +378,7 @@ class Compiler {
     // Protocol must be TCP or UDP.
     const auto proto_ok = gen_.new_label();
     const auto try_udp = gen_.new_label();
-    gen_.emit(kClassLd | kSizeB | kModeAbs, kOffIpProto);
+    gen_.emit(kClassLd | kSizeB | kModeInd, kRelIpProto);
     gen_.emit_branch(kClassJmp | kJmpJeq | kSrcK,
                      static_cast<std::uint8_t>(net::IpProto::kTcp), proto_ok,
                      try_udp);
@@ -339,12 +390,17 @@ class Compiler {
     // Reject fragments with a nonzero offset: ports live in the first
     // fragment only.
     const auto not_fragment = gen_.new_label();
-    gen_.emit(kClassLd | kSizeH | kModeAbs, kOffIpFrag);
+    gen_.emit(kClassLd | kSizeH | kModeInd, kRelIpFrag);
     gen_.emit_branch(kClassJmp | kJmpJset | kSrcK, 0x1FFF, on_false,
                      not_fragment);
     gen_.place(not_fragment);
-    // X <- IP header length; load ports at [14 + X] / [14 + X + 2].
-    gen_.emit(kClassLdx | kSizeB | kModeMsh, kOffIpStart);
+    // X <- L3 offset + 4*IHL (the L4 offset); MSH can't be used here
+    // because the IP header no longer sits at a fixed frame offset.
+    gen_.emit(kClassLd | kSizeB | kModeInd, 0);
+    gen_.emit(kClassAlu | kAluAnd | kSrcK, 0x0F);
+    gen_.emit(kClassAlu | kAluLsh | kSrcK, 2);
+    gen_.emit(kClassAlu | kAluAdd | kSrcX, 0);
+    gen_.emit(kClassMisc | kMiscTax, 0);
     // Tests A against [lo, hi]; equality when lo == hi.
     const auto test_in_range = [&](std::uint32_t offset, Label match,
                                    Label no_match) {
@@ -361,16 +417,16 @@ class Compiler {
     };
     switch (dir) {
       case Direction::kSrc:
-        test_in_range(kOffIpStart, on_true, on_false);
+        test_in_range(0, on_true, on_false);
         return;
       case Direction::kDst:
-        test_in_range(kOffIpStart + 2, on_true, on_false);
+        test_in_range(2, on_true, on_false);
         return;
       case Direction::kEither: {
         const auto try_dst = gen_.new_label();
-        test_in_range(kOffIpStart, on_true, try_dst);
+        test_in_range(0, on_true, try_dst);
         gen_.place(try_dst);
-        test_in_range(kOffIpStart + 2, on_true, on_false);
+        test_in_range(2, on_true, on_false);
         return;
       }
     }

@@ -8,118 +8,212 @@ namespace wirecap::bpf {
 
 namespace {
 
-struct ParsedFrame {
-  std::optional<net::Ipv4Header> ip;
-  std::optional<std::uint16_t> src_port;
-  std::optional<std::uint16_t> dst_port;
-  std::optional<net::VlanTag> vlan;
-  bool is_ipv6 = false;
+// The evaluator works on raw frame fields at the same offsets the code
+// generator emits loads for, and mirrors classic-BPF packet-load
+// semantics: a field that lies beyond the captured bytes aborts the
+// whole evaluation with a reject (the VM returns 0 the moment any load
+// falls outside caplen, regardless of the surrounding boolean
+// structure).  Three-valued logic carries that abort through and/or/not
+// exactly the way the compiled program's control flow does.
+//
+// Deliberately libpcap-compatible (and deliberately *not* full header
+// validation): a frame whose (possibly VLAN-nested) ethertype is 0x0800
+// is treated as IPv4 without checking the version nibble or minimum
+// IHL, and L4 ports are read at l3 + 4*(ihl & 0xf) whatever ihl says —
+// the same bytes a kernel socket filter would read.
+
+enum class Verdict : std::uint8_t { kFalse, kTrue, kAbort };
+
+[[nodiscard]] constexpr Verdict verdict_of(bool value) {
+  return value ? Verdict::kTrue : Verdict::kFalse;
+}
+
+struct RawFrame {
+  std::span<const std::byte> bytes;  // the captured prefix (caplen)
   std::uint32_t wire_len = 0;
 };
 
-ParsedFrame parse(std::span<const std::byte> frame, std::uint32_t wire_len) {
-  ParsedFrame parsed;
-  parsed.wire_len = wire_len;
-  const auto eth = net::parse_ethernet(frame);
-  if (!eth) return parsed;
-  parsed.vlan = net::parse_vlan(frame);
-  parsed.is_ipv6 = eth->ether_type == net::kEtherTypeIpv6;
-  if (eth->ether_type != net::kEtherTypeIpv4) return parsed;
-  const auto l3 = frame.subspan(net::kEthernetHeaderLen);
-  parsed.ip = net::parse_ipv4(l3);
-  if (!parsed.ip) return parsed;
-  // Ports are defined only for unfragmented-first TCP/UDP segments.
-  if ((parsed.ip->flags_fragment & 0x1FFF) != 0) return parsed;
-  if (l3.size() < parsed.ip->header_len()) return parsed;
-  const auto l4 = l3.subspan(parsed.ip->header_len());
-  if (parsed.ip->protocol == net::IpProto::kTcp) {
-    if (const auto tcp = net::parse_tcp(l4)) {
-      parsed.src_port = tcp->src_port;
-      parsed.dst_port = tcp->dst_port;
-    }
-  } else if (parsed.ip->protocol == net::IpProto::kUdp) {
-    if (const auto udp = net::parse_udp(l4)) {
-      parsed.src_port = udp->src_port;
-      parsed.dst_port = udp->dst_port;
-    }
-  }
-  return parsed;
+[[nodiscard]] std::optional<std::uint32_t> load_b(const RawFrame& f,
+                                                  std::size_t off) {
+  if (off + 1 > f.bytes.size()) return std::nullopt;
+  return static_cast<std::uint32_t>(f.bytes[off]);
 }
 
-bool eval_primitive(const Primitive& p, const ParsedFrame& f) {
+[[nodiscard]] std::optional<std::uint32_t> load_h(const RawFrame& f,
+                                                  std::size_t off) {
+  if (off + 2 > f.bytes.size()) return std::nullopt;
+  return (static_cast<std::uint32_t>(f.bytes[off]) << 8) |
+         static_cast<std::uint32_t>(f.bytes[off + 1]);
+}
+
+[[nodiscard]] std::optional<std::uint32_t> load_w(const RawFrame& f,
+                                                  std::size_t off) {
+  if (off + 4 > f.bytes.size()) return std::nullopt;
+  return (static_cast<std::uint32_t>(f.bytes[off]) << 24) |
+         (static_cast<std::uint32_t>(f.bytes[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(f.bytes[off + 2]) << 8) |
+         static_cast<std::uint32_t>(f.bytes[off + 3]);
+}
+
+/// Result of the ethertype dispatch every IP/IPv6 primitive performs:
+/// either the L3 offset (14, or 18 behind a single 802.1Q tag), a
+/// definite "not that protocol", or an abort because the dispatch loads
+/// themselves fell outside the capture.
+struct L3Dispatch {
+  Verdict verdict = Verdict::kFalse;  // kTrue: l3_offset valid
+  std::size_t l3_offset = 0;
+};
+
+[[nodiscard]] L3Dispatch dispatch_l3(const RawFrame& f,
+                                     std::uint16_t target_ether_type) {
+  const auto outer = load_h(f, 12);
+  if (!outer) return {Verdict::kAbort, 0};
+  if (*outer == target_ether_type) {
+    return {Verdict::kTrue, net::kEthernetHeaderLen};
+  }
+  if (*outer != net::kEtherTypeVlan) return {Verdict::kFalse, 0};
+  const auto inner = load_h(f, 16);
+  if (!inner) return {Verdict::kAbort, 0};
+  if (*inner != target_ether_type) return {Verdict::kFalse, 0};
+  return {Verdict::kTrue, net::kEthernetHeaderLen + net::kVlanTagLen};
+}
+
+/// Matches `value` under `mask` against the src and/or dst IPv4 address
+/// words, replicating the compiled load order (src first; dst only when
+/// src failed to match).
+[[nodiscard]] Verdict match_addr(const RawFrame& f, std::size_t l3,
+                                 std::uint32_t value, std::uint32_t mask,
+                                 Direction dir) {
+  const auto test_one = [&](std::size_t off) -> Verdict {
+    const auto word = load_w(f, off);
+    if (!word) return Verdict::kAbort;
+    return verdict_of((*word & mask) == value);
+  };
+  switch (dir) {
+    case Direction::kSrc: return test_one(l3 + 12);
+    case Direction::kDst: return test_one(l3 + 16);
+    case Direction::kEither: {
+      const Verdict src = test_one(l3 + 12);
+      if (src != Verdict::kFalse) return src;
+      return test_one(l3 + 16);
+    }
+  }
+  return Verdict::kFalse;
+}
+
+/// Matches TCP/UDP ports in [lo, hi], replicating the compiled
+/// sequence: protocol byte, fragment-offset halfword, IHL byte, then
+/// the port halfword(s) at l3 + 4*(ihl & 0xf).
+[[nodiscard]] Verdict match_port(const RawFrame& f, std::size_t l3,
+                                 std::uint16_t lo, std::uint16_t hi,
+                                 Direction dir) {
+  const auto proto = load_b(f, l3 + 9);
+  if (!proto) return Verdict::kAbort;
+  if (*proto != static_cast<std::uint32_t>(net::IpProto::kTcp) &&
+      *proto != static_cast<std::uint32_t>(net::IpProto::kUdp)) {
+    return Verdict::kFalse;
+  }
+  const auto frag = load_h(f, l3 + 6);
+  if (!frag) return Verdict::kAbort;
+  if ((*frag & 0x1FFF) != 0) return Verdict::kFalse;
+  const auto version_ihl = load_b(f, l3);
+  if (!version_ihl) return Verdict::kAbort;
+  const std::size_t l4 = l3 + 4 * (*version_ihl & 0x0F);
+  const auto test_one = [&](std::size_t off) -> Verdict {
+    const auto port = load_h(f, off);
+    if (!port) return Verdict::kAbort;
+    return verdict_of(*port >= lo && *port <= hi);
+  };
+  switch (dir) {
+    case Direction::kSrc: return test_one(l4);
+    case Direction::kDst: return test_one(l4 + 2);
+    case Direction::kEither: {
+      const Verdict src = test_one(l4);
+      if (src != Verdict::kFalse) return src;
+      return test_one(l4 + 2);
+    }
+  }
+  return Verdict::kFalse;
+}
+
+[[nodiscard]] Verdict eval_primitive(const Primitive& p, const RawFrame& f) {
   switch (p.kind) {
     case PrimitiveKind::kProtoIp:
-      return f.ip.has_value();
+      return dispatch_l3(f, net::kEtherTypeIpv4).verdict;
     case PrimitiveKind::kProtoIp6:
-      return f.is_ipv6;
-    case PrimitiveKind::kVlan:
-      return f.vlan && (!p.has_vlan_id || f.vlan->vid == p.vlan_id);
+      return dispatch_l3(f, net::kEtherTypeIpv6).verdict;
+    case PrimitiveKind::kVlan: {
+      const auto outer = load_h(f, 12);
+      if (!outer) return Verdict::kAbort;
+      if (*outer != net::kEtherTypeVlan) return Verdict::kFalse;
+      if (!p.has_vlan_id) return Verdict::kTrue;
+      const auto tci = load_h(f, 14);
+      if (!tci) return Verdict::kAbort;
+      return verdict_of((*tci & 0x0FFF) == p.vlan_id);
+    }
     case PrimitiveKind::kProtoTcp:
-      return f.ip && f.ip->protocol == net::IpProto::kTcp;
     case PrimitiveKind::kProtoUdp:
-      return f.ip && f.ip->protocol == net::IpProto::kUdp;
-    case PrimitiveKind::kProtoIcmp:
-      return f.ip && f.ip->protocol == net::IpProto::kIcmp;
-    case PrimitiveKind::kHost: {
-      if (!f.ip) return false;
-      const bool src = f.ip->src == p.addr;
-      const bool dst = f.ip->dst == p.addr;
-      switch (p.dir) {
-        case Direction::kSrc: return src;
-        case Direction::kDst: return dst;
-        case Direction::kEither: return src || dst;
-      }
-      return false;
+    case PrimitiveKind::kProtoIcmp: {
+      const auto l3 = dispatch_l3(f, net::kEtherTypeIpv4);
+      if (l3.verdict != Verdict::kTrue) return l3.verdict;
+      const auto proto = load_b(f, l3.l3_offset + 9);
+      if (!proto) return Verdict::kAbort;
+      const auto want = p.kind == PrimitiveKind::kProtoTcp ? net::IpProto::kTcp
+                        : p.kind == PrimitiveKind::kProtoUdp
+                            ? net::IpProto::kUdp
+                            : net::IpProto::kIcmp;
+      return verdict_of(*proto == static_cast<std::uint32_t>(want));
     }
+    case PrimitiveKind::kHost:
     case PrimitiveKind::kNet: {
-      if (!f.ip) return false;
-      const bool src = f.ip->src.in_prefix(p.addr, p.prefix_len);
-      const bool dst = f.ip->dst.in_prefix(p.addr, p.prefix_len);
-      switch (p.dir) {
-        case Direction::kSrc: return src;
-        case Direction::kDst: return dst;
-        case Direction::kEither: return src || dst;
+      const auto l3 = dispatch_l3(f, net::kEtherTypeIpv4);
+      if (l3.verdict != Verdict::kTrue) return l3.verdict;
+      std::uint32_t mask = 0xFFFFFFFFu;
+      if (p.kind == PrimitiveKind::kNet) {
+        mask = p.prefix_len == 0
+                   ? 0
+                   : (p.prefix_len >= 32 ? 0xFFFFFFFFu
+                                         : ~((1u << (32 - p.prefix_len)) - 1));
       }
-      return false;
+      return match_addr(f, l3.l3_offset, p.addr.value() & mask, mask, p.dir);
     }
+    case PrimitiveKind::kPort:
     case PrimitiveKind::kPortRange: {
-      const bool src =
-          f.src_port && *f.src_port >= p.port && *f.src_port <= p.port_hi;
-      const bool dst =
-          f.dst_port && *f.dst_port >= p.port && *f.dst_port <= p.port_hi;
-      switch (p.dir) {
-        case Direction::kSrc: return src;
-        case Direction::kDst: return dst;
-        case Direction::kEither: return src || dst;
-      }
-      return false;
-    }
-    case PrimitiveKind::kPort: {
-      const bool src = f.src_port && *f.src_port == p.port;
-      const bool dst = f.dst_port && *f.dst_port == p.port;
-      switch (p.dir) {
-        case Direction::kSrc: return src;
-        case Direction::kDst: return dst;
-        case Direction::kEither: return src || dst;
-      }
-      return false;
+      const auto l3 = dispatch_l3(f, net::kEtherTypeIpv4);
+      if (l3.verdict != Verdict::kTrue) return l3.verdict;
+      const std::uint16_t hi =
+          p.kind == PrimitiveKind::kPort ? p.port : p.port_hi;
+      return match_port(f, l3.l3_offset, p.port, hi, p.dir);
     }
     case PrimitiveKind::kLenLe:
-      return f.wire_len <= p.length;
+      return verdict_of(f.wire_len <= p.length);
     case PrimitiveKind::kLenGe:
-      return f.wire_len >= p.length;
+      return verdict_of(f.wire_len >= p.length);
   }
-  return false;
+  return Verdict::kFalse;
 }
 
-bool eval_expr(const Expr& expr, const ParsedFrame& f) {
+[[nodiscard]] Verdict eval_expr(const Expr& expr, const RawFrame& f) {
   switch (expr.kind) {
-    case ExprKind::kAnd: return eval_expr(*expr.lhs, f) && eval_expr(*expr.rhs, f);
-    case ExprKind::kOr: return eval_expr(*expr.lhs, f) || eval_expr(*expr.rhs, f);
-    case ExprKind::kNot: return !eval_expr(*expr.lhs, f);
-    case ExprKind::kPrimitive: return eval_primitive(expr.prim, f);
+    case ExprKind::kAnd: {
+      const Verdict lhs = eval_expr(*expr.lhs, f);
+      if (lhs != Verdict::kTrue) return lhs;  // false or abort
+      return eval_expr(*expr.rhs, f);
+    }
+    case ExprKind::kOr: {
+      const Verdict lhs = eval_expr(*expr.lhs, f);
+      if (lhs != Verdict::kFalse) return lhs;  // true or abort
+      return eval_expr(*expr.rhs, f);
+    }
+    case ExprKind::kNot: {
+      const Verdict inner = eval_expr(*expr.lhs, f);
+      if (inner == Verdict::kAbort) return Verdict::kAbort;
+      return verdict_of(inner == Verdict::kFalse);
+    }
+    case ExprKind::kPrimitive:
+      return eval_primitive(expr.prim, f);
   }
-  return false;
+  return Verdict::kFalse;
 }
 
 }  // namespace
@@ -127,7 +221,7 @@ bool eval_expr(const Expr& expr, const ParsedFrame& f) {
 bool evaluate(const Expr* expr, std::span<const std::byte> frame,
               std::uint32_t wire_len) {
   if (expr == nullptr) return true;
-  return eval_expr(*expr, parse(frame, wire_len));
+  return eval_expr(*expr, RawFrame{frame, wire_len}) == Verdict::kTrue;
 }
 
 }  // namespace wirecap::bpf

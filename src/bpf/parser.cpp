@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 namespace wirecap::bpf {
@@ -101,7 +102,11 @@ class Lexer {
       }
     }
     if (parts == 1) {
-      return {TokenKind::kNumber, text, std::stoull(text)};
+      try {
+        return {TokenKind::kNumber, text, std::stoull(text)};
+      } catch (const std::out_of_range&) {
+        throw ParseError("number out of range: " + text);
+      }
     }
     if (parts > 4) throw ParseError("too many address components: " + text);
     return {TokenKind::kDotted, text};
@@ -139,7 +144,12 @@ DottedPrefix parse_dotted(const std::string& text) {
     const std::size_t dot = text.find('.', start);
     const std::string part =
         text.substr(start, dot == std::string::npos ? dot : dot - start);
-    const unsigned long octet = std::stoul(part);
+    unsigned long octet = 0;
+    try {
+      octet = std::stoul(part);
+    } catch (const std::out_of_range&) {
+      throw ParseError("address octet out of range: " + text);
+    }
     if (octet > 255) throw ParseError("address octet out of range: " + text);
     value = (value << 8) | static_cast<std::uint32_t>(octet);
     ++octets;
@@ -218,15 +228,27 @@ class Parser {
   }
 
   ExprPtr parse_factor() {
-    if (accept_word("not")) return Expr::make_not(parse_factor());
-    if (peek().kind == TokenKind::kLParen) {
+    // Recursion bound: parentheses and `not` chains are the only ways
+    // the grammar recurses, and both pass through here.  Without a cap
+    // a ~100 kB string of '(' overflows the C++ stack (UB) before any
+    // syntax error is reached.
+    if (depth_ >= kMaxDepth) {
+      throw ParseError("expression nested too deeply");
+    }
+    ++depth_;
+    ExprPtr result;
+    if (accept_word("not")) {
+      result = Expr::make_not(parse_factor());
+    } else if (peek().kind == TokenKind::kLParen) {
       ++pos_;
-      ExprPtr inner = parse_or();
+      result = parse_or();
       if (peek().kind != TokenKind::kRParen) throw ParseError("expected ')'");
       ++pos_;
-      return inner;
+    } else {
+      result = parse_primitive();
     }
-    return parse_primitive();
+    --depth_;
+    return result;
   }
 
   ExprPtr parse_primitive() {
@@ -362,13 +384,19 @@ class Parser {
     return Expr::make_primitive(p);
   }
 
+  std::uint32_t take_length() {
+    const auto value = advance().number;
+    if (value > 0xFFFFFFFFull) throw ParseError("length out of range");
+    return static_cast<std::uint32_t>(value);
+  }
+
   ExprPtr make_len_alias(PrimitiveKind kind) {
     if (peek().kind != TokenKind::kNumber) {
       throw ParseError("expected length");
     }
     Primitive p;
     p.kind = kind;
-    p.length = static_cast<std::uint32_t>(advance().number);
+    p.length = take_length();
     return Expr::make_primitive(p);
   }
 
@@ -383,12 +411,15 @@ class Parser {
     }
     Primitive p;
     p.kind = cmp == TokenKind::kLe ? PrimitiveKind::kLenLe : PrimitiveKind::kLenGe;
-    p.length = static_cast<std::uint32_t>(advance().number);
+    p.length = take_length();
     return Expr::make_primitive(p);
   }
 
+  static constexpr int kMaxDepth = 200;
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 std::string primitive_to_string(const Primitive& p) {

@@ -12,12 +12,15 @@ namespace {
   const auto size = insn_size(code);
   if (size != kSizeW && size != kSizeH && size != kSizeB) return false;
   switch (mode) {
-    case kModeImm:
     case kModeAbs:
     case kModeInd:
+      return true;
+    case kModeImm:
     case kModeMem:
     case kModeLen:
-      return true;
+      // Register-only loads carry no width; the reference checker
+      // (Linux sk_chk_filter) admits only the W-sized encoding.
+      return size == kSizeW;
     case kModeMsh:
       return false;  // MSH is LDX-only
     default:
@@ -31,7 +34,7 @@ namespace {
     case kModeImm:
     case kModeMem:
     case kModeLen:
-      return true;
+      return insn_size(code) == kSizeW;
     case kModeMsh:
       return insn_size(code) == kSizeB;
     default:
@@ -82,6 +85,12 @@ VerifyResult verify(const Program& program) {
     const Insn& insn = program[pc];
     const auto cls = insn_class(insn.code);
     const auto at = "at insn " + std::to_string(pc);
+    // The accessors mask the bits they care about, so without this a
+    // code with garbage high bits would execute as something else
+    // entirely; the reference checker compares full codes.
+    if ((insn.code & ~0xFFu) != 0) {
+      return VerifyResult::failure("garbage high code bits " + at);
+    }
     switch (cls) {
       case kClassLd:
         if (!valid_load_code(insn.code)) {
@@ -133,12 +142,17 @@ VerifyResult verify(const Program& program) {
         break;
       }
       case kClassRet:
-        if ((insn.code & 0x18) != kRetK && (insn.code & 0x18) != kRetA) {
+        // Exact codes only: masking with 0x18 would also admit e.g.
+        // 0x26 ("ret" with a stray mode bit), which the reference
+        // checker rejects.
+        if (insn.code != (kClassRet | kRetK) &&
+            insn.code != (kClassRet | kRetA)) {
           return VerifyResult::failure("bad RET code " + at);
         }
         break;
       case kClassMisc:
-        if ((insn.code & 0xF8) != kMiscTax && (insn.code & 0xF8) != kMiscTxa) {
+        if (insn.code != (kClassMisc | kMiscTax) &&
+            insn.code != (kClassMisc | kMiscTxa)) {
           return VerifyResult::failure("bad MISC code " + at);
         }
         break;

@@ -412,6 +412,92 @@ std::size_t build_vlan_frame(std::span<std::byte> out, const FlowKey& flow,
   return frame_len;
 }
 
+std::size_t build_ipv4_frame(std::span<std::byte> out,
+                             const Ipv4FrameSpec& spec) {
+  if (spec.ihl < 5 || spec.ihl > 15) {
+    throw std::invalid_argument("build_ipv4_frame: ihl out of range");
+  }
+  const std::size_t l2_len =
+      kEthernetHeaderLen + kVlanTagLen * spec.vlan_vids.size();
+  const std::size_t ip_hdr_len = static_cast<std::size_t>(spec.ihl) * 4;
+  const bool is_fragment = (spec.flags_fragment & 0x1FFF) != 0;
+  const std::size_t l4_min =
+      is_fragment ? 0
+      : spec.flow.proto == IpProto::kTcp ? kTcpMinHeaderLen
+      : spec.flow.proto == IpProto::kUdp ? kUdpHeaderLen
+                                         : 8;
+  const std::size_t minimum = l2_len + ip_hdr_len + l4_min;
+  if (spec.wire_len < minimum) {
+    throw std::invalid_argument("build_ipv4_frame: wire_len below minimum");
+  }
+  if (out.size() < spec.wire_len) {
+    throw std::invalid_argument("build_ipv4_frame: output buffer too small");
+  }
+  std::fill(out.begin(),
+            out.begin() + static_cast<std::ptrdiff_t>(spec.wire_len),
+            std::byte{0});
+
+  write_ethernet(out, EthernetHeader{spec.dst_mac, spec.src_mac,
+                                     spec.vlan_vids.empty() ? kEtherTypeIpv4
+                                                            : kEtherTypeVlan});
+  for (std::size_t i = 0; i < spec.vlan_vids.size(); ++i) {
+    write_be16(out, 14 + 4 * i,
+               static_cast<std::uint16_t>(spec.vlan_vids[i] & 0x0FFF));
+    write_be16(out, 16 + 4 * i,
+               i + 1 < spec.vlan_vids.size() ? kEtherTypeVlan
+                                             : kEtherTypeIpv4);
+  }
+
+  auto l3 = out.subspan(l2_len);
+  Ipv4Header ip;
+  ip.ihl = spec.ihl;
+  ip.total_length = static_cast<std::uint16_t>(spec.wire_len - l2_len);
+  ip.identification = spec.ip_id;
+  ip.flags_fragment = spec.flags_fragment;
+  ip.protocol = spec.flow.proto;
+  ip.src = spec.flow.src_ip;
+  ip.dst = spec.flow.dst_ip;
+  // Options (ihl > 5) stay zero-filled, so the checksum write_ipv4
+  // computes over the first 20 bytes covers the full header.
+  write_ipv4(l3, ip);
+
+  auto l4 = l3.subspan(ip_hdr_len);
+  const std::size_t l4_len = spec.wire_len - l2_len - ip_hdr_len;
+  if (is_fragment) {
+    // Non-first fragment: the bytes at the L4 offset are mid-datagram
+    // payload, not a header.  Pattern them so port primitives that
+    // (incorrectly) read them would see nonzero garbage.
+    std::fill(l4.begin(), l4.begin() + static_cast<std::ptrdiff_t>(l4_len),
+              std::byte{0xA5});
+    return spec.wire_len;
+  }
+  switch (spec.flow.proto) {
+    case IpProto::kUdp: {
+      UdpHeader udp;
+      udp.src_port = spec.flow.src_port;
+      udp.dst_port = spec.flow.dst_port;
+      udp.length = static_cast<std::uint16_t>(l4_len);
+      write_udp(l4, udp);
+      break;
+    }
+    case IpProto::kTcp: {
+      TcpHeader tcp;
+      tcp.src_port = spec.flow.src_port;
+      tcp.dst_port = spec.flow.dst_port;
+      const auto payload =
+          l4.subspan(kTcpMinHeaderLen, l4_len - kTcpMinHeaderLen);
+      write_tcp(l4, tcp, spec.flow.src_ip, spec.flow.dst_ip, payload);
+      break;
+    }
+    case IpProto::kIcmp:
+      write_u8(l4, 0, 8);
+      write_u8(l4, 1, 0);
+      write_be16(l4, 2, internet_checksum(l4.first(l4_len)));
+      break;
+  }
+  return spec.wire_len;
+}
+
 std::size_t build_ipv6_frame(std::span<std::byte> out, const Ipv6Addr& src,
                              const Ipv6Addr& dst, IpProto proto,
                              std::uint16_t src_port, std::uint16_t dst_port,

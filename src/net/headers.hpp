@@ -9,6 +9,7 @@
 #include <optional>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "net/flow.hpp"
 
@@ -176,6 +177,28 @@ std::size_t build_frame(std::span<std::byte> out, const FlowKey& flow,
 std::size_t build_vlan_frame(std::span<std::byte> out, const FlowKey& flow,
                              std::uint16_t vid, std::size_t frame_len,
                              MacAddr src_mac, MacAddr dst_mac);
+
+/// Full-control IPv4 frame description for build_ipv4_frame: any 802.1Q
+/// stack depth (outermost tag first), IP options (ihl > 5, zero-filled),
+/// and fragments (a nonzero fragment offset suppresses the L4 header —
+/// the payload is patterned filler, as in a real non-first fragment).
+struct Ipv4FrameSpec {
+  FlowKey flow;
+  std::size_t wire_len = 64;
+  std::uint8_t ihl = 5;  // 5..15; >5 appends zeroed options
+  std::uint16_t flags_fragment = 0x4000;  // DF set, offset 0
+  std::vector<std::uint16_t> vlan_vids;   // outer → inner 802.1Q tags
+  MacAddr src_mac{};
+  MacAddr dst_mac{};
+  std::uint16_t ip_id = 0;
+};
+
+/// Builds the frame described by `spec` into `out`, returning the bytes
+/// written (== spec.wire_len).  Throws std::invalid_argument when the
+/// spec is inconsistent (ihl out of range, wire_len below the header
+/// minimum, buffer too small).
+std::size_t build_ipv4_frame(std::span<std::byte> out,
+                             const Ipv4FrameSpec& spec);
 
 /// Builds a complete Ethernet/IPv6/{UDP,TCP} frame of `frame_len` bytes.
 std::size_t build_ipv6_frame(std::span<std::byte> out, const Ipv6Addr& src,

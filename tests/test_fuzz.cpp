@@ -43,6 +43,14 @@ TEST(BpfFuzz, VerifiedProgramsNeverCrash) {
       insn.k = static_cast<std::uint32_t>(rng.next_below(256));
       program.push_back(insn);
     }
+    // The verifier demands exact terminal-RET codes, so purely random
+    // programs almost never get past it; half the trials plant a valid
+    // RET to make the accepted set large enough to exercise the VM.
+    if (rng.next_bool(0.5)) {
+      program.back() = bpf::stmt(
+          bpf::kClassRet | (rng.next_bool(0.5) ? bpf::kRetK : bpf::kRetA),
+          static_cast<std::uint32_t>(rng.next_below(256)));
+    }
     if (!bpf::verify(program).ok) continue;
     ++accepted;
     // Run on a random small packet; must terminate and not throw.
@@ -68,15 +76,14 @@ TEST(BpfFuzz, ParserNeverCrashesOnGarbage) {
     for (std::size_t i = 0; i < length; ++i) {
       text.push_back(alphabet[rng.next_below(alphabet.size())]);
     }
+    // ParseError is the ONLY permitted escape: out-of-range numerics
+    // and over-deep nesting must be caught inside the parser, not leak
+    // as std::out_of_range / std::invalid_argument from stoul et al.
     try {
       const auto expr = bpf::parse_filter(text);
       static_cast<void>(expr);
     } catch (const bpf::ParseError&) {
       // expected for most inputs
-    } catch (const std::invalid_argument&) {
-      // out-of-range numerics funneled through stoul/stoull
-    } catch (const std::out_of_range&) {
-      // very long numeric tokens
     }
   }
   SUCCEED();
