@@ -15,6 +15,7 @@
 
 #include "apps/pkt_handler.hpp"
 #include "core/wirecap_engine.hpp"
+#include "engines/factory.hpp"
 #include "net/headers.hpp"
 #include "nic/device.hpp"
 #include "nic/wire.hpp"
@@ -49,9 +50,10 @@ int main() {
   nic_config.num_rx_queues = kQueues;
   nic::MultiQueueNic nic{scheduler, bus, nic_config};
 
-  core::WirecapConfig engine_config;
+  engines::EngineConfig engine_config;
   engine_config.offload_threshold = 0.6;
-  core::WirecapEngine engine{scheduler, nic, engine_config};
+  auto engine_ptr = engines::make_engine("WireCAP-A", nic, engine_config);
+  auto& engine = dynamic_cast<core::WirecapEngine&>(*engine_ptr);
 
   // One flow table per application thread; a flow must only ever appear
   // in one of them (application-logic preservation).

@@ -20,6 +20,7 @@
 #include "bpf/codegen.hpp"
 #include "bpf/vm.hpp"
 #include "core/wirecap_engine.hpp"
+#include "engines/factory.hpp"
 #include "nic/device.hpp"
 #include "nic/wire.hpp"
 #include "trace/border_router.hpp"
@@ -51,11 +52,13 @@ RunResult run_ids(bool advanced_mode) {
   nic_config.num_rx_queues = kQueues;
   nic::MultiQueueNic nic{scheduler, bus, nic_config};
 
-  core::WirecapConfig engine_config;
+  engines::EngineConfig engine_config;
   engine_config.cells_per_chunk = 256;
   engine_config.chunk_count = 100;
-  if (advanced_mode) engine_config.offload_threshold = 0.6;
-  core::WirecapEngine engine{scheduler, nic, engine_config};
+  engine_config.offload_threshold = 0.6;
+  auto engine_ptr = engines::make_engine(
+      advanced_mode ? "WireCAP-A" : "WireCAP-B", nic, engine_config);
+  auto& engine = dynamic_cast<core::WirecapEngine&>(*engine_ptr);
 
   // Signature set: compiled once, applied to every inspected packet.
   std::vector<Signature> signatures;

@@ -17,7 +17,7 @@
 #include "apps/pkt_handler.hpp"
 #include "bpf/codegen.hpp"
 #include "bpf/vm.hpp"
-#include "core/wirecap_engine.hpp"
+#include "engines/factory.hpp"
 #include "net/bytes.hpp"
 #include "net/checksum.hpp"
 #include "net/headers.hpp"
@@ -62,10 +62,11 @@ int main() {
   nic2_config.nic_id = 2;
   nic::MultiQueueNic nic2{scheduler, bus, nic2_config};
 
-  core::WirecapConfig engine_config;
+  engines::EngineConfig engine_config;
   engine_config.cells_per_chunk = 128;
   engine_config.chunk_count = 160;  // 20,480-packet pool: absorbs the whole burst
-  core::WirecapEngine engine{scheduler, nic1, engine_config};
+  auto engine_ptr = engines::make_engine("WireCAP-B", nic1, engine_config);
+  engines::CaptureEngine& engine = *engine_ptr;
   sim::SimCore middlebox_core{scheduler, 0};
 
   // Policy: DNS traffic to the old resolver is redirected.

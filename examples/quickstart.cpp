@@ -11,7 +11,7 @@
 // live_capture.cpp for the same pipeline on real threads.
 #include <cstdio>
 
-#include "core/wirecap_engine.hpp"
+#include "engines/factory.hpp"
 #include "net/headers.hpp"
 #include "nic/device.hpp"
 #include "nic/wire.hpp"
@@ -34,14 +34,16 @@ int main() {
 
   // 2. The WireCAP engine: a ring buffer pool of R=100 chunks x M=256
   //    cells per receive queue, managed by a dedicated capture thread.
-  core::WirecapConfig engine_config;
+  //    make_engine builds any registered engine by name ("WireCAP-B",
+  //    "PF_RING", "DPDK", ...) so swapping engines is a string change.
+  engines::EngineConfig engine_config;
   engine_config.cells_per_chunk = 256;  // M
   engine_config.chunk_count = 100;      // R
-  core::WirecapEngine engine{scheduler, nic, engine_config};
+  auto engine = engines::make_engine("WireCAP-B", nic, engine_config);
 
   // 3. A libpcap-compatible handle, like pcap_open_live + pcap_setfilter.
   sim::SimCore app_core{scheduler, /*id=*/0};
-  pcap::PcapHandle handle{scheduler, engine, nic, /*queue=*/0, app_core};
+  pcap::PcapHandle handle{scheduler, *engine, nic, /*queue=*/0, app_core};
   handle.set_filter(pcap::PcapHandle::compile("udp and 131.225.2"));
 
   // 4. Some traffic: 10,000 64-byte packets at wire rate, alternating a

@@ -1,6 +1,7 @@
 #include "apps/harness.hpp"
 
 #include "engines/dpdk_engine.hpp"
+#include "engines/factory.hpp"
 #include "telemetry/export.hpp"
 
 #include <cstdio>
@@ -43,47 +44,27 @@ std::string EngineParams::label() const {
 }
 
 std::unique_ptr<engines::CaptureEngine> make_engine(
-    const EngineParams& params, sim::Scheduler& scheduler,
+    const EngineParams& params, sim::Scheduler& /*scheduler*/,
     nic::MultiQueueNic& nic, const sim::CostModel& costs) {
-  switch (params.kind) {
-    case EngineKind::kPfRing: {
-      engines::PfRingConfig config;
-      config.kernel_cost_per_packet = costs.pfring_kernel_cost;
-      config.napi_wakeup_delay = costs.napi_wakeup_delay;
-      return std::make_unique<engines::PfRingEngine>(scheduler, nic, config);
-    }
-    case EngineKind::kDna:
-      return std::make_unique<engines::Type2Engine>(nic,
-                                                    engines::dna_config());
-    case EngineKind::kNetmap:
-      return std::make_unique<engines::Type2Engine>(nic,
-                                                    engines::netmap_config());
-    case EngineKind::kPsioe:
-      return std::make_unique<engines::PsioeEngine>(nic,
-                                                    engines::PsioeConfig{});
-    case EngineKind::kDpdk:
-    case EngineKind::kDpdkAppOffload: {
-      engines::DpdkConfig config;
-      // Match the WireCAP pool under comparison: mempool == R * M.
-      config.mempool_size = params.cells_per_chunk * params.chunk_count;
-      config.app_offload = params.kind == EngineKind::kDpdkAppOffload;
-      config.app_offload_threshold = params.offload_threshold;
-      return std::make_unique<engines::DpdkEngine>(scheduler, nic, config);
-    }
-    case EngineKind::kWirecapBasic:
-    case EngineKind::kWirecapAdvanced: {
-      core::WirecapConfig config;
-      config.cells_per_chunk = params.cells_per_chunk;
-      config.chunk_count = params.chunk_count;
-      config.offload_policy = params.offload_policy;
-      if (params.kind == EngineKind::kWirecapAdvanced) {
-        config.offload_threshold = params.offload_threshold;
-      }
-      return std::make_unique<core::WirecapEngine>(scheduler, nic, config,
-                                                   costs);
-    }
+  // Delegates to the engines::make_engine registry — to_string(kind) is
+  // the registered name, EngineParams maps onto EngineConfig.
+  engines::EngineConfig config;
+  config.costs = costs;
+  config.cells_per_chunk = params.cells_per_chunk;
+  config.chunk_count = params.chunk_count;
+  config.offload_threshold = params.offload_threshold;
+  switch (params.offload_policy) {
+    case core::OffloadPolicy::kLeastBusy:
+      config.offload_policy = "least-busy";
+      break;
+    case core::OffloadPolicy::kRandomBuddy:
+      config.offload_policy = "random";
+      break;
+    case core::OffloadPolicy::kRoundRobin:
+      config.offload_policy = "round-robin";
+      break;
   }
-  throw std::invalid_argument("make_engine: unknown kind");
+  return engines::make_engine(to_string(params.kind), nic, config);
 }
 
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {

@@ -1,7 +1,6 @@
 #include "apps/pkt_handler.hpp"
 
 #include "bpf/codegen.hpp"
-#include "bpf/vm.hpp"
 
 namespace wirecap::apps {
 
@@ -18,6 +17,7 @@ PktHandler::PktHandler(sim::SimCore& core, engines::CaptureEngine& engine,
   if (config_.forward) {
     per_packet_cost_ += costs.forward_attach_cost;
   }
+  if (config_.batch_packets == 0) config_.batch_packets = 1;
   engine_.open(queue_, core_);
   engine_.set_data_callback(queue_, [this] { maybe_start(); });
   maybe_start();
@@ -26,35 +26,48 @@ PktHandler::PktHandler(sim::SimCore& core, engines::CaptureEngine& engine,
 void PktHandler::maybe_start() {
   if (busy_) return;
   busy_ = true;
-  process_next();
+  process_batch();
 }
 
-void PktHandler::process_next() {
-  auto view = engine_.try_next(queue_);
-  if (!view) {
+void PktHandler::process_batch() {
+  const std::size_t n =
+      engine_.try_next_batch(queue_, config_.batch_packets, batch_);
+  if (n == 0) {
     busy_ = false;  // back to blocking on the capture API
     return;
   }
-  // Charge the full processing cost (capture call + x BPF applications
-  // [+ forward attach]), then act on the packet.
-  core_.submit(sim::WorkPriority::kUser, per_packet_cost_,
-               [this, v = *view]() mutable {
-    ++stats_.processed;
-    const bool matches = !config_.execute_filter ||
-                         bpf::matches(filter_, v.bytes, v.wire_len);
-    if (matches) ++stats_.matched;
-    if (hook_) hook_(v);
-    if (config_.forward) {
-      if (engine_.forward(queue_, v, *config_.forward->nic,
-                          config_.forward->tx_queue)) {
-        ++stats_.forwarded;
-      } else {
-        ++stats_.forward_failures;
-      }
+  // Charge the whole batch's processing cost (capture call + x BPF
+  // applications [+ forward attach] per packet) as one work item, then
+  // act on the batch.  batch_ is stable until this item completes:
+  // maybe_start() never re-enters while busy_.
+  core_.submit(sim::WorkPriority::kUser,
+               per_packet_cost_ * static_cast<std::int64_t>(n), [this] {
+    const std::size_t count = batch_.size();
+    ++stats_.batches;
+    stats_.processed += count;  // one stats update per batch
+    if (config_.execute_filter) {
+      stats_.matched += filter_.run_batch(batch_, accepts_);
     } else {
-      engine_.done(queue_, v);
+      stats_.matched += count;
     }
-    process_next();
+    if (hook_) {
+      for (const engines::CaptureView& view : batch_.views) hook_(view);
+    }
+    if (config_.forward) {
+      // forward() releases the buffer on both outcomes (TX completion
+      // or full-ring drop), so a fully forwarded batch recycles itself.
+      for (const engines::CaptureView& view : batch_.views) {
+        if (engine_.forward(queue_, view, *config_.forward->nic,
+                            config_.forward->tx_queue)) {
+          ++stats_.forwarded;
+        } else {
+          ++stats_.forward_failures;
+        }
+      }
+      batch_.views.clear();
+    }
+    engine_.done_batch(queue_, batch_);  // one recycle per batch
+    process_batch();
   });
 }
 

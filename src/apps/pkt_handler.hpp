@@ -8,19 +8,26 @@
 //     variant transmits each processed packet out another NIC instead of
 //     discarding it (Figures 13-14).
 //
-//   * queue_profiler — "captures packets from a specific receive queue
-//     and counts the number of packets captured every 10 ms" (Figure 3).
-//
 // Both are simulation actors: their per-packet CPU cost is charged to
 // their core and their logic runs at the resulting rate.
+//
+// The read loop is batch-granular: each iteration pulls one batch via
+// try_next_batch(), charges the batch's total processing cost as one
+// work item, filters it in a single bpf::Predecoded::run_batch() pass,
+// updates the stats once, and recycles with one done_batch() — the
+// application-side counterpart of the engine's chunk-granularity
+// handoff.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bpf/insn.hpp"
+#include "bpf/predecode.hpp"
 #include "common/stats.hpp"
 #include "engines/engine.hpp"
 #include "sim/core.hpp"
@@ -44,6 +51,10 @@ struct PktHandlerConfig {
   bool execute_filter = true;
   /// Forward processed packets instead of discarding them.
   std::optional<ForwardTarget> forward;
+  /// Packets pulled per try_next_batch() call.  The batch's cost is
+  /// charged as one work item, so this also bounds how long the app
+  /// core runs between yields to kernel-priority work.
+  std::size_t batch_packets = 64;
 };
 
 struct PktHandlerStats {
@@ -51,6 +62,7 @@ struct PktHandlerStats {
   std::uint64_t matched = 0;    // filter hits
   std::uint64_t forwarded = 0;
   std::uint64_t forward_failures = 0;  // TX ring full
+  std::uint64_t batches = 0;    // try_next_batch calls that delivered
 };
 
 class PktHandler {
@@ -70,15 +82,17 @@ class PktHandler {
 
  private:
   void maybe_start();
-  void process_next();
+  void process_batch();
 
   sim::SimCore& core_;
   engines::CaptureEngine& engine_;
   std::uint32_t queue_;
   PktHandlerConfig config_;
   Nanos per_packet_cost_;
-  bpf::Program filter_;
+  bpf::Predecoded filter_;  // verified + decoded once, at construction
   PktHandlerStats stats_;
+  engines::PacketBatch batch_;
+  std::vector<std::uint8_t> accepts_;
   std::function<void(const engines::CaptureView&)> hook_;
   bool busy_ = false;
 };

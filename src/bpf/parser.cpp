@@ -462,13 +462,23 @@ ExprPtr parse_filter(std::string_view text) {
 }
 
 std::string to_string(const Expr& expr) {
+  // Built via append rather than operator+ chains: GCC 12's -Wrestrict
+  // false-positives on the rvalue-string operator+ overloads at -O3.
+  std::string out;
   switch (expr.kind) {
     case ExprKind::kAnd:
-      return "(" + to_string(*expr.lhs) + " and " + to_string(*expr.rhs) + ")";
     case ExprKind::kOr:
-      return "(" + to_string(*expr.lhs) + " or " + to_string(*expr.rhs) + ")";
+      out.append("(");
+      out.append(to_string(*expr.lhs));
+      out.append(expr.kind == ExprKind::kAnd ? " and " : " or ");
+      out.append(to_string(*expr.rhs));
+      out.append(")");
+      return out;
     case ExprKind::kNot:
-      return "(not " + to_string(*expr.lhs) + ")";
+      out.append("(not ");
+      out.append(to_string(*expr.lhs));
+      out.append(")");
+      return out;
     case ExprKind::kPrimitive:
       return primitive_to_string(expr.prim);
   }

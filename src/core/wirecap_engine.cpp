@@ -388,12 +388,92 @@ std::optional<engines::ChunkCaptureView> WirecapEngine::try_next_chunk(
   return chunk;
 }
 
-void WirecapEngine::deref(std::uint64_t key) {
+std::size_t WirecapEngine::try_next_batch(std::uint32_t queue,
+                                          std::size_t max_packets,
+                                          engines::PacketBatch& batch) {
+  batch.clear();
+  batch.source_ring = queue;
+  QueueState& qs = queues_.at(queue);
+  if (!qs.open || max_packets == 0) return 0;
+  while (!qs.current) {
+    auto meta = qs.capture_queue->try_pop();
+    if (!meta) return 0;
+    if (meta->pkt_count == 0) {
+      static_cast<void>(queues_[meta->ring_id].driver->recycle(*meta));
+      continue;
+    }
+    qs.current = CurrentChunk{*meta, 0};
+    const std::uint64_t epoch = queues_[meta->ring_id].epoch;
+    outstanding_[chunk_key(meta->ring_id, meta->chunk_id, epoch)] =
+        Outstanding{*meta, meta->pkt_count, epoch};
+    WIRECAP_TRACE(tracer_,
+                  instant("chunk.dequeue", "app", scheduler_.now(), queue,
+                          "chunk", meta->chunk_id, "pkts", meta->pkt_count));
+  }
+
+  // A batch never spans chunks (chunk == batch when max_packets >= M):
+  // every view shares one chunk key, so done_batch() derefs once.
+  CurrentChunk& current = *qs.current;
+  const driver::ChunkMeta meta = current.meta;
+  const std::uint64_t epoch = queues_[meta.ring_id].epoch;
+  driver::RingBufferPool& pool = queues_[meta.ring_id].driver->pool();
+  const std::uint32_t take = std::min(
+      static_cast<std::uint32_t>(std::min<std::size_t>(
+          max_packets, std::numeric_limits<std::uint32_t>::max())),
+      meta.pkt_count - current.cursor);
+  batch.source_ring = meta.ring_id;
+  // Resolve the chunk once — one bounds check, two base pointers — then
+  // fill views by plain indexing instead of two checked pool calls per
+  // cell.  This is the delivery half of the batch path's amortization.
+  const std::span<std::byte> bytes = pool.chunk_bytes(meta.chunk_id);
+  const std::span<const driver::CellInfo> cells =
+      pool.chunk_cells(meta.chunk_id);
+  const std::uint32_t cell_size = pool.cell_size();
+  batch.views.resize(take);
+  for (std::uint32_t i = 0; i < take; ++i) {
+    const std::uint32_t cell_index = meta.first_cell + current.cursor + i;
+    const driver::CellInfo& info = cells[cell_index];
+    engines::CaptureView& view = batch.views[i];
+    view.bytes = bytes.subspan(
+        static_cast<std::size_t>(cell_index) * cell_size, info.length);
+    view.wire_len = info.wire_length;
+    view.timestamp = Nanos{info.timestamp_ns};
+    view.seq = info.seq;
+    view.handle = make_handle(meta.ring_id, epoch, meta.chunk_id, cell_index);
+  }
+  current.cursor += take;
+  if (current.cursor == meta.pkt_count) qs.current.reset();
+  qs.stats.delivered += take;  // one accounting update per batch
+  return take;
+}
+
+void WirecapEngine::done_batch(std::uint32_t /*queue*/,
+                               const engines::PacketBatch& batch) {
+  // Views arrive in capture order, so same-chunk views are consecutive:
+  // collapse each run into a single deref_n.  (Robust to callers that
+  // filtered or reordered the batch — a run is just shorter then.)
+  std::size_t i = 0;
+  const std::size_t n = batch.views.size();
+  while (i < n) {
+    const std::uint64_t key = handle_key(batch.views[i].handle);
+    std::size_t j = i + 1;
+    while (j < n && handle_key(batch.views[j].handle) == key) ++j;
+    deref_n(key, static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+}
+
+void WirecapEngine::deref_n(std::uint64_t key, std::uint32_t count) {
+  if (count == 0) return;
   const auto it = outstanding_.find(key);
   if (it == outstanding_.end()) {
     throw std::logic_error("WirecapEngine: release of unknown chunk");
   }
-  if (--it->second.remaining == 0) {
+  if (it->second.remaining < count) {
+    throw std::logic_error("WirecapEngine: over-release of chunk");
+  }
+  it->second.remaining -= count;
+  if (it->second.remaining == 0) {
     const driver::ChunkMeta meta = it->second.meta;
     const std::uint64_t epoch = it->second.epoch;
     outstanding_.erase(it);

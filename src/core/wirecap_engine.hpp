@@ -107,6 +107,16 @@ class WirecapEngine final : public engines::CaptureEngine {
   /// compose).  `max_packets` is ignored: the chunk size is M.
   std::optional<engines::ChunkCaptureView> try_next_chunk(
       std::uint32_t queue, std::size_t max_packets = 64) override;
+  /// Batch-native handoff: serves up to `max_packets` views of the
+  /// queue's current chunk metadata-only (chunk == batch when
+  /// `max_packets` >= M) and bumps `delivered` once per batch.  A batch
+  /// never spans chunks, so done_batch() is one refcount decrement.
+  std::size_t try_next_batch(std::uint32_t queue, std::size_t max_packets,
+                             engines::PacketBatch& batch) override;
+  /// Releases a batch with one deref per run of same-chunk views
+  /// instead of one per packet.
+  void done_batch(std::uint32_t queue,
+                  const engines::PacketBatch& batch) override;
   bool forward(std::uint32_t queue, const engines::CaptureView& view,
                nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) override;
   void set_data_callback(std::uint32_t queue,
@@ -242,7 +252,10 @@ class WirecapEngine final : public engines::CaptureEngine {
   /// Places a captured chunk on a capture queue per the offloading
   /// policy; on failure parks it in `pending`.
   void dispatch(std::uint32_t queue, const driver::ChunkMeta& meta);
-  void deref(std::uint64_t key);
+  void deref(std::uint64_t key) { deref_n(key, 1); }
+  /// Drops `count` references of the chunk behind `key` in one step —
+  /// the done_batch() fast path.
+  void deref_n(std::uint64_t key, std::uint32_t count);
   /// Forgets a queue's partially-read current chunk: releases the
   /// undelivered packets' share of its refcount (close-time teardown).
   void drop_current(QueueState& qs);

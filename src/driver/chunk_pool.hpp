@@ -186,6 +186,13 @@ class RingBufferPool {
   [[nodiscard]] const CellInfo& cell_info(std::uint32_t chunk_id,
                                           std::uint32_t cell_index) const;
 
+  /// Whole-chunk accessors for the batch delivery path: one bounds
+  /// check per chunk instead of two per cell, then plain indexing.
+  /// Defined inline below so the per-batch hot loop can inline them.
+  [[nodiscard]] std::span<std::byte> chunk_bytes(std::uint32_t chunk_id);
+  [[nodiscard]] std::span<const CellInfo> chunk_cells(
+      std::uint32_t chunk_id) const;
+
   /// Encodes (chunk, cell) into the DMA-buffer cookie and back.
   [[nodiscard]] static constexpr std::uint64_t make_cookie(
       std::uint32_t chunk_id, std::uint32_t cell_index) {
@@ -222,5 +229,22 @@ class RingBufferPool {
   std::vector<std::uint32_t> free_list_;
   PoolObserver* observer_ = nullptr;
 };
+
+inline std::span<std::byte> RingBufferPool::chunk_bytes(
+    std::uint32_t chunk_id) {
+  check_chunk_id(chunk_id);
+  const std::size_t stride =
+      static_cast<std::size_t>(cells_per_chunk_) * cell_size_;
+  return std::span<std::byte>(memory_.data() + chunk_id * stride, stride);
+}
+
+inline std::span<const CellInfo> RingBufferPool::chunk_cells(
+    std::uint32_t chunk_id) const {
+  check_chunk_id(chunk_id);
+  return std::span<const CellInfo>(
+      cell_info_.data() +
+          static_cast<std::size_t>(chunk_id) * cells_per_chunk_,
+      cells_per_chunk_);
+}
 
 }  // namespace wirecap::driver

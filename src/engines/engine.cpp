@@ -20,6 +20,23 @@ void CaptureEngine::done_chunk(std::uint32_t queue,
   for (const CaptureView& view : chunk.packets) done(queue, view);
 }
 
+std::size_t CaptureEngine::try_next_batch(std::uint32_t queue,
+                                          std::size_t max_packets,
+                                          PacketBatch& batch) {
+  batch.clear();
+  batch.source_ring = queue;
+  while (batch.views.size() < max_packets) {
+    auto view = try_next(queue);
+    if (!view) break;
+    batch.views.push_back(*view);
+  }
+  return batch.views.size();
+}
+
+void CaptureEngine::done_batch(std::uint32_t queue, const PacketBatch& batch) {
+  for (const CaptureView& view : batch.views) done(queue, view);
+}
+
 void CaptureEngine::bind_telemetry(telemetry::Telemetry& telemetry,
                                    const std::string& prefix,
                                    std::uint32_t num_queues) {

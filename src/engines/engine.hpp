@@ -22,35 +22,12 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "engines/packet_view.hpp"
 #include "nic/device.hpp"
 #include "sim/core.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace wirecap::engines {
-
-/// A captured packet as seen by the application.  `bytes` is writable:
-/// middlebox applications may modify packets in flight before
-/// forwarding.
-struct CaptureView {
-  std::span<std::byte> bytes{};
-  std::uint32_t wire_len = 0;
-  Nanos timestamp{};
-  std::uint64_t seq = 0;
-  std::uint64_t handle = 0;  // engine-internal
-};
-
-/// A whole captured chunk delivered to a chunk-granularity consumer
-/// (the capture-to-disk spool, src/store).  `packets` are zero-copy
-/// views into the chunk's cells, valid until done_chunk(); the chunk
-/// body is never copied — this mirrors the paper's metadata-only
-/// capture handoff at the application boundary.
-struct ChunkCaptureView {
-  std::vector<CaptureView> packets;
-  /// Receive queue whose pool owns the cells (with WireCAP offloading
-  /// this can differ from the queue the chunk was read from).  Consumers
-  /// holding chunks across a close() of this ring must drop them first.
-  std::uint32_t source_ring = 0;
-};
 
 struct EngineQueueStats {
   /// Packets handed to the application.
@@ -95,6 +72,27 @@ class CaptureEngine {
 
   /// Releases every packet of a chunk obtained from try_next_chunk().
   virtual void done_chunk(std::uint32_t queue, const ChunkCaptureView& chunk);
+
+  /// Non-blocking batch read: fills `batch` with up to `max_packets`
+  /// views from `queue` and returns the number delivered (0 when the
+  /// queue is empty).  `batch` is cleared first and its storage is
+  /// reused across calls, so a steady-state read loop allocates
+  /// nothing.  The base implementation adapts per-packet try_next() in
+  /// a loop so copying baselines stay honest about their per-packet
+  /// cost structure; chunk-native engines (WireCAP) override it to
+  /// surface one captured chunk's worth of views metadata-only, with
+  /// accounting amortized to one update per batch.
+  virtual std::size_t try_next_batch(std::uint32_t queue,
+                                     std::size_t max_packets,
+                                     PacketBatch& batch);
+
+  /// Releases every packet of a batch obtained from try_next_batch()
+  /// in one call.  Views the application already released individually
+  /// (e.g. handed to forward()) must be removed from `batch.views`
+  /// before calling.  The base implementation loops done(); WireCAP
+  /// overrides it to decrement each chunk's refcount once per run of
+  /// views instead of once per packet.
+  virtual void done_batch(std::uint32_t queue, const PacketBatch& batch);
 
   /// Forwards the packet out `tx_queue` of `out_nic`, releasing the
   /// underlying buffer when transmission completes (zero-copy where the

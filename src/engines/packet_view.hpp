@@ -1,0 +1,65 @@
+// Application-side packet views and the batch container of the
+// batch-granularity read path.
+//
+// Kept free of NIC/simulation dependencies so low-level consumers (the
+// BPF batch executor, the store) can include it without pulling in the
+// whole engine layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace wirecap::engines {
+
+/// A captured packet as seen by the application.  `bytes` is writable:
+/// middlebox applications may modify packets in flight before
+/// forwarding.
+struct CaptureView {
+  std::span<std::byte> bytes{};
+  std::uint32_t wire_len = 0;
+  Nanos timestamp{};
+  std::uint64_t seq = 0;
+  std::uint64_t handle = 0;  // engine-internal
+};
+
+/// A whole captured chunk delivered to a chunk-granularity consumer
+/// (the capture-to-disk spool, src/store).  `packets` are zero-copy
+/// views into the chunk's cells, valid until done_chunk(); the chunk
+/// body is never copied — this mirrors the paper's metadata-only
+/// capture handoff at the application boundary.
+struct ChunkCaptureView {
+  std::vector<CaptureView> packets;
+  /// Receive queue whose pool owns the cells (with WireCAP offloading
+  /// this can differ from the queue the chunk was read from).  Consumers
+  /// holding chunks across a close() of this ring must drop them first.
+  std::uint32_t source_ring = 0;
+};
+
+/// One batch of captured packets on the batch-granularity read path
+/// (CaptureEngine::try_next_batch / done_batch).  The caller owns the
+/// storage and reuses it across calls, so a steady-state read loop
+/// performs no per-batch allocation.  For chunk-native engines
+/// (WireCAP) a batch is (up to `max_packets` of) one ring-buffer-pool
+/// chunk: the views alias the chunk's cells, metadata-only, and stay
+/// valid until done_batch().
+struct PacketBatch {
+  std::vector<CaptureView> views;
+  /// Receive queue whose pool owns the cells (see ChunkCaptureView).
+  std::uint32_t source_ring = 0;
+
+  [[nodiscard]] std::size_t size() const { return views.size(); }
+  [[nodiscard]] bool empty() const { return views.empty(); }
+  void clear() {
+    views.clear();
+    source_ring = 0;
+  }
+
+  [[nodiscard]] auto begin() const { return views.begin(); }
+  [[nodiscard]] auto end() const { return views.end(); }
+};
+
+}  // namespace wirecap::engines

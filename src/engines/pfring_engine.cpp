@@ -108,25 +108,39 @@ void PfRingEngine::napi_step(std::uint32_t queue) {
 
 std::optional<CaptureView> PfRingEngine::try_next(std::uint32_t queue) {
   QueueState& qs = queues_.at(queue);
-  if (!qs.open || qs.count == 0) return std::nullopt;
-  PfSlot& slot = qs.slots[qs.head];
+  if (!qs.open || qs.read_ahead >= qs.count) return std::nullopt;
+  const std::uint32_t index = static_cast<std::uint32_t>(
+      (qs.head + qs.read_ahead) % qs.slots.size());
+  PfSlot& slot = qs.slots[index];
   CaptureView view;
   view.bytes = {slot.data.data(), slot.length};
   view.wire_len = slot.wire_length;
   view.timestamp = slot.timestamp;
   view.seq = slot.seq;
-  view.handle = qs.head;
+  view.handle = index;
+  ++qs.read_ahead;
   ++qs.stats.delivered;
   return view;
 }
 
 void PfRingEngine::done(std::uint32_t queue, const CaptureView& view) {
   QueueState& qs = queues_.at(queue);
-  if (qs.count == 0 || view.handle != qs.head) {
-    throw std::logic_error("PfRingEngine::done: out-of-order release");
+  const std::uint32_t index = static_cast<std::uint32_t>(view.handle);
+  // The slot must be inside the read-ahead window and not yet released.
+  const std::uint32_t offset = static_cast<std::uint32_t>(
+      (index + qs.slots.size() - qs.head) % qs.slots.size());
+  if (offset >= qs.read_ahead || qs.slots[index].released) {
+    throw std::logic_error("PfRingEngine::done: release outside read window");
   }
-  qs.head = static_cast<std::uint32_t>((qs.head + 1) % qs.slots.size());
-  --qs.count;
+  qs.slots[index].released = true;
+  // Reclaim in ring order: the head only advances over released slots,
+  // so an out-of-order release (batch forwarding) is deferred, not lost.
+  while (qs.read_ahead > 0 && qs.slots[qs.head].released) {
+    qs.slots[qs.head].released = false;
+    qs.head = static_cast<std::uint32_t>((qs.head + 1) % qs.slots.size());
+    --qs.count;
+    --qs.read_ahead;
+  }
 }
 
 bool PfRingEngine::forward(std::uint32_t queue, const CaptureView& view,

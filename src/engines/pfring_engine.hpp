@@ -66,6 +66,7 @@ class PfRingEngine final : public CaptureEngine {
     std::uint32_t wire_length = 0;
     Nanos timestamp{};
     std::uint64_t seq = 0;
+    bool released = false;  // read and done(), head not yet past it
   };
 
   struct QueueState {
@@ -74,8 +75,14 @@ class PfRingEngine final : public CaptureEngine {
     std::vector<std::byte> cells;  // 1-to-1 ring buffers
     // pf_ring circular buffer.
     std::vector<PfSlot> slots;
-    std::uint32_t head = 0;   // next slot the app reads
-    std::uint32_t count = 0;  // occupied slots
+    std::uint32_t head = 0;        // oldest slot not yet released
+    std::uint32_t count = 0;       // occupied slots
+    /// Slots handed to the application (batch read-ahead) but not yet
+    /// released; they occupy [head, head + read_ahead).  Slots stay
+    /// occupied — and the pf_ring can still overflow past them — until
+    /// done(), exactly as if the app were mid-way through its mmap'd
+    /// window.
+    std::uint32_t read_ahead = 0;
     bool napi_active = false;
     std::function<void()> data_callback;
     EngineQueueStats stats;

@@ -39,6 +39,33 @@ void PsioeEngine::done(std::uint32_t /*queue*/, const CaptureView& /*view*/) {
   // The ring buffer was already released when the packet was copied.
 }
 
+std::size_t PsioeEngine::try_next_batch(std::uint32_t queue,
+                                        std::size_t max_packets,
+                                        PacketBatch& batch) {
+  batch.clear();
+  batch.source_ring = queue;
+  auto& staging = user_buffers_.at(queue);
+  const std::size_t slot_bytes = config_.user_buffer_bytes;
+  if (staging.size() < max_packets * slot_bytes) {
+    staging.resize(max_packets * slot_bytes);
+  }
+  while (batch.views.size() < max_packets) {
+    auto view = inner_.try_next(queue);
+    if (!view) break;
+    const std::size_t offset = batch.views.size() * slot_bytes;
+    const std::size_t n = std::min(view->bytes.size(), slot_bytes);
+    std::copy_n(view->bytes.begin(), n,
+                staging.begin() + static_cast<std::ptrdiff_t>(offset));
+    ++copies_.at(queue);
+    inner_.done(queue, *view);
+    CaptureView out = *view;
+    out.bytes = {staging.data() + offset, n};
+    out.handle = 0;
+    batch.views.push_back(out);
+  }
+  return batch.views.size();
+}
+
 bool PsioeEngine::forward(std::uint32_t queue, const CaptureView& view,
                           nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) {
   // The staging buffer is reused per packet, so keep the frame alive

@@ -31,6 +31,15 @@ class PsioeEngine final : public CaptureEngine {
   void close(std::uint32_t queue) override;
   std::optional<CaptureView> try_next(std::uint32_t queue) override;
   void done(std::uint32_t queue, const CaptureView& view) override;
+  /// PSIOE copies bursts "to a consecutive user-level buffer"
+  /// (PacketShader's chunk): the batch read carves the staging buffer
+  /// into one user_buffer_bytes slot per packet so every view of the
+  /// batch has distinct storage (the base adapter would alias them all
+  /// to the single per-packet slot).  Views are valid until the next
+  /// batch is pulled; done()/done_batch() remain no-ops because the
+  /// ring buffers were released at copy time.
+  std::size_t try_next_batch(std::uint32_t queue, std::size_t max_packets,
+                             PacketBatch& batch) override;
   bool forward(std::uint32_t queue, const CaptureView& view,
                nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) override;
   [[nodiscard]] Nanos app_overhead_per_packet() const override;

@@ -60,6 +60,9 @@ class MultiQueueNic {
 
   [[nodiscard]] const NicConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t nic_id() const { return config_.nic_id; }
+  /// The scheduler this device lives on; engine factories use it so a
+  /// NIC reference alone is enough to construct an engine.
+  [[nodiscard]] sim::Scheduler& scheduler() { return scheduler_; }
 
   // --- ingress (called by the wire at frame arrival time) ---
 

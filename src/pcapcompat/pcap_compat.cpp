@@ -13,7 +13,12 @@ PcapHandle::PcapHandle(sim::Scheduler& scheduler,
   engine_.open(queue, app_core);
 }
 
-PcapHandle::~PcapHandle() { engine_.close(queue_); }
+PcapHandle::~PcapHandle() {
+  // Hand any in-progress batch home before the queue (and with it the
+  // pool the views alias) is torn down.
+  release_batch();
+  engine_.close(queue_);
+}
 
 bpf::Program PcapHandle::compile(const std::string& expression) {
   return bpf::compile_filter(expression);
@@ -24,40 +29,82 @@ void PcapHandle::set_filter(bpf::Program program) {
   if (!verified.ok) {
     throw std::invalid_argument("set_filter: " + verified.error);
   }
-  filter_ = std::move(program);
-  has_filter_ = true;
+  // Verified once, decoded once; the hot path never re-validates.
+  filter_.emplace(program);
+  // Views already pulled were filtered under the previous program; the
+  // new filter applies from the next batch on (kernel-attach semantics).
 }
 
-bool PcapHandle::step(const Handler& handler, int& handled) {
-  auto view = engine_.try_next(queue_);
-  if (!view) return false;
-
-  const bool matches =
-      !has_filter_ || bpf::matches(filter_, view->bytes, view->wire_len);
-  if (matches) {
-    PacketHeader header;
-    header.ts_ns = view->timestamp.count();
-    header.caplen = static_cast<std::uint32_t>(view->bytes.size());
-    header.len = view->wire_len;
-    in_flight_ = &*view;
-    injected_ = false;
-    handler(header, view->bytes);
-    const bool was_injected = injected_;
-    in_flight_ = nullptr;
-    ++matched_;
-    ++handled;
-    if (!was_injected) engine_.done(queue_, *view);
-  } else {
-    ++filtered_out_;
-    engine_.done(queue_, *view);
+void PcapHandle::release_batch() {
+  if (batch_.empty()) return;
+  if (injected_in_batch_ > 0) {
+    // Forwarded views were released by forward(); drop them from the
+    // recycle set.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < batch_.views.size(); ++i) {
+      if (accepts_[i] != kInjected) batch_.views[w++] = batch_.views[i];
+    }
+    batch_.views.resize(w);
   }
+  engine_.done_batch(queue_, batch_);  // one recycle per batch
+  batch_.clear();
+  injected_in_batch_ = 0;
+  cursor_ = 0;
+}
+
+bool PcapHandle::refill_batch() {
+  release_batch();
+  if (engine_.try_next_batch(queue_, kBatchPackets, batch_) == 0) return false;
+  if (filter_) {
+    // One pre-decoded pass over the whole batch.
+    static_cast<void>(filter_->run_batch(batch_, accepts_));
+  } else {
+    accepts_.assign(batch_.size(), kMatched);
+  }
+  cursor_ = 0;
   return true;
+}
+
+const engines::CaptureView* PcapHandle::advance_to_match() {
+  for (;;) {
+    if (cursor_ >= batch_.size()) {
+      if (!refill_batch()) return nullptr;
+    }
+    while (cursor_ < batch_.size()) {
+      if (accepts_[cursor_] != kFiltered) {
+        return &batch_.views[cursor_];
+      }
+      ++filtered_out_;  // consumed by the "kernel" filter
+      ++cursor_;
+    }
+  }
+}
+
+void PcapHandle::deliver(const engines::CaptureView& view,
+                         const Handler& handler) {
+  PacketHeader header;
+  header.ts_ns = view.timestamp.count();
+  header.caplen = static_cast<std::uint32_t>(view.bytes.size());
+  header.len = view.wire_len;
+  in_flight_ = &view;
+  injected_ = false;
+  handler(header, view.bytes);
+  if (injected_) {
+    accepts_[cursor_] = kInjected;
+    ++injected_in_batch_;
+  }
+  in_flight_ = nullptr;
+  ++matched_;
+  ++cursor_;
 }
 
 int PcapHandle::dispatch(int count, const Handler& handler) {
   int handled = 0;
   while ((count <= 0 || handled < count) && !break_) {
-    if (!step(handler, handled)) break;
+    const engines::CaptureView* view = advance_to_match();
+    if (view == nullptr) break;
+    deliver(*view, handler);
+    ++handled;
   }
   return handled;
 }
@@ -65,12 +112,29 @@ int PcapHandle::dispatch(int count, const Handler& handler) {
 int PcapHandle::loop(int count, const Handler& handler) {
   int handled = 0;
   while ((count <= 0 || handled < count) && !break_) {
-    if (!step(handler, handled)) {
-      // Nothing available: advance the simulation (the "blocking wait").
-      if (!scheduler_.step()) break;  // simulation exhausted
+    const engines::CaptureView* view = advance_to_match();
+    if (view != nullptr) {
+      deliver(*view, handler);
+      ++handled;
+      continue;
     }
+    // Nothing available: advance the simulation (the "blocking wait").
+    if (!scheduler_.step()) break;  // simulation exhausted
   }
   return break_ ? -2 : handled;
+}
+
+int PcapHandle::next_ex(PacketHeader& header,
+                        std::span<const std::byte>& data) {
+  const engines::CaptureView* view = advance_to_match();
+  if (view == nullptr) return 0;
+  header.ts_ns = view->timestamp.count();
+  header.caplen = static_cast<std::uint32_t>(view->bytes.size());
+  header.len = view->wire_len;
+  data = view->bytes;
+  ++matched_;
+  ++cursor_;  // the view stays alive until the batch is recycled
+  return 1;
 }
 
 int PcapHandle::inject(nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) {
@@ -88,6 +152,25 @@ Stats PcapHandle::stats() const {
   stats.ps_drop = engine_stats.delivery_dropped;
   stats.ps_ifdrop = nic_.rx_stats(queue_).dropped;
   return stats;
+}
+
+// --- deprecated raw-pointer shims ---
+
+namespace {
+Handler wrap(const LegacyHandler& handler) {
+  return [&handler](const PacketHeader& header,
+                    std::span<const std::byte> data) {
+    handler(&header, data.data(), data.size());
+  };
+}
+}  // namespace
+
+int PcapHandle::dispatch(int count, const LegacyHandler& handler) {
+  return dispatch(count, wrap(handler));
+}
+
+int PcapHandle::loop(int count, const LegacyHandler& handler) {
+  return loop(count, wrap(handler));
 }
 
 }  // namespace wirecap::pcap

@@ -4,10 +4,20 @@
 // changes."
 //
 // The facade mirrors the libpcap call shapes — open / compile /
-// setfilter / dispatch / loop / stats / inject / close — over any
-// CaptureEngine (WireCAP or a baseline), with filters compiled by the
-// built-in BPF compiler and executed by the cBPF VM exactly as a kernel
-// socket filter would be.
+// setfilter / dispatch / loop / next_ex / stats / inject / close — over
+// any CaptureEngine (WireCAP or a baseline), with filters compiled by
+// the built-in BPF compiler and executed exactly as a kernel socket
+// filter would be.
+//
+// Internally the handle is batch-granular: it pulls whole chunk batches
+// via CaptureEngine::try_next_batch(), filters each batch in one
+// bpf::Predecoded::run_batch() pass, and recycles with a single
+// done_batch() — per-packet calls never cross the engine boundary, even
+// when the caller consumes one packet at a time through next_ex().
+// Delivery semantics are unchanged from the per-packet implementation:
+// dispatch(count) stops after exactly `count` matched packets (a
+// partially consumed batch is resumed by the next call), and stats()
+// counts a packet only once the read position has passed it.
 //
 // dispatch() is non-blocking (processes what is available); loop() runs
 // until `count` packets have been handled or breakloop() is called,
@@ -17,10 +27,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "bpf/insn.hpp"
+#include "bpf/predecode.hpp"
 #include "engines/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -40,11 +53,23 @@ struct Stats {
   std::uint64_t ps_ifdrop = 0;  // dropped by the interface (capture)
 };
 
+/// The one canonical handler shape: header by reference, data as a span.
 using Handler =
     std::function<void(const PacketHeader&, std::span<const std::byte>)>;
 
+/// The pre-unification handler shape (raw header pointer + separate data
+/// pointer/length, as in pcap_handler).  Deprecated: every caller ends
+/// up re-wrapping the raw pointers; use Handler instead.
+using LegacyHandler =
+    std::function<void(const PacketHeader*, const std::byte*, std::size_t)>;
+
 class PcapHandle {
  public:
+  /// Number of packets pulled from the engine per try_next_batch call.
+  /// Matches the default WireCAP chunk size M, so on WireCAP one batch
+  /// is one chunk (metadata-only, one recycle).
+  static constexpr std::size_t kBatchPackets = 256;
+
   /// Opens `queue` of the engine for "live" capture.  `app_core` is the
   /// simulated core the reading application runs on.
   PcapHandle(sim::Scheduler& scheduler, engines::CaptureEngine& engine,
@@ -60,7 +85,9 @@ class PcapHandle {
   [[nodiscard]] static bpf::Program compile(const std::string& expression);
 
   /// pcap_setfilter: only packets matching `program` reach the handler;
-  /// the rest are consumed and counted, as with a kernel filter.
+  /// the rest are consumed and counted, as with a kernel filter.  The
+  /// program is verified and pre-decoded once, here — the dispatch path
+  /// runs the bpf::Predecoded form.
   void set_filter(bpf::Program program);
 
   /// pcap_dispatch: processes up to `count` available packets (all
@@ -72,6 +99,21 @@ class PcapHandle {
   /// (forever if count <= 0) or breakloop() is called, advancing the
   /// simulation while idle.  Returns packets handled, or -2 if broken.
   int loop(int count, const Handler& handler);
+
+  [[deprecated("use the Handler overload: (const PacketHeader&, "
+               "std::span<const std::byte>)")]]
+  int dispatch(int count, const LegacyHandler& handler);
+
+  [[deprecated("use the Handler overload: (const PacketHeader&, "
+               "std::span<const std::byte>)")]]
+  int loop(int count, const LegacyHandler& handler);
+
+  /// pcap_next_ex: yields the next matching packet without a callback.
+  /// Returns 1 and fills `header`/`data` when a packet is available, 0
+  /// when nothing is pending (non-blocking, like a read timeout).  The
+  /// data span stays valid until the next call into the handle — batch
+  /// recycling is deferred, exactly the libpcap validity contract.
+  int next_ex(PacketHeader& header, std::span<const std::byte>& data);
 
   /// pcap_breakloop.
   void breakloop() { break_ = true; }
@@ -87,17 +129,35 @@ class PcapHandle {
   [[nodiscard]] std::uint32_t queue() const { return queue_; }
 
  private:
-  bool step(const Handler& handler, int& handled);
+  // Per-view disposition inside the current batch.
+  enum : std::uint8_t { kFiltered = 0, kMatched = 1, kInjected = 2 };
+
+  /// Releases the current batch back to the engine: one done_batch,
+  /// minus views the handler forwarded.
+  void release_batch();
+  /// release_batch(), then pulls + filters the next batch.  Returns
+  /// false when the engine has nothing pending.
+  bool refill_batch();
+  /// Skips (and counts) filtered-out views up to the next match,
+  /// refilling across batch boundaries; returns nullptr when drained.
+  /// Leaves cursor_ on the returned view.
+  const engines::CaptureView* advance_to_match();
+  void deliver(const engines::CaptureView& view, const Handler& handler);
 
   sim::Scheduler& scheduler_;
   engines::CaptureEngine& engine_;
   nic::MultiQueueNic& nic_;
   std::uint32_t queue_;
-  bpf::Program filter_;
-  bool has_filter_ = false;
+  std::optional<bpf::Predecoded> filter_;
   bool break_ = false;
   std::uint64_t matched_ = 0;
   std::uint64_t filtered_out_ = 0;
+
+  engines::PacketBatch batch_;          // current batch (may be mid-read)
+  std::vector<std::uint8_t> accepts_;   // per-view disposition
+  std::size_t cursor_ = 0;              // next unprocessed view index
+  std::size_t injected_in_batch_ = 0;
+
   // Set while inside the handler so inject() can forward the packet.
   const engines::CaptureView* in_flight_ = nullptr;
   bool injected_ = false;

@@ -9,14 +9,18 @@ namespace wirecap::store {
 
 namespace {
 
+// resize+memcpy rather than insert(end, p, p+4): GCC 12's
+// -Wstringop-overflow false-positives on the insert form at -O3.
 void put32(std::vector<std::byte>& out, std::uint32_t v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + sizeof(v));
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
 }
 
 void put64(std::vector<std::byte>& out, std::uint64_t v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + sizeof(v));
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
 }
 
 /// Bounds-checked sequential decoder over the payload.

@@ -10,9 +10,9 @@
 #include "bpf/disasm.hpp"
 #include "bpf/eval.hpp"
 #include "bpf/parser.hpp"
+#include "bpf/predecode.hpp"
 #include "bpf/vm.hpp"
-#include "core/wirecap_engine.hpp"
-#include "engines/baselines.hpp"
+#include "engines/factory.hpp"
 #include "net/headers.hpp"
 #include "net/packet.hpp"
 #include "nic/device.hpp"
@@ -452,13 +452,32 @@ DifftestResult run_difftest(const DifftestConfig& config) {
       diverge("reverify", text, "", v.error);
       continue;
     }
+    const bpf::Predecoded pre{prog};
 
-    for (const auto& g : corpus) {
+    // Batch the whole corpus behind one run_batch() call: its accept
+    // vector must agree per-frame with the scalar interpreters.
+    engines::PacketBatch batch;
+    std::vector<std::uint8_t> accepts;
+    for (auto& g : corpus) {
+      engines::CaptureView view;
+      view.bytes = std::span<std::byte>(g.bytes);
+      view.wire_len = g.wire_len;
+      view.seq = batch.views.size();
+      batch.views.push_back(view);
+    }
+    const std::size_t batch_matches = pre.run_batch(batch, accepts);
+
+    std::size_t scalar_matches = 0;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const GeneratedFrame& g = corpus[i];
       ++result.pairs;
       const bool eval_m = bpf::evaluate(expr.get(), as_span(g.bytes), g.wire_len);
       const bool vm_m = bpf::run(prog, as_span(g.bytes), g.wire_len) != 0;
       const bool rt_m = bpf::run(prog_rt, as_span(g.bytes), g.wire_len) != 0;
       const bool rerun_m = bpf::run(prog, as_span(g.bytes), g.wire_len) != 0;
+      const bool pre_m = pre.run(as_span(g.bytes), g.wire_len) != 0;
+      const bool batch_m = accepts[i] != 0;
+      scalar_matches += vm_m;
       if (eval_m != vm_m) {
         std::ostringstream detail;
         detail << "eval=" << eval_m << " vm=" << vm_m;
@@ -471,6 +490,22 @@ DifftestResult run_difftest(const DifftestConfig& config) {
       if (vm_m != rerun_m) {
         diverge("rerun", text, g.description, "re-run disagrees (state leak)");
       }
+      if (vm_m != pre_m) {
+        std::ostringstream detail;
+        detail << "vm=" << vm_m << " predecoded=" << pre_m;
+        diverge("predecode", text, g.description, detail.str());
+      }
+      if (vm_m != batch_m) {
+        std::ostringstream detail;
+        detail << "vm=" << vm_m << " run_batch=" << batch_m;
+        diverge("run_batch", text, g.description, detail.str());
+      }
+    }
+    if (batch_matches != scalar_matches) {
+      std::ostringstream detail;
+      detail << "run_batch counted " << batch_matches << " matches, scalar "
+             << scalar_matches;
+      diverge("run_batch_count", text, "", detail.str());
     }
   }
 
@@ -483,7 +518,18 @@ DifftestResult run_difftest(const DifftestConfig& config) {
     }
     const auto& g = corpus[prog_rng.next_below(corpus.size())];
     try {
-      (void)bpf::run(prog, as_span(g.bytes), g.wire_len);
+      const std::uint32_t vm_result = bpf::run(prog, as_span(g.bytes),
+                                               g.wire_len);
+      // A verified program must also predecode, and the pre-decoded
+      // interpreter must return the identical accept value.
+      const bpf::Predecoded pre{prog};
+      const std::uint32_t pre_result = pre.run(as_span(g.bytes), g.wire_len);
+      if (pre_result != vm_result) {
+        std::ostringstream detail;
+        detail << "vm=" << vm_result << " predecoded=" << pre_result;
+        diverge("predecode_valid", bpf::disassemble(prog), g.description,
+                detail.str());
+      }
       ++result.program_runs;
     } catch (const std::exception& e) {
       diverge("vm_throw", bpf::disassemble(prog), g.description, e.what());
@@ -563,45 +609,49 @@ DifftestSoakResult run_difftest_soak(std::uint64_t first_seed,
   return soak;
 }
 
-EngineCrosscheckResult run_engine_crosscheck(
-    const EngineCrosscheckConfig& config) {
-  EngineCrosscheckResult result;
-  Xoshiro256 root{config.seed};
+namespace {
+
+/// One traffic set replayed identically through several engine
+/// fabrics.  Each frame carries its index in the src-MAC bytes [6..10)
+/// so handlers can identify deliveries; `oracle` is eval on the
+/// delivered view (snap-length capture).  Shared plumbing of the
+/// engine crosscheck and the batch-equivalence suite.
+struct LabeledTraffic {
+  std::string filter_text;
+  bpf::Program prog;
+  std::vector<GeneratedFrame> frames;
+  std::set<std::uint32_t> oracle;
+  std::string error;  // non-empty: the filter failed to parse/compile
+};
+
+LabeledTraffic generate_labeled_traffic(std::uint64_t seed,
+                                        std::uint32_t count,
+                                        std::string filter) {
+  LabeledTraffic out;
+  Xoshiro256 root{seed};
   const std::uint64_t filter_seed = root.next();
   const std::uint64_t frame_seed = root.next();
 
-  std::string text = config.filter;
-  if (text.empty()) {
+  if (filter.empty()) {
     FilterGenerator fg{filter_seed};
-    text = fg.next();
+    filter = fg.next();
   }
-  result.filter = text;
+  out.filter_text = std::move(filter);
 
   bpf::ExprPtr expr;
-  bpf::Program prog;
   try {
-    expr = bpf::parse_filter(text);
-    prog = bpf::compile(expr.get(), kAcceptLen);
+    expr = bpf::parse_filter(out.filter_text);
+    out.prog = bpf::compile(expr.get(), kAcceptLen);
   } catch (const std::exception& e) {
-    result.problems.push_back("filter '" + text + "' failed to compile: " +
-                              e.what());
-    return result;
+    out.error = e.what();
+    return out;
   }
 
-  // One traffic set for all engines.  Each frame carries its index in
-  // the src-MAC bytes [6..10) so the handler can identify matches; the
-  // oracle is eval on the delivered view (snap-length capture).
-  struct Frame {
-    std::vector<std::byte> bytes;
-    std::uint32_t wire_len = 0;
-  };
-  std::vector<Frame> traffic;
-  std::set<std::uint32_t> oracle;
   FrameGenerator fg{frame_seed};
-  while (traffic.size() < config.frames) {
+  while (out.frames.size() < count) {
     GeneratedFrame g = fg.next();
     if (g.bytes.size() < net::kEthernetHeaderLen) continue;
-    const auto idx = static_cast<std::uint32_t>(traffic.size());
+    const auto idx = static_cast<std::uint32_t>(out.frames.size());
     g.bytes[6] = static_cast<std::byte>(idx >> 24);
     g.bytes[7] = static_cast<std::byte>(idx >> 16);
     g.bytes[8] = static_cast<std::byte>(idx >> 8);
@@ -610,21 +660,46 @@ EngineCrosscheckResult run_engine_crosscheck(
         std::min<std::size_t>(g.bytes.size(), net::WirePacket::kSnapBytes);
     if (bpf::evaluate(expr.get(), as_span(g.bytes).first(caplen),
                       g.wire_len)) {
-      oracle.insert(idx);
+      out.oracle.insert(idx);
     }
-    traffic.push_back(Frame{std::move(g.bytes), g.wire_len});
+    out.frames.push_back(std::move(g));
   }
+  return out;
+}
+
+}  // namespace
+
+EngineCrosscheckResult run_engine_crosscheck(
+    const EngineCrosscheckConfig& config) {
+  EngineCrosscheckResult result;
+  LabeledTraffic labeled =
+      generate_labeled_traffic(config.seed, config.frames, config.filter);
+  result.filter = labeled.filter_text;
+  if (!labeled.error.empty()) {
+    result.problems.push_back("filter '" + labeled.filter_text +
+                              "' failed to compile: " + labeled.error);
+    return result;
+  }
+  const bpf::Program& prog = labeled.prog;
+  const std::vector<GeneratedFrame>& traffic = labeled.frames;
+  const std::set<std::uint32_t>& oracle = labeled.oracle;
   result.oracle_matched = oracle.size();
+
+  // Small WireCAP geometry so the run cycles the pool; the other
+  // factory entries ignore these fields.
+  engines::EngineConfig engine_config;
+  engine_config.cells_per_chunk = 64;
+  engine_config.chunk_count = 40;
 
   const auto run_engine =
       [&](const std::string& name,
-          auto&& make_engine) -> EngineCrosscheckResult::PerEngine {
+          const std::string& factory_name) -> EngineCrosscheckResult::PerEngine {
     sim::Scheduler scheduler;
     sim::IoBus bus{scheduler};
     nic::NicConfig nic_config;
     nic_config.num_rx_queues = 1;
     nic::MultiQueueNic nic{scheduler, bus, nic_config};
-    auto engine = make_engine(scheduler, nic);
+    auto engine = engines::make_engine(factory_name, nic, engine_config);
     sim::SimCore app_core{scheduler, 0};
     pcap::PcapHandle handle{scheduler, *engine, nic, 0, app_core};
     handle.set_filter(prog);
@@ -689,33 +764,11 @@ EngineCrosscheckResult run_engine_crosscheck(
     return per;
   };
 
-  result.engines.push_back(run_engine(
-      "PF_RING", [](sim::Scheduler& s, nic::MultiQueueNic& n) {
-        return std::make_unique<engines::PfRingEngine>(s, n,
-                                                       engines::PfRingConfig{});
-      }));
-  result.engines.push_back(
-      run_engine("DNA", [](sim::Scheduler&, nic::MultiQueueNic& n) {
-        return std::make_unique<engines::Type2Engine>(n,
-                                                      engines::dna_config());
-      }));
-  result.engines.push_back(
-      run_engine("NETMAP", [](sim::Scheduler&, nic::MultiQueueNic& n) {
-        return std::make_unique<engines::Type2Engine>(
-            n, engines::netmap_config());
-      }));
-  result.engines.push_back(
-      run_engine("PSIOE", [](sim::Scheduler&, nic::MultiQueueNic& n) {
-        return std::make_unique<engines::PsioeEngine>(n,
-                                                      engines::PsioeConfig{});
-      }));
-  result.engines.push_back(run_engine(
-      "WireCAP", [](sim::Scheduler& s, nic::MultiQueueNic& n) {
-        core::WirecapConfig cfg;
-        cfg.cells_per_chunk = 64;
-        cfg.chunk_count = 40;
-        return std::make_unique<core::WirecapEngine>(s, n, cfg);
-      }));
+  result.engines.push_back(run_engine("PF_RING", "PF_RING"));
+  result.engines.push_back(run_engine("DNA", "DNA"));
+  result.engines.push_back(run_engine("NETMAP", "NETMAP"));
+  result.engines.push_back(run_engine("PSIOE", "PSIOE"));
+  result.engines.push_back(run_engine("WireCAP", "WireCAP-B"));
 
   // The per-engine sets were each compared to the oracle; equal counts
   // across engines then certify identical sets.
@@ -736,6 +789,221 @@ EngineCrosscheckResult run_engine_crosscheck(
     reg.counter("difftest.engine.mismatches").add(result.problems.size());
   }
   return result;
+}
+
+BatchEquivalenceResult run_batch_equivalence(
+    const BatchEquivalenceConfig& config) {
+  BatchEquivalenceResult result;
+  LabeledTraffic labeled =
+      generate_labeled_traffic(config.seed, config.frames, config.filter);
+  result.filter = labeled.filter_text;
+  if (!labeled.error.empty()) {
+    result.problems.push_back("filter '" + labeled.filter_text +
+                              "' failed to compile: " + labeled.error);
+    return result;
+  }
+  result.oracle_matched = labeled.oracle.size();
+
+  const bpf::Predecoded pre{labeled.prog};
+  const std::size_t max_batch = std::max<std::uint32_t>(1, config.max_batch);
+
+  engines::EngineConfig engine_config;
+  engine_config.cells_per_chunk = 64;
+  engine_config.chunk_count = 40;
+
+  // Everything the comparison needs about one delivery, copied out at
+  // read time (engine-buffered views go stale once released).
+  struct Delivery {
+    std::uint64_t seq = 0;
+    std::uint32_t wire_len = 0;
+    std::vector<std::byte> bytes;
+    bool matched = false;
+  };
+  struct PathOutcome {
+    std::vector<Delivery> deliveries;
+    std::uint64_t batches = 0;
+  };
+
+  Xoshiro256 adversity{config.seed ^ 0x9e3779b97f4a7c15ULL};
+
+  const auto run_path = [&](const std::string& factory_name,
+                            bool batched) -> PathOutcome {
+    PathOutcome out;
+    sim::Scheduler scheduler;
+    sim::IoBus bus{scheduler};
+    nic::NicConfig nic_config;
+    nic_config.num_rx_queues = 1;
+    nic::MultiQueueNic nic{scheduler, bus, nic_config};
+    auto engine = engines::make_engine(factory_name, nic, engine_config);
+    sim::SimCore app_core{scheduler, 0};
+    engine->open(0, app_core);
+
+    for (std::size_t i = 0; i < labeled.frames.size(); ++i) {
+      nic.receive(net::WirePacket::from_bytes(
+          Nanos::from_micros(2.0 * static_cast<double>(i + 1)),
+          as_span(labeled.frames[i].bytes), labeled.frames[i].wire_len, i));
+    }
+
+    const auto record = [&](const engines::CaptureView& view, bool matched) {
+      Delivery d;
+      d.seq = view.seq;
+      d.wire_len = view.wire_len;
+      d.bytes.assign(view.bytes.begin(), view.bytes.end());
+      d.matched = matched;
+      out.deliveries.push_back(std::move(d));
+    };
+
+    // Adversarial mode parks completed batches here and releases them
+    // LIFO — deferred, out-of-order recycling.  The bytes were copied
+    // out above, so engines whose views go stale on the next pull
+    // (PSIOE's staging arena) stay comparable.
+    std::vector<engines::PacketBatch> held;
+    const auto release_held = [&] {
+      while (!held.empty()) {
+        engine->done_batch(0, held.back());
+        held.pop_back();
+      }
+    };
+
+    engines::PacketBatch batch;
+    std::vector<std::uint8_t> accepts;
+    int idle_rounds = 0;
+    while (idle_rounds < 2) {
+      scheduler.run_until(scheduler.now() + Nanos::from_millis(5));
+      std::size_t drained = 0;
+      if (batched) {
+        for (;;) {
+          std::size_t limit = max_batch;
+          if (config.adversarial) {
+            limit = 1 + adversity.next_below(max_batch);
+          }
+          const std::size_t n = engine->try_next_batch(0, limit, batch);
+          if (n == 0) break;
+          ++out.batches;
+          drained += n;
+          (void)pre.run_batch(batch, accepts);
+          for (std::size_t i = 0; i < batch.views.size(); ++i) {
+            record(batch.views[i], accepts[i] != 0);
+          }
+          if (config.adversarial && held.size() < 2 &&
+              adversity.next_below(2) == 0) {
+            held.push_back(std::move(batch));
+            batch = engines::PacketBatch{};
+          } else {
+            engine->done_batch(0, batch);
+            release_held();
+          }
+        }
+        release_held();
+      } else {
+        while (const auto view = engine->try_next(0)) {
+          ++drained;
+          record(*view, pre.run(view->bytes, view->wire_len) != 0);
+          engine->done(0, *view);
+        }
+      }
+      idle_rounds = drained > 0 ? 0 : idle_rounds + 1;
+    }
+    engine->close(0);
+    return out;
+  };
+
+  struct Entry {
+    const char* display;
+    const char* factory;
+  };
+  constexpr std::array<Entry, 5> kEngines{{{"PF_RING", "PF_RING"},
+                                           {"DNA", "DNA"},
+                                           {"NETMAP", "NETMAP"},
+                                           {"PSIOE", "PSIOE"},
+                                           {"WireCAP", "WireCAP-B"}}};
+  for (const Entry& entry : kEngines) {
+    const PathOutcome scalar = run_path(entry.factory, /*batched=*/false);
+    const PathOutcome batched = run_path(entry.factory, /*batched=*/true);
+
+    BatchEquivalenceResult::PerEngine per;
+    per.name = entry.display;
+    per.packets = batched.deliveries.size();
+    per.batches = batched.batches;
+
+    if (scalar.deliveries.size() != labeled.frames.size()) {
+      result.problems.push_back(
+          per.name + ": per-packet path delivered " +
+          std::to_string(scalar.deliveries.size()) + " of " +
+          std::to_string(labeled.frames.size()));
+    }
+    if (batched.deliveries.size() != scalar.deliveries.size()) {
+      result.problems.push_back(
+          per.name + ": batched path delivered " +
+          std::to_string(batched.deliveries.size()) + " vs per-packet " +
+          std::to_string(scalar.deliveries.size()));
+    }
+    const std::size_t common =
+        std::min(scalar.deliveries.size(), batched.deliveries.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      const Delivery& a = scalar.deliveries[i];
+      const Delivery& b = batched.deliveries[i];
+      if (a.seq != b.seq) {
+        result.problems.push_back(per.name + ": delivery " +
+                                  std::to_string(i) + " seq " +
+                                  std::to_string(a.seq) + " vs " +
+                                  std::to_string(b.seq));
+        break;  // misalignment cascades; report the first
+      }
+      if (a.wire_len != b.wire_len || a.bytes != b.bytes) {
+        result.problems.push_back(per.name + ": delivery " +
+                                  std::to_string(i) + " (seq " +
+                                  std::to_string(a.seq) +
+                                  ") differs between paths");
+      }
+      if (a.matched != b.matched) {
+        result.problems.push_back(per.name + ": seq " +
+                                  std::to_string(a.seq) +
+                                  " filter verdict differs (per-packet=" +
+                                  std::to_string(a.matched) + " batched=" +
+                                  std::to_string(b.matched) + ")");
+      }
+    }
+
+    std::set<std::uint32_t> matched;
+    for (const Delivery& d : batched.deliveries) {
+      if (d.matched) matched.insert(static_cast<std::uint32_t>(d.seq));
+    }
+    per.matched = matched.size();
+    if (matched != labeled.oracle) {
+      std::size_t missing = 0, extra = 0;
+      for (const auto idx : labeled.oracle) missing += matched.count(idx) == 0;
+      for (const auto idx : matched) extra += labeled.oracle.count(idx) == 0;
+      result.problems.push_back(
+          per.name + ": batched match set diverges from oracle (missing=" +
+          std::to_string(missing) + " extra=" + std::to_string(extra) + ")");
+    }
+    result.engines.push_back(per);
+  }
+  return result;
+}
+
+BatchEquivalenceSoakResult run_batch_equivalence_soak(
+    std::uint64_t first_seed, std::uint32_t count,
+    BatchEquivalenceConfig base) {
+  BatchEquivalenceSoakResult soak;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BatchEquivalenceConfig config = base;
+    config.seed = first_seed + i;
+    const BatchEquivalenceResult result = run_batch_equivalence(config);
+    ++soak.seeds_run;
+    for (const auto& per : result.engines) soak.total_packets += per.packets;
+    soak.total_problems += result.problems.size();
+    if (result.clean()) {
+      ++soak.seeds_clean;
+    } else {
+      for (const auto& p : result.problems) {
+        soak.failures.push_back("seed " + std::to_string(config.seed) + ": " +
+                                p);
+      }
+    }
+  }
+  return soak;
 }
 
 }  // namespace wirecap::testing

@@ -1,10 +1,12 @@
 // Differential oracle for the three BPF filter implementations.
 //
-// The repo carries three independent answers to "does this packet match
+// The repo carries four independent answers to "does this packet match
 // this filter": the semantic evaluator (bpf/eval.cpp), the classic-BPF
 // interpreter (bpf/vm.cpp) running compiler output (bpf/codegen.cpp),
-// and the compiler re-invoked on the parser round-trip of the same
-// expression.  They are supposed to be extensionally equal; this module
+// the pre-decoded interpreter (bpf/predecode.cpp) in both its run() and
+// run_batch() forms, and the compiler re-invoked on the parser
+// round-trip of the same expression.  They are supposed to be
+// extensionally equal; this module
 // generates structured frames (plain/VLAN/QinQ Ethernet, IPv4 with
 // options and fragments, TCP/UDP, IPv6, truncated captures, garbage)
 // and filter expressions over the full parser grammar, and checks every
@@ -173,5 +175,60 @@ struct EngineCrosscheckResult {
 /// oracle (computed on the delivered snap-length bytes).
 [[nodiscard]] EngineCrosscheckResult run_engine_crosscheck(
     const EngineCrosscheckConfig& config);
+
+struct BatchEquivalenceConfig {
+  std::uint64_t seed = 1;
+  /// Frames injected per engine instance (identical traffic for the
+  /// per-packet and the batched instance of every engine).
+  std::uint32_t frames = 160;
+  /// Filter expression; empty generates one from the seed.
+  std::string filter;
+  /// Upper bound on views per try_next_batch pull.
+  std::uint32_t max_batch = 64;
+  /// Seeded adversities on the batched reader: the per-pull limit
+  /// varies randomly in [1, max_batch] and completed batches are held
+  /// back and released LIFO (exercising deferred and out-of-order
+  /// recycling under deref_n / the PF_RING read-ahead window).
+  bool adversarial = false;
+};
+
+struct BatchEquivalenceResult {
+  struct PerEngine {
+    std::string name;
+    std::uint64_t packets = 0;   // delivered on each path
+    std::uint64_t batches = 0;   // try_next_batch pulls that returned >0
+    std::uint64_t matched = 0;   // filter matches (identical both paths)
+  };
+  std::string filter;
+  std::uint64_t oracle_matched = 0;
+  std::vector<PerEngine> engines;
+  std::vector<std::string> problems;
+  [[nodiscard]] bool clean() const { return problems.empty(); }
+};
+
+/// Tier 2b: for each of the five engines, replays one generated traffic
+/// set through two identical fabrics — one drained packet-at-a-time
+/// (try_next / done, filter via Predecoded::run) and one drained in
+/// batches (try_next_batch / done_batch, filter via run_batch) — and
+/// asserts the two paths produce byte-identical (seq, bytes, wire_len)
+/// streams and identical match sets, both equal to the eval oracle.
+[[nodiscard]] BatchEquivalenceResult run_batch_equivalence(
+    const BatchEquivalenceConfig& config);
+
+struct BatchEquivalenceSoakResult {
+  std::uint32_t seeds_run = 0;
+  std::uint32_t seeds_clean = 0;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_problems = 0;
+  /// "seed N: <problem>" per divergence.
+  std::vector<std::string> failures;
+  [[nodiscard]] bool clean() const { return total_problems == 0; }
+};
+
+/// Runs run_batch_equivalence over `count` consecutive seeds starting
+/// at `first_seed`, with `base` supplying everything but the seed.
+[[nodiscard]] BatchEquivalenceSoakResult run_batch_equivalence_soak(
+    std::uint64_t first_seed, std::uint32_t count,
+    BatchEquivalenceConfig base = {});
 
 }  // namespace wirecap::testing

@@ -5,12 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <span>
+#include <stdexcept>
+#include <vector>
 
 #include "bpf/ast.hpp"
 #include "bpf/codegen.hpp"
 #include "bpf/disasm.hpp"
 #include "bpf/eval.hpp"
 #include "bpf/parser.hpp"
+#include "bpf/predecode.hpp"
 #include "bpf/vm.hpp"
 #include "common/rng.hpp"
 #include "net/headers.hpp"
@@ -433,6 +437,123 @@ INSTANTIATE_TEST_SUITE_P(
         "not (udp or icmp)", "len <= 512", "len >= 512 and tcp",
         "(131.225.2 or 10.0.0.0/24) and (udp or tcp)",
         "udp and not port 53", "src host 131.225.2.1 or dst host 10.0.0.1"));
+
+// --- pre-decoded executor ---
+
+// Parity across every truncation length: the checked/unchecked dispatch
+// boundary (abs_guard_) and every fused op's bounds handling sit inside
+// this sweep, because each length lands a different load out of bounds.
+TEST(Predecoded, MatchesVmAtEveryTruncationLength) {
+  for (const char* filter_text :
+       {"udp", "131.225.2 and udp", "tcp and dst port 443",
+        "src net 131.225.0.0/16", "udp port 53"}) {
+    const Program program = compile_filter(filter_text);
+    const Predecoded pre{program};
+    for (const auto& flow :
+         {FlowKey{Ipv4Addr{131, 225, 2, 9}, Ipv4Addr{8, 8, 8, 8}, 999, 53,
+                  IpProto::kUdp},
+          FlowKey{Ipv4Addr{192, 168, 1, 1}, Ipv4Addr{10, 0, 0, 2}, 4000, 443,
+                  IpProto::kTcp}}) {
+      const auto frame = make_frame(flow);
+      for (std::size_t len = 0; len <= frame.size(); ++len) {
+        const auto pkt = std::span<const std::byte>{frame}.first(len);
+        ASSERT_EQ(pre.run(pkt, 64), run(program, pkt, 64))
+            << filter_text << " caplen " << len;
+      }
+    }
+  }
+}
+
+TEST(Predecoded, FusionEmitsFusedOpsForBenchFilter) {
+  const Predecoded pre{compile_filter("131.225.2 and udp")};
+  bool saw_fused = false;
+  for (const PInsn& insn : pre.insns()) {
+    if (insn.op == Op::kLdIndWAndKJeqK || insn.op == Op::kLdAbsWAndKJeqK ||
+        insn.op == Op::kLdxMemLdIndBJeqK) {
+      saw_fused = true;
+    }
+  }
+  EXPECT_TRUE(saw_fused);
+}
+
+// A branch landing on the second instruction of a fusable pair must
+// block the fusion: the jf path below enters at the jeq directly, so the
+// jeq has to stay live even though (2,3) looks like a ld+jeq pair.
+TEST(Predecoded, FusionBlockedWhenSecondInsnIsJumpTarget) {
+  const Program program{
+      stmt(kClassLd | kSizeH | kModeAbs, 2),          // 0: A <- P[2:2]
+      jump(kClassJmp | kJmpJeq, 0, 0, 1),             // 1: ==0 ? 2 : 3
+      stmt(kClassLd | kSizeH | kModeAbs, 0),          // 2: A <- P[0:2]
+      jump(kClassJmp | kJmpJeq, 0x1122, 0, 1),        // 3: ==0x1122 ? 4 : 5
+      stmt(kClassRet | kRetK, 7),                     // 4
+      stmt(kClassRet | kRetK, 9),                     // 5
+  };
+  const Predecoded pre{program};
+  std::array<std::byte, 4> pkt{std::byte{0x11}, std::byte{0x22},
+                               std::byte{0x11}, std::byte{0x22}};
+  // P[2:2] = 0x1122 != 0, so execution enters insn 3 with A still 0x1122.
+  EXPECT_EQ(pre.run(pkt, 4), 7u);
+  EXPECT_EQ(pre.run(pkt, 4), run(program, pkt, 4));
+  std::array<std::byte, 4> zero_tail{std::byte{0x11}, std::byte{0x22},
+                                     std::byte{0x00}, std::byte{0x00}};
+  // P[2:2] = 0, so insn 2 reloads A = 0x1122 before the compare.
+  EXPECT_EQ(pre.run(zero_tail, 4), 7u);
+  EXPECT_EQ(pre.run(zero_tail, 4), run(program, pkt, 4));
+}
+
+TEST(Predecoded, ShiftByThirtyTwoOrMoreYieldsZero) {
+  for (const std::uint16_t op : {kAluLsh, kAluRsh}) {
+    const Program program{stmt(kClassLd | kModeImm, 0xFFFFFFFF),
+                          stmt(kClassAlu | op | kSrcK, 32),
+                          stmt(kClassRet | kRetA, 0)};
+    const Predecoded pre{program};
+    EXPECT_EQ(pre.run({}, 0), 0u);
+    EXPECT_EQ(pre.run({}, 0), run(program, {}, 0));
+  }
+}
+
+TEST(Predecoded, DivisionByZeroXRejects) {
+  const Program program{stmt(kClassLdx | kModeImm, 0),
+                        stmt(kClassLd | kModeImm, 10),
+                        stmt(kClassAlu | kAluDiv | kSrcX, 0),
+                        stmt(kClassRet | kRetK, 1)};
+  const Predecoded pre{program};
+  EXPECT_EQ(pre.run({}, 0), 0u);
+}
+
+TEST(Predecoded, InvalidProgramThrows) {
+  EXPECT_THROW(Predecoded{Program{}}, std::invalid_argument);
+  const Program bad_jump{jump(kClassJmp | kJmpJeq, 1, 40, 40),
+                         stmt(kClassRet | kRetK, 0)};
+  EXPECT_THROW(Predecoded{bad_jump}, std::invalid_argument);
+}
+
+TEST(Predecoded, RunBatchFlagsEachPacket) {
+  const Predecoded pre{compile_filter("udp")};
+  const auto udp_frame = make_frame(FlowKey{
+      Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{10, 0, 0, 2}, 53, 53, IpProto::kUdp});
+  const auto tcp_frame = make_frame(FlowKey{
+      Ipv4Addr{10, 0, 0, 1}, Ipv4Addr{10, 0, 0, 2}, 80, 80, IpProto::kTcp});
+  std::array<std::byte, 64> buf_a = udp_frame;
+  std::array<std::byte, 64> buf_b = tcp_frame;
+  std::array<std::byte, 64> buf_c = udp_frame;
+  engines::PacketBatch batch;
+  for (auto* buf : {&buf_a, &buf_b, &buf_c}) {
+    engines::CaptureView view;
+    view.bytes = std::span<std::byte>{*buf};
+    view.wire_len = 64;
+    batch.views.push_back(view);
+  }
+  std::vector<std::uint8_t> accepts;
+  EXPECT_EQ(pre.run_batch(batch, accepts), 2u);
+  ASSERT_EQ(accepts.size(), 3u);
+  EXPECT_NE(accepts[0], 0);
+  EXPECT_EQ(accepts[1], 0);
+  EXPECT_NE(accepts[2], 0);
+  batch.views.clear();
+  EXPECT_EQ(pre.run_batch(batch, accepts), 0u);
+  EXPECT_TRUE(accepts.empty());
+}
 
 }  // namespace
 }  // namespace wirecap::bpf

@@ -4,7 +4,15 @@
 // cross-engine conservation (sent == delivered + dropped after drain).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "apps/harness.hpp"
+#include "engines/factory.hpp"
+#include "net/packet.hpp"
+#include "nic/device.hpp"
+#include "sim/bus.hpp"
+#include "sim/core.hpp"
+#include "sim/scheduler.hpp"
 #include "trace/constant_rate.hpp"
 #include "trace/flow_gen.hpp"
 
@@ -193,6 +201,109 @@ TEST(Harness, LabelsAreStable) {
   EXPECT_EQ(params.label(), "WireCAP-A-(256,500,60%)");
   params.kind = EngineKind::kDna;
   EXPECT_EQ(params.label(), "DNA");
+}
+
+// --- batch read API ---
+
+TEST(BatchApi, WirecapBatchesAreChunkBoundedAndHonorLimit) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = 1;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  engines::EngineConfig config;
+  config.cells_per_chunk = 32;
+  config.chunk_count = 40;
+  auto engine = engines::make_engine("WireCAP-B", nic, config);
+  sim::SimCore core{scheduler, 0};
+  engine->open(0, core);
+
+  const net::FlowKey flow{net::Ipv4Addr{10, 0, 0, 1},
+                          net::Ipv4Addr{10, 0, 0, 2}, 5000, 53,
+                          net::IpProto::kUdp};
+  constexpr std::uint64_t kPackets = 100;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    nic.receive(net::WirePacket::make(
+        Nanos::from_micros(2.0 * static_cast<double>(i + 1)), flow, 64));
+  }
+
+  engines::PacketBatch batch;
+  std::uint64_t drained = 0;
+  bool limited_pull_done = false;
+  int idle = 0;
+  while (idle < 2) {
+    scheduler.run_until(scheduler.now() + Nanos::from_millis(5));
+    bool any = false;
+    std::size_t n;
+    while ((n = engine->try_next_batch(0, limited_pull_done ? 1000 : 5,
+                                       batch)) > 0) {
+      if (!limited_pull_done) {
+        EXPECT_LE(n, 5u);  // max_packets is a hard cap
+        limited_pull_done = true;
+      }
+      EXPECT_EQ(n, batch.views.size());
+      EXPECT_LE(n, 32u);  // chunk == batch: a batch never spans chunks
+      drained += n;
+      engine->done_batch(0, batch);
+      any = true;
+    }
+    idle = any ? 0 : idle + 1;
+  }
+  EXPECT_TRUE(limited_pull_done);
+  EXPECT_EQ(drained, kPackets);
+  EXPECT_EQ(engine->queue_stats(0).delivered, kPackets);
+  engine->close(0);
+}
+
+TEST(BatchApi, BaselineAdapterDeliversSameStreamAsPerPacket) {
+  const auto run_path = [](bool batched) {
+    sim::Scheduler scheduler;
+    sim::IoBus bus{scheduler};
+    nic::NicConfig nic_config;
+    nic_config.num_rx_queues = 1;
+    nic::MultiQueueNic nic{scheduler, bus, nic_config};
+    auto engine = engines::make_engine("DNA", nic, engines::EngineConfig{});
+    sim::SimCore core{scheduler, 0};
+    engine->open(0, core);
+
+    const net::FlowKey flow{net::Ipv4Addr{10, 0, 0, 3},
+                            net::Ipv4Addr{10, 0, 0, 4}, 6000, 80,
+                            net::IpProto::kTcp};
+    for (std::uint64_t i = 0; i < 60; ++i) {
+      nic.receive(net::WirePacket::make(
+          Nanos::from_micros(2.0 * static_cast<double>(i + 1)), flow, 64));
+    }
+
+    std::vector<std::uint64_t> seqs;
+    engines::PacketBatch batch;
+    int idle = 0;
+    while (idle < 2) {
+      scheduler.run_until(scheduler.now() + Nanos::from_millis(5));
+      bool any = false;
+      if (batched) {
+        while (engine->try_next_batch(0, 7, batch) > 0) {
+          for (const engines::CaptureView& view : batch.views) {
+            seqs.push_back(view.seq);
+          }
+          engine->done_batch(0, batch);
+          any = true;
+        }
+      } else {
+        while (auto view = engine->try_next(0)) {
+          seqs.push_back(view->seq);
+          engine->done(0, *view);
+          any = true;
+        }
+      }
+      idle = any ? 0 : idle + 1;
+    }
+    engine->close(0);
+    return seqs;
+  };
+  const auto per_packet = run_path(false);
+  const auto via_batches = run_path(true);
+  EXPECT_EQ(per_packet.size(), 60u);
+  EXPECT_EQ(per_packet, via_batches);
 }
 
 }  // namespace

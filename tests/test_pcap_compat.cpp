@@ -200,5 +200,87 @@ TEST(PcapCompat, CompileRejectsBadFilters) {
   EXPECT_THROW(PcapHandle::compile("no such primitive"), bpf::ParseError);
 }
 
+TEST(PcapCompat, NextExYieldsEachPacketThenZero) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 64;
+  engine_config.chunk_count = 40;
+  core::WirecapEngine engine{scheduler, nic, engine_config};
+  sim::SimCore app_core{scheduler, 0};
+  PcapHandle handle{scheduler, engine, nic, 0, app_core};
+
+  trace::ConstantRateConfig config;
+  config.packet_count = 50;
+  Xoshiro256 rng{43};
+  config.flows = {trace::random_flow(rng)};
+  trace::ConstantRateSource source{config};
+  nic::TrafficInjector injector{scheduler, source, nic};
+  injector.start();
+
+  int yielded = 0;
+  int idle = 0;
+  while (idle < 2) {
+    scheduler.run_until(scheduler.now() + Nanos::from_millis(5));
+    PacketHeader header;
+    std::span<const std::byte> data;
+    bool any = false;
+    int rc;
+    while ((rc = handle.next_ex(header, data)) == 1) {
+      EXPECT_GT(header.caplen, 0u);
+      EXPECT_EQ(header.caplen, data.size());
+      EXPECT_GE(header.len, header.caplen);
+      // The span must stay readable until the next call into the handle
+      // (deferred batch recycling — the libpcap validity contract).
+      EXPECT_NO_FATAL_FAILURE(static_cast<void>(data[0]));
+      ++yielded;
+      any = true;
+    }
+    EXPECT_EQ(rc, 0);  // non-blocking: 0 when nothing is pending
+    idle = any ? 0 : idle + 1;
+  }
+  EXPECT_EQ(yielded, 50);
+  EXPECT_EQ(handle.stats().ps_recv, 50u);
+}
+
+TEST(PcapCompat, DeprecatedLegacyHandlerStillDelivers) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 64;
+  engine_config.chunk_count = 40;
+  core::WirecapEngine engine{scheduler, nic, engine_config};
+  sim::SimCore app_core{scheduler, 0};
+  PcapHandle handle{scheduler, engine, nic, 0, app_core};
+
+  trace::ConstantRateConfig config;
+  config.packet_count = 20;
+  Xoshiro256 rng{44};
+  config.flows = {trace::random_flow(rng)};
+  trace::ConstantRateSource source{config};
+  nic::TrafficInjector injector{scheduler, source, nic};
+  injector.start();
+  scheduler.run_until(Nanos::from_seconds(1));
+
+  int seen = 0;
+  const LegacyHandler legacy = [&](const PacketHeader* header,
+                                   const std::byte* bytes, std::size_t len) {
+    ASSERT_NE(header, nullptr);
+    ASSERT_NE(bytes, nullptr);
+    EXPECT_EQ(header->caplen, len);
+    ++seen;
+  };
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const int handled = handle.dispatch(0, legacy);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(handled, 20);
+  EXPECT_EQ(seen, 20);
+}
+
 }  // namespace
 }  // namespace wirecap::pcap
