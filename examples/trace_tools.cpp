@@ -19,8 +19,14 @@
 //       k-way-merge a spool directory back into global timestamp order,
 //       optionally filtered by a BPF expression, and print what the
 //       segment indexes let the reader skip
+//   trace_tools summarize-latency <trace.json>
+//       fold the chunk.journey spans of a Chrome-trace dump (a
+//       --trace-out file from a latency-enabled run) into a per-stage
+//       latency percentile table — exact offline percentiles, no
+//       histogram bucketing
 //
 // Run with no arguments for a self-contained demo in a temp directory.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -239,6 +245,90 @@ int cmd_read_spool(const std::string& dir, const std::string& expression) {
   return 0;
 }
 
+// --- summarize-latency: fold chunk.journey spans into a stage table ---
+
+double exact_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+int cmd_summarize_latency(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+
+  // Each journey is one self-contained complete event:
+  //   {"name":"chunk.journey",...,"tid":<ring>,"ts":...,"dur":<e2e us>,
+  //    "args":{"capture":<ns>,"queue_wait":<ns>}}
+  // so the fold needs no cross-event correlation: deliver is the
+  // remainder dur - capture - queue_wait.
+  std::vector<double> e2e, capture, queue_wait, deliver;
+  std::map<long, std::uint64_t> per_ring;
+  const std::string needle = "\"name\":\"chunk.journey\"";
+  std::size_t pos = 0;
+  while ((pos = content.find(needle, pos)) != std::string::npos) {
+    const std::size_t end = content.find("}}", pos);
+    if (end == std::string::npos) break;
+    const auto field = [&](const char* key) -> double {
+      const std::string want = std::string{"\""} + key + "\":";
+      const std::size_t at = content.find(want, pos);
+      if (at == std::string::npos || at > end) return -1.0;
+      return std::strtod(content.c_str() + at + want.size(), nullptr);
+    };
+    const double dur_us = field("dur");
+    const double capture_ns = field("capture");
+    const double queue_wait_ns = field("queue_wait");
+    const double tid = field("tid");
+    pos = end + 1;
+    if (dur_us < 0 || capture_ns < 0 || queue_wait_ns < 0) continue;
+    const double e2e_ns = dur_us * 1000.0;
+    e2e.push_back(e2e_ns);
+    capture.push_back(capture_ns);
+    queue_wait.push_back(queue_wait_ns);
+    deliver.push_back(e2e_ns - capture_ns - queue_wait_ns);
+    ++per_ring[static_cast<long>(tid)];
+  }
+  if (e2e.empty()) {
+    std::fprintf(stderr,
+                 "no chunk.journey spans in %s (was the run latency-enabled "
+                 "with --trace-out?)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  std::printf("%zu chunk.journey span(s) across %zu ring(s):",
+              e2e.size(), per_ring.size());
+  for (const auto& [ring, count] : per_ring) {
+    std::printf("  ring %ld: %llu", ring,
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n%-12s %10s %10s %10s %10s %10s\n", "stage", "p50", "p90",
+              "p99", "p999", "max");
+  const auto row = [](const char* name, std::vector<double>& values) {
+    std::sort(values.begin(), values.end());
+    std::printf("%-12s %8.2fus %8.2fus %8.2fus %8.2fus %8.2fus\n", name,
+                exact_quantile(values, 0.50) / 1000.0,
+                exact_quantile(values, 0.90) / 1000.0,
+                exact_quantile(values, 0.99) / 1000.0,
+                exact_quantile(values, 0.999) / 1000.0,
+                values.back() / 1000.0);
+  };
+  row("e2e", e2e);
+  row("capture", capture);
+  row("queue_wait", queue_wait);
+  row("deliver", deliver);
+  return 0;
+}
+
 int demo() {
   std::puts("trace_tools demo (run with arguments for real use; see "
             "header comment)");
@@ -298,13 +388,17 @@ int main(int argc, char** argv) {
     if (command == "read-spool" && argc >= 3) {
       return cmd_read_spool(argv[2], argc > 3 ? argv[3] : "");
     }
+    if (command == "summarize-latency" && argc == 3) {
+      return cmd_summarize_latency(argv[2]);
+    }
     std::fprintf(stderr,
                  "usage: %s generate <out.pcap|out.pcapng> [seconds] [scale]\n"
                  "       %s inspect <in.pcap>\n"
                  "       %s filter <in.pcap> <out.pcap> <expression>\n"
                  "       %s replay <in.pcap> [queues] [x] [--spool-dir=DIR]\n"
-                 "       %s read-spool <dir> [expression]\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 "       %s read-spool <dir> [expression]\n"
+                 "       %s summarize-latency <trace.json>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

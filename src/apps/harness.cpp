@@ -5,6 +5,7 @@
 #include "telemetry/export.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string_view>
 
@@ -157,6 +158,13 @@ void Experiment::bind_telemetry() {
   if (config_.telemetry.trace_capacity != telemetry_.tracer.capacity()) {
     telemetry_.tracer.set_capacity(config_.telemetry.trace_capacity);
   }
+  if (config_.telemetry.latency) {
+    telemetry_.latency.set_outlier_threshold(
+        config_.telemetry.latency_outlier_threshold);
+    telemetry_.latency.set_recorder_capacity(
+        config_.telemetry.flight_recorder_capacity);
+    telemetry_.latency.set_enabled(true);
+  }
 
   // The engine publishes under engine.<sanitized name>.q<N>.*; the NIC,
   // application cores and pkt_handlers under nic./core./app. — one tree
@@ -215,12 +223,21 @@ TelemetryFlags parse_telemetry_flags(int argc, char** argv) {
   TelemetryFlags flags;
   constexpr std::string_view kMetrics = "--metrics-out=";
   constexpr std::string_view kTrace = "--trace-out=";
+  constexpr std::string_view kThreshold = "--latency-threshold-us=";
+  constexpr std::string_view kFlight = "--flight-out=";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.starts_with(kMetrics)) {
       flags.metrics_out = std::string(arg.substr(kMetrics.size()));
     } else if (arg.starts_with(kTrace)) {
       flags.trace_out = std::string(arg.substr(kTrace.size()));
+    } else if (arg == "--latency") {
+      flags.latency = true;
+    } else if (arg.starts_with(kThreshold)) {
+      flags.latency_threshold_us =
+          std::atof(std::string(arg.substr(kThreshold.size())).c_str());
+    } else if (arg.starts_with(kFlight)) {
+      flags.flight_out = std::string(arg.substr(kFlight.size()));
     }
   }
   return flags;
@@ -237,6 +254,13 @@ void TelemetryFlags::apply(ExperimentConfig& config) const {
     // Figure-3 granularity for the gauge counter series.
     config.telemetry.sample_interval = Nanos::from_millis(10);
   }
+  if (latency || !flight_out.empty()) {
+    config.telemetry.latency = true;
+  }
+  if (latency_threshold_us > 0.0) {
+    config.telemetry.latency_outlier_threshold =
+        Nanos::from_micros(latency_threshold_us);
+  }
 }
 
 void TelemetryFlags::write(const telemetry::Telemetry& source) const {
@@ -245,6 +269,13 @@ void TelemetryFlags::write(const telemetry::Telemetry& source) const {
   }
   if (!trace_out.empty()) {
     telemetry::write_trace(source.tracer, trace_out);
+  }
+  if (!flight_out.empty()) {
+    const std::string dump = source.latency.recorder().dump();
+    if (std::FILE* f = std::fopen(flight_out.c_str(), "wb")) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+    }
   }
 }
 

@@ -82,15 +82,22 @@ struct ExperimentConfig {
 };
 
 /// The standard observability command-line surface of the benches:
-///   --metrics-out=FILE   write the metrics snapshot (JSON; CSV if .csv)
-///   --trace-out=FILE     enable tracing, write Chrome-trace JSON
+///   --metrics-out=FILE          write the metrics snapshot (JSON; CSV if .csv)
+///   --trace-out=FILE            enable tracing, write Chrome-trace JSON
+///   --latency                   enable chunk-journey latency tracking
+///   --latency-threshold-us=N    flight-recorder outlier threshold
+///   --flight-out=FILE           write the flight-recorder dump
 /// Unrecognized arguments are ignored so benches can mix in their own.
 struct TelemetryFlags {
   std::string metrics_out;
   std::string trace_out;
+  bool latency = false;
+  double latency_threshold_us = 0.0;  // 0 keeps the config default
+  std::string flight_out;
 
   [[nodiscard]] bool any() const {
-    return !metrics_out.empty() || !trace_out.empty();
+    return !metrics_out.empty() || !trace_out.empty() || latency ||
+           !flight_out.empty();
   }
   /// Turns the flags into harness knobs: tracing on when --trace-out was
   /// given (with a bench-sized ring), gauge sampling on when either

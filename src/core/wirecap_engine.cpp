@@ -60,6 +60,9 @@ void WirecapEngine::open(std::uint32_t queue, sim::SimCore& /*app_core*/) {
       config_.chunk_count);
 
   if (pool_observer_) qs.driver->pool().set_observer(pool_observer_);
+  // Fresh journey scratchpad for the fresh pool (stale stamps from a
+  // previous incarnation must not leak into the new epoch's journeys).
+  qs.journeys.assign(config_.chunk_count, telemetry::ChunkJourney{});
   qs.driver->open();
   // Late-opened queues publish like queues open at bind time
   // (bind_queue_telemetry is a no-op until bind_telemetry() runs).
@@ -171,6 +174,15 @@ void WirecapEngine::poll(std::uint32_t queue) {
   cost += Nanos{static_cast<std::int64_t>(captured.size()) *
                 costs_.capture_chunk_cost.count()};
 
+  // Arrival + capture stamps.  capture() produces either full chunks
+  // (copied == 0) or exactly one rescue chunk (copied > 0), so the flag
+  // applies to every meta of this round.
+  if (latency_ && latency_->enabled()) [[unlikely]] {
+    for (const driver::ChunkMeta& meta : captured) {
+      journey_capture(meta, copied > 0);
+    }
+  }
+
   // A poll that moved data is a unit of capture-thread work in the
   // trace; idle polls are omitted to keep the ring for the useful ones.
   if (copied > 0 || !captured.empty()) {
@@ -277,6 +289,12 @@ void WirecapEngine::dispatch(std::uint32_t queue,
     target = queue;
   }
 
+  if (latency_ && latency_->enabled()) [[unlikely]] {
+    journey_enqueue(meta);
+  }
+  WIRECAP_TRACE(tracer_,
+                instant("chunk.enqueue", "engine", scheduler_.now(), target,
+                        "chunk", meta.chunk_id, "ring", meta.ring_id));
   if (target != queue) {
     ++qs.stats.chunks_offloaded_out;
     ++queues_[target].stats.chunks_offloaded_in;
@@ -310,6 +328,9 @@ std::optional<engines::CaptureView> WirecapEngine::try_next(
     const std::uint64_t epoch = queues_[meta->ring_id].epoch;
     outstanding_[chunk_key(meta->ring_id, meta->chunk_id, epoch)] =
         Outstanding{*meta, meta->pkt_count, epoch};
+    if (latency_ && latency_->enabled()) [[unlikely]] {
+      journey_dequeue(*meta, queue);
+    }
     // Application-side dequeue of one chunk's worth of packets.
     WIRECAP_TRACE(tracer_,
                   instant("chunk.dequeue", "app", scheduler_.now(), queue,
@@ -363,6 +384,9 @@ std::optional<engines::ChunkCaptureView> WirecapEngine::try_next_chunk(
     const std::uint64_t epoch = queues_[meta.ring_id].epoch;
     outstanding_[chunk_key(meta.ring_id, meta.chunk_id, epoch)] =
         Outstanding{meta, meta.pkt_count, epoch};
+    if (latency_ && latency_->enabled()) [[unlikely]] {
+      journey_dequeue(meta, queue);
+    }
     WIRECAP_TRACE(tracer_,
                   instant("chunk.dequeue", "app", scheduler_.now(), queue,
                           "chunk", meta.chunk_id, "pkts", meta.pkt_count));
@@ -406,6 +430,9 @@ std::size_t WirecapEngine::try_next_batch(std::uint32_t queue,
     const std::uint64_t epoch = queues_[meta->ring_id].epoch;
     outstanding_[chunk_key(meta->ring_id, meta->chunk_id, epoch)] =
         Outstanding{*meta, meta->pkt_count, epoch};
+    if (latency_ && latency_->enabled()) [[unlikely]] {
+      journey_dequeue(*meta, queue);
+    }
     WIRECAP_TRACE(tracer_,
                   instant("chunk.dequeue", "app", scheduler_.now(), queue,
                           "chunk", meta->chunk_id, "pkts", meta->pkt_count));
@@ -484,6 +511,9 @@ void WirecapEngine::deref_n(std::uint64_t key, std::uint32_t count) {
       // end of life — recycling it would corrupt a reopened pool.
       return;
     }
+    if (latency_ && latency_->enabled()) [[unlikely]] {
+      journey_release(meta);
+    }
     // The chunk goes home: recycling happens on the pool that owns it,
     // regardless of which application thread processed it.
     if (!owner.recycle_queue->try_push(meta)) {
@@ -495,6 +525,66 @@ void WirecapEngine::deref_n(std::uint64_t key, std::uint32_t count) {
 void WirecapEngine::done(std::uint32_t /*queue*/,
                          const engines::CaptureView& view) {
   deref(handle_key(view.handle));
+}
+
+// --- chunk-journey stamping (callers gate on latency_->enabled()) ---
+
+void WirecapEngine::journey_capture(const driver::ChunkMeta& meta,
+                                    bool rescued) {
+  QueueState& owner = queues_[meta.ring_id];
+  if (meta.chunk_id >= owner.journeys.size()) return;
+  telemetry::ChunkJourney& j = owner.journeys[meta.chunk_id];
+  j = telemetry::ChunkJourney{};
+  j.ring = meta.ring_id;
+  j.chunk = meta.chunk_id;
+  j.pkt_count = meta.pkt_count;
+  j.rescued = rescued;
+  j.arrival_ns = owner.driver->chunk_arrival(meta).count();
+  j.captured_ns = scheduler_.now().count();
+}
+
+void WirecapEngine::journey_enqueue(const driver::ChunkMeta& meta) {
+  QueueState& owner = queues_[meta.ring_id];
+  if (meta.chunk_id >= owner.journeys.size()) return;
+  telemetry::ChunkJourney& j = owner.journeys[meta.chunk_id];
+  // Only the first successful enqueue counts (close-time sweeps re-push
+  // survivors through raw queue operations, never through here).
+  if (j.arrival_ns < 0 || j.enqueued_ns >= 0) return;
+  j.enqueued_ns = scheduler_.now().count();
+}
+
+void WirecapEngine::journey_dequeue(const driver::ChunkMeta& meta,
+                                    std::uint32_t queue) {
+  QueueState& owner = queues_[meta.ring_id];
+  if (meta.chunk_id >= owner.journeys.size()) return;
+  telemetry::ChunkJourney& j = owner.journeys[meta.chunk_id];
+  if (j.arrival_ns < 0 || j.dequeued_ns >= 0) return;
+  j.dequeued_ns = scheduler_.now().count();
+  j.dequeue_queue = queue;
+}
+
+void WirecapEngine::journey_release(const driver::ChunkMeta& meta) {
+  QueueState& owner = queues_[meta.ring_id];
+  if (meta.chunk_id >= owner.journeys.size()) return;
+  telemetry::ChunkJourney& j = owner.journeys[meta.chunk_id];
+  if (j.arrival_ns < 0) return;
+  j.released_ns = scheduler_.now().count();
+  latency_->record_journey(j);
+  WIRECAP_TRACE(tracer_, instant("chunk.release", "engine", scheduler_.now(),
+                                 meta.ring_id, "chunk", meta.chunk_id));
+  if (j.complete()) {
+    // One self-contained span per chunk: ts/dur give the end-to-end
+    // window, the args carry the capture and queue-wait shares (deliver
+    // = dur - capture - queue_wait), so offline tools fold journeys
+    // into stage percentiles without any event correlation.
+    WIRECAP_TRACE(tracer_,
+                  complete("chunk.journey", "latency", Nanos{j.arrival_ns},
+                           Nanos{j.e2e_ns()}, meta.ring_id, "capture",
+                           static_cast<std::uint64_t>(j.capture_ns()),
+                           "queue_wait",
+                           static_cast<std::uint64_t>(j.queue_wait_ns())));
+  }
+  j = telemetry::ChunkJourney{};
 }
 
 bool WirecapEngine::forward(std::uint32_t /*queue*/,
@@ -560,6 +650,7 @@ void WirecapEngine::bind_telemetry(telemetry::Telemetry& telemetry,
   engines::CaptureEngine::bind_telemetry(telemetry, prefix, num_queues);
   telemetry_ = &telemetry;
   telemetry_prefix_ = prefix;
+  latency_ = &telemetry.latency;
   for (std::uint32_t q = 0; q < num_queues && q < queues_.size(); ++q) {
     if (queues_[q].open) bind_queue_telemetry(q);
   }
@@ -573,20 +664,24 @@ void WirecapEngine::bind_queue_telemetry(std::uint32_t queue) {
   telemetry::MetricRegistry& registry = telemetry_->registry;
   // Every binding resolves through the QueueState at sample time: a
   // close()/open() cycle replaces the driver and queues, and bindings
-  // made against the old instances would dangle.
+  // made against the old instances would dangle.  Liveness gauges also
+  // test qs.open so a closed queue reads 0 (tombstoned) instead of the
+  // last state of its dead driver/queues until a reopen revives them.
   registry.bind_gauge(qp + "capture_queue.depth", [&qs] {
-    return qs.capture_queue ? static_cast<double>(qs.capture_queue->size())
-                            : 0.0;
+    return qs.open && qs.capture_queue
+               ? static_cast<double>(qs.capture_queue->size())
+               : 0.0;
   });
   registry.bind_gauge(qp + "pending.depth", [&qs] {
-    return static_cast<double>(qs.pending.size());
+    return qs.open ? static_cast<double>(qs.pending.size()) : 0.0;
   });
   registry.bind_gauge(qp + "pool.free_chunks", [&qs] {
-    return qs.driver ? static_cast<double>(qs.driver->pool().free_chunks())
-                     : 0.0;
+    return qs.open && qs.driver
+               ? static_cast<double>(qs.driver->pool().free_chunks())
+               : 0.0;
   });
   registry.bind_gauge(qp + "capture_core.utilization", [&qs] {
-    return qs.capture_core ? qs.capture_core->utilization() : 0.0;
+    return qs.open && qs.capture_core ? qs.capture_core->utilization() : 0.0;
   });
   registry.bind_gauge(qp + "spool_backlog", [&qs] {
     return qs.spool_backlog ? static_cast<double>(qs.spool_backlog()) : 0.0;
@@ -620,6 +715,35 @@ void WirecapEngine::bind_queue_telemetry(std::uint32_t queue) {
                  &driver::WirecapDriverStats::recycle_rejects);
   driver_counter("driver.attach_failures",
                  &driver::WirecapDriverStats::attach_failures);
+  // Per-stage latency percentiles, attributed to the owning ring.  Only
+  // bound when the harness enabled the LatencyTracker before binding the
+  // engine: 16 extra gauges per queue would otherwise flood small trace
+  // rings with sampler counter events in runs that never record a
+  // journey.
+  if (telemetry_->latency.enabled()) {
+    using Stage = telemetry::LatencyTracker::Stage;
+    static constexpr struct {
+      const char* name;
+      Stage stage;
+    } kStages[] = {{"e2e", Stage::kE2e},
+                   {"capture", Stage::kCapture},
+                   {"queue_wait", Stage::kQueueWait},
+                   {"deliver", Stage::kDeliver}};
+    static constexpr struct {
+      const char* name;
+      double q;
+    } kQuantiles[] = {
+        {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}};
+    for (const auto& stage : kStages) {
+      for (const auto& quantile : kQuantiles) {
+        registry.bind_gauge(
+            qp + "latency." + stage.name + "." + quantile.name,
+            [this, queue, stage = stage.stage, q = quantile.q] {
+              return telemetry_->latency.stage_quantile(queue, stage, q);
+            });
+      }
+    }
+  }
   if (qs.driver) {
     qs.driver->set_tracer(&telemetry_->tracer,
                           [this] { return scheduler_.now(); });

@@ -32,6 +32,7 @@
 #include "engines/engine.hpp"
 #include "sim/costs.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/latency.hpp"
 
 namespace wirecap::core {
 
@@ -214,6 +215,10 @@ class WirecapEngine final : public engines::CaptureEngine {
     std::function<std::size_t()> spool_backlog;
     engines::EngineQueueStats stats;
     WirecapQueueExtraStats extra;
+    /// One journey record per pool chunk, indexed by chunk_id and reset
+    /// at capture — the latency layer's per-chunk scratchpad.  Sized at
+    /// open(); only written while LatencyTracker::enabled().
+    std::vector<telemetry::ChunkJourney> journeys;
   };
 
   // Outstanding-map keys and application handles carry the owning
@@ -265,6 +270,14 @@ class WirecapEngine final : public engines::CaptureEngine {
   /// bind_telemetry() has supplied the registry.
   void bind_queue_telemetry(std::uint32_t queue);
 
+  // Journey stamping, one call per lifecycle transition.  Callers gate
+  // on `latency_ && latency_->enabled()` so the disabled hot path pays
+  // one predicted branch per site (the EventTracer pattern).
+  void journey_capture(const driver::ChunkMeta& meta, bool rescued);
+  void journey_enqueue(const driver::ChunkMeta& meta);
+  void journey_dequeue(const driver::ChunkMeta& meta, std::uint32_t queue);
+  void journey_release(const driver::ChunkMeta& meta);
+
   sim::Scheduler& scheduler_;
   nic::MultiQueueNic& nic_;
   WirecapConfig config_;
@@ -278,6 +291,9 @@ class WirecapEngine final : public engines::CaptureEngine {
   // still publish their per-queue metrics.
   telemetry::Telemetry* telemetry_ = nullptr;
   std::string telemetry_prefix_;
+  /// Set by bind_telemetry(); null keeps the engine at its unbound
+  /// baseline (no journey branches taken).
+  telemetry::LatencyTracker* latency_ = nullptr;
 };
 
 }  // namespace wirecap::core

@@ -152,6 +152,11 @@ std::uint32_t WirecapQueueDriver::capture(Nanos now, std::size_t max_chunks,
   return filled;
 }
 
+Nanos WirecapQueueDriver::chunk_arrival(const ChunkMeta& meta) const {
+  if (meta.pkt_count == 0) return Nanos::zero();
+  return Nanos{pool_.cell_info(meta.chunk_id, meta.first_cell).timestamp_ns};
+}
+
 Status WirecapQueueDriver::recycle(const ChunkMeta& meta) {
   const Status status = pool_.recycle(meta);
   if (status.is_ok()) {

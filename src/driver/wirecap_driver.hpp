@@ -77,6 +77,11 @@ class WirecapQueueDriver {
   /// The recycle operation, with strict metadata validation.
   Status recycle(const ChunkMeta& meta);
 
+  /// Arrival time of a just-captured chunk: the NIC writeback timestamp
+  /// of its first packet.  This is when the chunk's data entered the
+  /// ring — the anchor for end-to-end latency accounting.
+  [[nodiscard]] Nanos chunk_arrival(const ChunkMeta& meta) const;
+
   /// Zero-copy transmit of a captured packet residing in a pool cell.
   /// Returns false when the TX ring is full.
   bool transmit(std::uint32_t tx_queue, const ChunkMeta& meta,

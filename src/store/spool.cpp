@@ -182,7 +182,8 @@ void SpoolShard::offer(engines::ChunkCaptureView chunk, Release release) {
         break;
     }
   }
-  queue_.push_back(Queued{std::move(chunk), std::move(release)});
+  queue_.push_back(
+      Queued{std::move(chunk), std::move(release), scheduler_.now()});
   ++stats_.chunks_enqueued;
   stats_.queue_high_water = std::max(
       stats_.queue_high_water, static_cast<std::uint64_t>(queue_.size()));
@@ -244,6 +245,10 @@ void SpoolShard::start_write() {
     Queued done = std::move(*in_flight_);
     in_flight_.reset();
     writing_ = false;
+    // Disk leg of the latency pipeline: offer() to release.  Recorded
+    // unconditionally — this path already paid for a simulated disk
+    // write, so one histogram increment is noise.
+    drain_latency_.record((scheduler_.now() - done.offered_at).count());
     done.release(done.chunk);
     if (drain_callback_) drain_callback_();
     maybe_start_write();
@@ -364,6 +369,17 @@ void Spool::bind_telemetry(telemetry::Telemetry& telemetry,
     registry.bind_gauge(sp + "backlog", [shard] {
       return static_cast<double>(shard->backlog());
     });
+    static constexpr struct {
+      const char* name;
+      double q;
+    } kQuantiles[] = {
+        {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}};
+    for (const auto& quantile : kQuantiles) {
+      registry.bind_gauge(sp + "drain_latency." + quantile.name,
+                          [shard, q = quantile.q] {
+                            return shard->drain_latency().quantile(q);
+                          });
+    }
   }
 }
 

@@ -201,6 +201,12 @@ class SpoolShard {
   void close();
 
   [[nodiscard]] const ShardStats& stats() const { return stats_; }
+  /// Offer-to-release latency of every drained chunk (the disk leg of
+  /// the end-to-end latency pipeline).  Dropped/evicted chunks are not
+  /// recorded — they never drained.
+  [[nodiscard]] const telemetry::HdrHistogram& drain_latency() const {
+    return drain_latency_;
+  }
   [[nodiscard]] std::uint32_t shard_id() const { return shard_id_; }
   [[nodiscard]] BackpressurePolicy policy() const { return config_.policy; }
   /// Engine seqs of dropped/evicted packets (record_lost_seqs only).
@@ -212,6 +218,8 @@ class SpoolShard {
   struct Queued {
     engines::ChunkCaptureView chunk;
     Release release;
+    /// When offer() accepted the chunk; anchors drain latency.
+    Nanos offered_at = Nanos::zero();
   };
 
   void maybe_start_write();
@@ -235,6 +243,7 @@ class SpoolShard {
   Nanos slow_until_ = Nanos::zero();
   Nanos full_until_ = Nanos::zero();
   ShardStats stats_;
+  telemetry::HdrHistogram drain_latency_;
   std::vector<std::uint64_t> lost_seqs_;
   std::function<void()> drain_callback_;
 };

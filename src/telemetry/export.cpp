@@ -16,6 +16,9 @@ void append_escaped(std::string& out, std::string_view s) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
@@ -27,6 +30,25 @@ void append_escaped(std::string& out, std::string_view s) {
         }
     }
   }
+}
+
+/// RFC-4180 CSV field: quoted (with inner quotes doubled) whenever the
+/// value contains a separator, quote, or line break — hostile metric
+/// names must not be able to smuggle extra columns or rows into the
+/// export.
+void append_csv_field(std::string& out, std::string_view s) {
+  const bool needs_quoting =
+      s.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) {
+    out += s;
+    return;
+  }
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
 }
 
 void append_json_string(std::string& out, std::string_view s) {
@@ -152,7 +174,7 @@ std::string metrics_to_csv(const MetricRegistry& registry) {
   std::string out = "name,kind,count,value,p50,p90,p99,min,max,mean\n";
   for (const auto& [name, entry] : registry.entries()) {
     std::string row;
-    append_escaped(row, name);
+    append_csv_field(row, name);
     row.push_back(',');
     row += to_string(entry.kind);
     switch (entry.kind) {

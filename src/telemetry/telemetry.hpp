@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "telemetry/latency.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/tracer.hpp"
 
@@ -23,11 +24,23 @@ struct TelemetryConfig {
   /// Virtual-time period of the gauge sampler; zero disables it (the
   /// default, so unrelated experiments schedule no extra events).
   Nanos sample_interval = Nanos::zero();
+  /// Runtime gate for chunk-journey latency tracking (stage histograms
+  /// + flight recorder).  Off by default: the hot path then pays one
+  /// predicted branch per stamp site.
+  bool latency = false;
+  /// End-to-end latency at which a journey is retained by the flight
+  /// recorder as an outlier.
+  Nanos latency_outlier_threshold = Nanos::from_millis(1);
+  /// Journeys the flight recorder keeps in its recent-history ring.
+  std::size_t flight_recorder_capacity = FlightRecorder::kDefaultCapacity;
 };
 
 struct Telemetry {
   MetricRegistry registry;
   EventTracer tracer;
+  /// Chunk-journey latency aggregation (per-stage histograms, flight
+  /// recorder).  Disabled until the harness enables it.
+  LatencyTracker latency;
   /// Invoked by the Sampler at every tick with the current virtual
   /// time.  Components use probes for state only visible by polling
   /// (high-water marks); instantaneous values should be bound gauges,

@@ -149,6 +149,12 @@ FaultHarness::FaultHarness(FaultHarnessConfig config)
 
   // Auditor and telemetry attach *before* any queue opens: this is the
   // late-open binding path (metrics must appear when open() happens).
+  // Latency tracking is enabled first so the engine's per-queue bind
+  // sees it and publishes the latency gauges.
+  if (config_.latency) {
+    telemetry_.latency.set_outlier_threshold(config_.latency_outlier_threshold);
+    telemetry_.latency.set_enabled(true);
+  }
   engine_->set_pool_observer(&auditor_);
   engine_->bind_telemetry(telemetry_, "faults", queues);
   auditor_.bind_telemetry(telemetry_, "faults",

@@ -128,6 +128,11 @@ struct FaultHarnessConfig {
   store::BackpressurePolicy spool_policy = store::BackpressurePolicy::kBlock;
   /// Spool target; empty picks a per-seed temp directory.
   std::filesystem::path spool_dir;
+  /// Chunk-journey latency tracking + flight recorder: outliers above
+  /// the threshold are retained for post-run inspection (tests read
+  /// them through telemetry().latency.recorder()).
+  bool latency = false;
+  Nanos latency_outlier_threshold = Nanos::from_micros(100);
 };
 
 /// Round-trip accounting of one spooled fault run.

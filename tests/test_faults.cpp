@@ -344,6 +344,49 @@ TEST(FaultHarness, ReportsThroughTelemetry) {
   ASSERT_TRUE(registry.contains("faults.q1.pool.free_chunks"));
 }
 
+// --- flight recorder: a fault-plan slow-drain spike must be explainable
+// from its retained span sequence ---
+
+TEST(FaultHarness, FlightRecorderCapturesSlowDrainOutliers) {
+  FaultHarnessConfig config;
+  config.plan.seed = 21;
+  config.plan.spool_faults = true;  // schedule kSlowDisk / kDiskFull
+  config.spool = true;              // blocking policy: backlog -> queue_wait
+  config.latency = true;
+  config.latency_outlier_threshold = Nanos::from_micros(50);
+  FaultHarness harness{config};
+  const FaultRunResult result = harness.run();
+  EXPECT_TRUE(result.clean()) << (result.violations.empty()
+                                      ? ""
+                                      : result.violations.front());
+
+  const telemetry::LatencyTracker& latency = harness.telemetry().latency;
+  EXPECT_GT(latency.journeys_recorded(), 0u);
+  const telemetry::FlightRecorder& recorder = latency.recorder();
+  ASSERT_GT(recorder.outliers_seen(), 0u)
+      << "slow-disk backpressure produced no e2e outlier";
+  for (const telemetry::ChunkJourney& journey : recorder.outliers()) {
+    // The retained span sequence is a full, monotone journey whose
+    // stages add up: the spike is attributable, not just visible.
+    EXPECT_TRUE(journey.complete());
+    EXPECT_GE(journey.e2e_ns(), config.latency_outlier_threshold.count());
+    EXPECT_EQ(journey.e2e_ns(), journey.capture_ns() +
+                                    journey.queue_wait_ns() +
+                                    journey.deliver_ns());
+  }
+  const std::string dump = recorder.dump();
+  EXPECT_NE(dump.find("outliers seen"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("queue_wait="), std::string::npos) << dump;
+
+  // The per-stage percentile gauges came up under the harness prefix
+  // (latency was enabled before bind_telemetry).
+  const telemetry::MetricRegistry& registry = harness.telemetry().registry;
+  ASSERT_TRUE(registry.contains("faults.q0.latency.e2e.p999"));
+  ASSERT_TRUE(registry.contains("faults.q1.latency.queue_wait.p99"));
+  EXPECT_GT(registry.entries().at("faults.q0.latency.e2e.p50").gauge_fn(),
+            0.0);
+}
+
 // --- the property: chunk-count conservation across randomized fault
 // schedules (>= 100 seeds) ---
 

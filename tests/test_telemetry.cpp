@@ -10,11 +10,17 @@
 #include <string_view>
 #include <vector>
 
+#include <algorithm>
+#include <cmath>
+
 #include "apps/harness.hpp"
 #include "apps/pkt_handler.hpp"
+#include "common/stats.hpp"
+#include "core/wirecap_engine.hpp"
 #include "engines/baselines.hpp"
 #include "nic/wire.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/latency.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/telemetry.hpp"
@@ -220,6 +226,151 @@ TEST(EventTracer, SetCapacityClearsAndZeroThrows) {
   EXPECT_THROW(tracer.set_capacity(0), std::invalid_argument);
 }
 
+// --- HDR histogram ---
+
+TEST(HdrHistogram, SmallValuesLandInExactBuckets) {
+  telemetry::HdrHistogram hist;
+  for (std::int64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(telemetry::HdrHistogram::index_of(static_cast<std::uint64_t>(v)),
+              static_cast<std::size_t>(v));
+    hist.record(v);
+  }
+  EXPECT_EQ(hist.count(), 32u);
+  EXPECT_EQ(hist.max_value(), 31u);
+  // Below 32 every bucket is width 1, so quantiles are exact (up to the
+  // in-bucket interpolation, which stays inside the 1-wide bucket).
+  EXPECT_NEAR(hist.quantile(0.5), 16.0, 1.0);
+  EXPECT_NEAR(hist.quantile(1.0), 31.0, 1.0);
+  // Negative samples clamp to zero instead of indexing garbage.
+  hist.record(-5);
+  EXPECT_EQ(hist.count(), 33u);
+}
+
+TEST(HdrHistogram, BucketGeometryBoundsRelativeError) {
+  // Every bucket above the exact range spans at most 1/32 of its floor:
+  // that is the structural error bound the quantile test leans on.
+  for (const std::uint64_t v :
+       {32ull, 33ull, 100ull, 1023ull, 1024ull, 123'456'789ull,
+        (1ull << 40) + 12345ull}) {
+    const std::size_t index = telemetry::HdrHistogram::index_of(v);
+    const std::uint64_t floor = telemetry::HdrHistogram::bucket_floor(index);
+    const std::uint64_t width = telemetry::HdrHistogram::bucket_width(index);
+    EXPECT_LE(floor, v);
+    EXPECT_LT(v, floor + width) << v;
+    EXPECT_LE(width, std::max<std::uint64_t>(1, floor / 16)) << v;
+  }
+}
+
+TEST(HdrHistogram, QuantilesTrackExactAndBeatLog2) {
+  // One stream, three consumers: an exact sorted reference, the new HDR
+  // histogram, and the coarse Log2Histogram.  HDR must land within one
+  // sub-bucket of the exact value; Log2 only within its octave.
+  Xoshiro256 rng{0xD15C0};
+  telemetry::HdrHistogram hdr;
+  Log2Histogram log2;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20'000; ++i) {
+    // Span several octaves, as real latencies do.
+    const std::uint64_t v = 1000 + rng.next_below(1u << 20);
+    values.push_back(v);
+    hdr.record(static_cast<std::int64_t>(v));
+    log2.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = static_cast<double>(
+        values[static_cast<std::size_t>(
+            q * static_cast<double>(values.size() - 1))]);
+    const double hdr_q = hdr.quantile(q);
+    // Within one sub-bucket (~1/16 of the value) plus interpolation slop.
+    EXPECT_NEAR(hdr_q, exact, exact / 8.0 + 2.0) << "q=" << q;
+    const double log2_q = log2.quantile(q);
+    EXPECT_GE(log2_q, exact / 2.0) << "q=" << q;
+    EXPECT_LE(log2_q, exact * 2.0 + 2.0) << "q=" << q;
+  }
+}
+
+TEST(HdrHistogram, MergeMatchesSinglePassAndResetClears) {
+  Xoshiro256 rng{0xACC};
+  telemetry::HdrHistogram whole;
+  telemetry::HdrHistogram first;
+  telemetry::HdrHistogram second;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::int64_t v = static_cast<std::int64_t>(rng.next_below(1u << 24));
+    whole.record(v);
+    (i % 2 == 0 ? first : second).record(v);
+  }
+  first.merge(second);
+  EXPECT_EQ(first.count(), whole.count());
+  EXPECT_EQ(first.max_value(), whole.max_value());
+  for (const double q : {0.01, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(first.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+  first.reset();
+  EXPECT_EQ(first.count(), 0u);
+  EXPECT_EQ(first.max_value(), 0u);
+  EXPECT_EQ(first.quantile(0.5), 0.0);
+}
+
+// --- flight recorder ---
+
+telemetry::ChunkJourney make_journey(std::int64_t arrival,
+                                     std::int64_t e2e,
+                                     std::uint32_t chunk) {
+  telemetry::ChunkJourney j;
+  j.ring = 1;
+  j.chunk = chunk;
+  j.pkt_count = 8;
+  j.arrival_ns = arrival;
+  j.captured_ns = arrival + e2e / 4;
+  j.enqueued_ns = arrival + e2e / 4;
+  j.dequeued_ns = arrival + e2e / 2;
+  j.released_ns = arrival + e2e;
+  return j;
+}
+
+TEST(FlightRecorder, RetainsOutliersAboveThreshold) {
+  telemetry::FlightRecorder recorder{4};
+  recorder.set_threshold(Nanos::from_micros(10));
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    recorder.push(make_journey(1000 * i, 1000, i));  // 1 us: under
+  }
+  EXPECT_EQ(recorder.outliers_seen(), 0u);
+  // The ring only keeps the last 4.
+  const auto recent = recorder.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front().chunk, 4u);
+  EXPECT_EQ(recent.back().chunk, 7u);
+
+  recorder.push(make_journey(9000, 50'000, 99));  // 50 us: outlier
+  EXPECT_EQ(recorder.outliers_seen(), 1u);
+  ASSERT_EQ(recorder.outliers().size(), 1u);
+  EXPECT_EQ(recorder.outliers()[0].chunk, 99u);
+  const std::string dump = recorder.dump();
+  EXPECT_NE(dump.find("chunk=99"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("queue_wait"), std::string::npos) << dump;
+  recorder.clear();
+  EXPECT_TRUE(recorder.recent().empty());
+  EXPECT_TRUE(recorder.outliers().empty());
+}
+
+TEST(LatencyTracker, DiscardsIncompleteJourneys) {
+  telemetry::LatencyTracker tracker;
+  tracker.set_enabled(true);
+  telemetry::ChunkJourney partial;
+  partial.arrival_ns = 100;
+  partial.captured_ns = 200;  // never enqueued/dequeued/released
+  tracker.record_journey(partial);
+  EXPECT_EQ(tracker.journeys_recorded(), 0u);
+  EXPECT_EQ(tracker.journeys_incomplete(), 1u);
+  tracker.record_journey(make_journey(100, 4000, 7));
+  EXPECT_EQ(tracker.journeys_recorded(), 1u);
+  using Stage = telemetry::LatencyTracker::Stage;
+  EXPECT_GT(tracker.stage_quantile(1, Stage::kE2e, 0.5), 0.0);
+  // Unknown queues read zero instead of faulting.
+  EXPECT_EQ(tracker.stage_quantile(42, Stage::kE2e, 0.5), 0.0);
+}
+
 // --- exporters ---
 
 TEST(Export, MetricsJsonIsValidAndCsvHasHeader) {
@@ -257,6 +408,63 @@ TEST(Export, TraceJsonIsValidChromeTrace) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(Export, HostileMetricNamesStayValidJson) {
+  telemetry::Telemetry tel;
+  tel.registry.counter("evil\"quote").add(1);
+  tel.registry.counter("back\\slash").add(2);
+  tel.registry.counter(std::string{"ctrl\x01\r\b\f"} + "tail").add(3);
+  const std::string json = telemetry::metrics_to_json(tel.registry);
+  EXPECT_TRUE(JsonChecker{json}.valid()) << json;
+  EXPECT_NE(json.find("evil\\\"quote"), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\b"), std::string::npos);
+  EXPECT_NE(json.find("\\f"), std::string::npos);
+  // No raw control byte may survive into the document.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(Export, HostileMetricNamesCannotSmuggleCsvColumns) {
+  telemetry::Telemetry tel;
+  tel.registry.counter("comma,name").add(1);
+  tel.registry.counter("quote\"name").add(2);
+  tel.registry.counter("plain.name").add(3);
+  const std::string csv = telemetry::metrics_to_csv(tel.registry);
+  // RFC 4180: the hostile fields come out quoted, inner quotes doubled.
+  EXPECT_NE(csv.find("\"comma,name\",counter"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"quote\"\"name\",counter"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("plain.name,counter"), std::string::npos) << csv;
+  // Every row still has exactly 10 columns: count separators outside
+  // quoted fields.
+  std::size_t line_start = 0;
+  std::size_t rows = 0;
+  bool in_quotes = false;
+  std::size_t commas = 0;
+  for (std::size_t i = 0; i < csv.size(); ++i) {
+    if (csv[i] == '"') {
+      in_quotes = !in_quotes;
+    } else if (csv[i] == ',' && !in_quotes) {
+      ++commas;
+    } else if (csv[i] == '\n' && !in_quotes) {
+      EXPECT_EQ(commas, 9u) << csv.substr(line_start, i - line_start);
+      commas = 0;
+      line_start = i + 1;
+      ++rows;
+    }
+  }
+  EXPECT_EQ(rows, 4u);  // header + three metrics
+}
+
+TEST(Export, HostileTraceNamesStayValidJson) {
+  EventTracer tracer{8};
+  tracer.set_enabled(true);
+  tracer.instant("bad\"name\n", "cat\\egory", Nanos{100}, 0, "arg\"0", 7);
+  const std::string json = telemetry::trace_to_chrome_json(tracer);
+  EXPECT_TRUE(JsonChecker{json}.valid()) << json;
+  EXPECT_NE(json.find("bad\\\"name\\n"), std::string::npos);
 }
 
 // --- sampler ---
@@ -350,6 +558,108 @@ TEST(Harness, SnapshotsAreByteIdenticalAcrossIdenticalRuns) {
   const SmallRun b = small_wirecap_run();
   EXPECT_EQ(a.metrics_json, b.metrics_json);
   EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+TEST(Harness, LatencyGaugesPublishJourneyPercentiles) {
+  apps::ExperimentConfig config;
+  config.engine.kind = apps::EngineKind::kWirecapAdvanced;
+  config.engine.cells_per_chunk = 64;
+  config.engine.chunk_count = 40;
+  config.num_queues = 2;
+  config.telemetry.trace = true;
+  // Room for the full run: the 32 extra latency gauges produce sampler
+  // counter events that would wrap a 2^14 ring during the drain tail.
+  config.telemetry.trace_capacity = 1u << 16;
+  config.telemetry.sample_interval = Nanos::from_millis(1);
+  config.telemetry.latency = true;
+  apps::Experiment experiment{config};
+
+  trace::ConstantRateConfig trace_config;
+  trace_config.packet_count = 50'000;
+  Xoshiro256 rng{0xFEED};
+  trace_config.flows = {trace::flow_for_queue(rng, 0, 2),
+                        trace::flow_for_queue(rng, 1, 2)};
+  trace::ConstantRateSource source{trace_config};
+  const Nanos horizon = Nanos::from_seconds(
+      50'000.0 / source.rate().per_second() + 0.5);
+  const apps::ExperimentResult result = experiment.run(source, horizon);
+  EXPECT_GT(result.delivered, 0u);
+
+  const auto& latency = experiment.telemetry().latency;
+  EXPECT_GT(latency.journeys_recorded(), 0u);
+  using Stage = telemetry::LatencyTracker::Stage;
+  for (const Stage stage :
+       {Stage::kE2e, Stage::kCapture, Stage::kQueueWait, Stage::kDeliver}) {
+    EXPECT_LE(latency.stage_quantile(0, stage, 0.5),
+              latency.stage_quantile(0, stage, 0.999));
+  }
+  EXPECT_GT(latency.stage_quantile(0, Stage::kE2e, 0.5), 0.0);
+
+  // Every stage x quantile gauge is published, per queue, and the
+  // sampled snapshot carries real values.
+  const std::string metrics =
+      telemetry::metrics_to_json(experiment.telemetry().registry);
+  for (const char* queue : {"q0", "q1"}) {
+    for (const char* stage : {"e2e", "capture", "queue_wait", "deliver"}) {
+      for (const char* quantile : {"p50", "p90", "p99", "p999"}) {
+        const std::string name = std::string{"engine.wirecap_a."} + queue +
+                                 ".latency." + stage + "." + quantile;
+        EXPECT_NE(metrics.find("\"" + name + "\""), std::string::npos)
+            << "missing gauge: " << name;
+      }
+    }
+  }
+  const auto& entries = experiment.telemetry().registry.entries();
+  EXPECT_GT(MetricRegistry::gauge_value(
+                entries.at("engine.wirecap_a.q0.latency.e2e.p50")),
+            0.0);
+
+  // Completed journeys land in the trace as Chrome-trace complete spans.
+  const std::string trace =
+      telemetry::trace_to_chrome_json(experiment.telemetry().tracer);
+  EXPECT_NE(trace.find("chunk.journey"), std::string::npos);
+}
+
+TEST(Harness, LatencyGaugesAbsentWhenDisabled) {
+  const SmallRun run = small_wirecap_run();
+  EXPECT_EQ(run.metrics_json.find(".latency."), std::string::npos);
+}
+
+// --- queue close/reopen: gauges must tombstone, not go stale ---
+
+TEST(EngineTelemetry, ClosedQueueGaugesReadZeroUntilReopen) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = 1;
+  nic_config.rx_ring_size = 32;  // R must exceed ring_size / M
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 8;
+  engine_config.chunk_count = 12;
+  const sim::CostModel costs;
+  core::WirecapEngine engine{scheduler, nic, engine_config, costs};
+  telemetry::Telemetry tel;
+  engine.bind_telemetry(tel, "eng", 1);
+  sim::SimCore core{scheduler, 0};
+  engine.open(0, core);
+
+  const auto gauge = [&tel](const char* name) {
+    return MetricRegistry::gauge_value(tel.registry.entries().at(name));
+  };
+  EXPECT_GT(gauge("eng.q0.pool.free_chunks"), 0.0);
+
+  // A closed queue's driver object stays alive (held for the epoch
+  // check); its gauges must read 0 instead of the dead pool's state.
+  engine.close(0);
+  EXPECT_EQ(gauge("eng.q0.pool.free_chunks"), 0.0);
+  EXPECT_EQ(gauge("eng.q0.capture_queue.depth"), 0.0);
+  EXPECT_EQ(gauge("eng.q0.pending.depth"), 0.0);
+  EXPECT_EQ(gauge("eng.q0.capture_core.utilization"), 0.0);
+
+  // Reopen rebinds against the fresh driver: liveness returns.
+  engine.open(0, core);
+  EXPECT_GT(gauge("eng.q0.pool.free_chunks"), 0.0);
 }
 
 // --- golden file: a small fig03-style run through the file writers ---
