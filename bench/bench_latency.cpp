@@ -1,18 +1,25 @@
 // Latency-vs-throughput sweep over the chunk-journey pipeline: offered
-// load stepped as a fraction of the 64-byte wire rate, in two receive
+// load stepped as a fraction of the 64-byte wire rate, in three receive
 // modes —
 //
-//   blocking: the standard harness fabric (pkt_handler woken as batches
-//             arrive), i.e. what every drop-rate figure runs;
-//   polling:  an application draining try_next_batch() on a fixed
-//             20 us timer regardless of arrivals, trading CPU for the
-//             poll-period latency floor.
+//   blocking:    the harness fabric on the mutex+condvar capture-queue
+//                pair (HandoffMode::kMutex): every chunk handoff pays
+//                the lock plus a condvar wakeup before the pkt_handler
+//                runs;
+//   nonblocking: the same fabric on the lock-free SPSC-ring/steal-inbox
+//                handoff (HandoffMode::kLockFree, the engine default) —
+//                no lock, no wakeup detour;
+//   polling:     an application draining try_next_batch() on a fixed
+//                20 us timer regardless of arrivals, trading CPU for
+//                the poll-period latency floor.
 //
 // Per point it reports end-to-end and per-stage percentiles from the
 // LatencyTracker (chunk-journey spans, virtual time) next to the drop
 // rate, and writes the whole sweep to BENCH_latency.json (override
-// with --out=FILE).  Accepts the standard --metrics-out/--trace-out
-// flags; the last run wins those files.
+// with --out=FILE).  --mode=NAME restricts the sweep to one mode.
+// Accepts the standard --metrics-out/--trace-out flags; the last run
+// wins those files.  CI gates on nonblocking e2e p99 <= blocking at
+// every load.
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -68,13 +75,17 @@ trace::ConstantRateConfig traffic_at(double load) {
   return config;
 }
 
-/// Blocking mode: the full Experiment harness, pkt_handler driven by
-/// batch delivery.
-SweepPoint run_blocking(double load, const apps::TelemetryFlags* flags) {
+/// Blocking / nonblocking modes: the full Experiment harness
+/// (pkt_handler driven by batch delivery) over the selected capture-
+/// queue handoff — kMutex pays lock + condvar wakeup per chunk,
+/// kLockFree hands off through the SPSC ring.
+SweepPoint run_harness(std::string_view mode, HandoffMode handoff,
+                       double load, const apps::TelemetryFlags* flags) {
   apps::ExperimentConfig config;
   config.engine.kind = apps::EngineKind::kWirecapBasic;
   config.engine.cells_per_chunk = 64;
   config.engine.chunk_count = 64;
+  config.engine.handoff = handoff;
   config.num_queues = 1;
   config.x = 0;
   if (flags) flags->apply(config);
@@ -88,7 +99,7 @@ SweepPoint run_blocking(double load, const apps::TelemetryFlags* flags) {
   if (flags) flags->write(experiment.telemetry());
 
   SweepPoint point;
-  point.mode = "blocking";
+  point.mode = std::string(mode);
   point.load = load;
   point.offered_pps = source.rate().per_second();
   point.delivered = result.delivered;
@@ -180,20 +191,27 @@ void write_json(const std::string& path,
   out << "  ]\n}\n";
 }
 
-int run(const apps::TelemetryFlags& flags, const std::string& out_path) {
+int run(const apps::TelemetryFlags& flags, const std::string& out_path,
+        const std::string& mode_filter) {
   const std::vector<double> loads = {0.2, 0.5, 0.8, 0.95};
   std::vector<SweepPoint> points;
 
   title("latency vs load: chunk-journey percentiles per receive mode");
-  std::printf("  %-9s %5s %11s %9s %9s %9s %9s %9s\n", "mode", "load",
+  std::printf("  %-11s %5s %11s %9s %9s %9s %9s %9s\n", "mode", "load",
               "drop", "e2e p50", "e2e p99", "e2e p999", "qwait p99",
               "deliver99");
-  for (const std::string_view mode : {"blocking", "polling"}) {
+  for (const std::string_view mode : {"blocking", "nonblocking", "polling"}) {
+    if (!mode_filter.empty() && mode != mode_filter) continue;
     for (const double load : loads) {
-      const SweepPoint point = mode == "blocking"
-                                   ? run_blocking(load, &flags)
-                                   : run_polling(load);
-      std::printf("  %-9s %5.2f %11s %7.1fus %7.1fus %7.1fus %7.1fus "
+      SweepPoint point;
+      if (mode == "blocking") {
+        point = run_harness(mode, HandoffMode::kMutex, load, &flags);
+      } else if (mode == "nonblocking") {
+        point = run_harness(mode, HandoffMode::kLockFree, load, &flags);
+      } else {
+        point = run_polling(load);
+      }
+      std::printf("  %-11s %5.2f %11s %7.1fus %7.1fus %7.1fus %7.1fus "
                   "%7.1fus\n",
                   point.mode.c_str(), point.load,
                   percent(point.drop_rate).c_str(), point.e2e_p50 / 1000.0,
@@ -208,7 +226,8 @@ int run(const apps::TelemetryFlags& flags, const std::string& out_path) {
       points.push_back(point);
     }
   }
-  note("blocking rides batch delivery; polling pays the 20us timer floor");
+  note("blocking pays lock + condvar wakeup per chunk; nonblocking rides "
+       "the SPSC ring; polling pays the 20us timer floor");
   write_json(out_path, points);
   std::printf("  -> %s\n", out_path.c_str());
   return 0;
@@ -219,13 +238,26 @@ int run(const apps::TelemetryFlags& flags, const std::string& out_path) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_latency.json";
+  std::string mode_filter;  // empty = all modes
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--out=", 0) == 0) {
       out_path = std::string(arg.substr(6));
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      mode_filter = std::string(arg.substr(7));
+    } else if (arg == "--mode" && i + 1 < argc) {
+      mode_filter = argv[++i];
     }
+  }
+  if (!mode_filter.empty() && mode_filter != "blocking" &&
+      mode_filter != "nonblocking" && mode_filter != "polling") {
+    std::fprintf(stderr,
+                 "bench_latency: unknown --mode '%s' (expected blocking, "
+                 "nonblocking or polling)\n",
+                 mode_filter.c_str());
+    return 2;
   }
   const wirecap::apps::TelemetryFlags flags =
       wirecap::apps::parse_telemetry_flags(argc, argv);
-  return wirecap::bench::run(flags, out_path);
+  return wirecap::bench::run(flags, out_path, mode_filter);
 }

@@ -65,6 +65,8 @@ std::unique_ptr<engines::CaptureEngine> make_engine(
       config.offload_policy = "round-robin";
       break;
   }
+  config.handoff =
+      params.handoff == HandoffMode::kLockFree ? "lock-free" : "mutex";
   return engines::make_engine(to_string(params.kind), nic, config);
 }
 

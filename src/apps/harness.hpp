@@ -44,6 +44,9 @@ struct EngineParams {
   std::uint32_t chunk_count = 100;
   double offload_threshold = 0.6;
   core::OffloadPolicy offload_policy = core::OffloadPolicy::kLeastBusy;
+  /// Capture-queue handoff (WireCAP modes): lock-free SPSC/steal fast
+  /// path or the mutex+condvar blocking baseline.
+  HandoffMode handoff = HandoffMode::kLockFree;
 
   [[nodiscard]] std::string label() const;
 

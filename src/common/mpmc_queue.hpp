@@ -19,6 +19,9 @@
 #include <optional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
+
+#include "common/handoff.hpp"
 
 namespace wirecap {
 
@@ -41,15 +44,29 @@ class MpmcQueue {
     return items_.size();
   }
 
-  /// Non-blocking push; returns false when full or closed.
+  /// Non-blocking push; returns false when full or closed.  Callers
+  /// that must tell those apart — or need the depth the push produced —
+  /// use push_result().
   bool try_push(T value) {
+    return push_result(std::move(value)).ok();
+  }
+
+  /// Non-blocking push distinguishing "full" (backpressure, retry) from
+  /// "closed" (permanent, fall home).  `depth` is the queue size right
+  /// after the push, read under the same lock — the exact value
+  /// high-water accounting needs, immune to a racing consumer popping
+  /// before a separate size() call.
+  PushOutcome push_result(T value) {
+    PushOutcome outcome;
     {
       std::lock_guard lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return {PushResult::kClosed, items_.size()};
+      if (items_.size() >= capacity_) return {PushResult::kFull, items_.size()};
       items_.push_back(std::move(value));
+      outcome = {PushResult::kOk, items_.size()};
     }
     not_empty_.notify_one();
-    return true;
+    return outcome;
   }
 
   /// Non-blocking pop; returns nullopt when empty.
@@ -63,6 +80,23 @@ class MpmcQueue {
     }
     not_full_.notify_one();
     return value;
+  }
+
+  /// Non-blocking batched pop: moves up to `max` items into `out` under
+  /// a single lock acquisition with one notify, instead of max lock
+  /// round-trips.  Returns the number of items moved.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    {
+      std::lock_guard lock(mutex_);
+      while (n < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++n;
+      }
+    }
+    if (n > 0) not_full_.notify_all();
+    return n;
   }
 
   /// Blocking pop; returns nullopt only once the queue is closed *and*

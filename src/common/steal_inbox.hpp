@@ -1,0 +1,108 @@
+// Per-queue steal inbox for non-blocking buddy offload.  Buddies that
+// want to hand a chunk to this queue deposit it here with a CAS claim
+// instead of taking the owner's capture-queue lock; the owner's app
+// thread claims ready slots alongside its SPSC ring drain.
+//
+// The slot protocol is a three-state machine:
+//   kEmpty --CAS(producer)--> kClaimed --store-release--> kReady
+//   kReady --load-acquire(consumer)--> take value --> kEmpty
+// Producers race only on the empty→claimed CAS; a producer that loses
+// it simply tries the next slot, and a deposit that finds no empty slot
+// reports why (another producer raced it vs. genuinely full) so the
+// dispatcher can fall home and count the right telemetry.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wirecap {
+
+template <typename T, std::size_t N = 8>
+class StealInbox {
+  static_assert(N >= 1, "StealInbox needs at least one slot");
+
+ public:
+  enum class Deposit : std::uint8_t {
+    kOk,         ///< deposited; owner will claim it
+    kContended,  ///< lost a CAS race — loser falls home
+    kFull,       ///< every slot occupied (owner not draining fast enough)
+  };
+
+  StealInbox() = default;
+  StealInbox(const StealInbox&) = delete;
+  StealInbox& operator=(const StealInbox&) = delete;
+
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+
+  /// Producer side (any buddy's capture thread).
+  Deposit try_deposit(T value) {
+    bool lost_race = false;
+    for (auto& slot : slots_) {
+      std::uint8_t expected = kEmpty;
+      if (slot.state.compare_exchange_strong(expected, kClaimed,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+        slot.value = std::move(value);
+        slot.state.store(kReady, std::memory_order_release);
+        return Deposit::kOk;
+      }
+      // expected now holds the observed state.  kClaimed means another
+      // producer is mid-deposit right now — that is contention, not
+      // capacity; kReady just means the slot is occupied.
+      if (expected == kClaimed) lost_race = true;
+    }
+    return lost_race ? Deposit::kContended : Deposit::kFull;
+  }
+
+  /// Consumer side (the owning queue's app/drain path).  Claims one
+  /// ready slot; returns false when none is ready.
+  bool try_claim(T& out) {
+    for (auto& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) == kReady) {
+        out = std::move(slot.value);
+        slot.state.store(kEmpty, std::memory_order_release);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Ready-slot count; approximate under concurrency, exact quiesced.
+  [[nodiscard]] std::size_t size_approx() const {
+    std::size_t n = 0;
+    for (const auto& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) == kReady) ++n;
+    }
+    return n;
+  }
+
+  /// Copies the ready slots without claiming them.  Census use only —
+  /// callers must be quiesced with respect to producers.
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    for (const auto& slot : slots_) {
+      if (slot.state.load(std::memory_order_acquire) == kReady) {
+        out.push_back(slot.value);
+      }
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kClaimed = 1;
+  static constexpr std::uint8_t kReady = 2;
+
+  // One slot per cache line: producers CAS distinct slots without
+  // false sharing each other or the consumer's scans.
+  struct alignas(64) Slot {
+    std::atomic<std::uint8_t> state{kEmpty};
+    T value{};
+  };
+  Slot slots_[N];
+};
+
+}  // namespace wirecap

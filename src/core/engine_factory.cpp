@@ -23,6 +23,13 @@ core::OffloadPolicy parse_policy(const std::string& policy) {
                               policy + "\"");
 }
 
+HandoffMode parse_handoff(const std::string& handoff) {
+  if (handoff == "lock-free") return HandoffMode::kLockFree;
+  if (handoff == "mutex") return HandoffMode::kMutex;
+  throw std::invalid_argument("make_engine: unknown handoff mode \"" +
+                              handoff + "\"");
+}
+
 std::unique_ptr<CaptureEngine> make_wirecap(nic::MultiQueueNic& nic,
                                             const EngineConfig& config,
                                             bool advanced) {
@@ -30,6 +37,7 @@ std::unique_ptr<CaptureEngine> make_wirecap(nic::MultiQueueNic& nic,
   wirecap_config.cells_per_chunk = config.cells_per_chunk;
   wirecap_config.chunk_count = config.chunk_count;
   wirecap_config.offload_policy = parse_policy(config.offload_policy);
+  wirecap_config.handoff = parse_handoff(config.handoff);
   if (advanced) {
     wirecap_config.offload_threshold = config.offload_threshold;
   }

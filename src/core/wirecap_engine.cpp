@@ -40,24 +40,53 @@ void WirecapEngine::open(std::uint32_t queue, sim::SimCore& /*app_core*/) {
   // chunks).  Send it home before the queue objects are replaced, or
   // the chunks would be destroyed while their pools still count them
   // as captured.
-  const auto drain_home = [this](MpmcQueue<driver::ChunkMeta>* stale) {
-    if (!stale) return;
-    while (auto meta = stale->try_pop()) {
-      if (queues_[meta->ring_id].open) {
-        static_cast<void>(queues_[meta->ring_id].driver->recycle(*meta));
-      }
+  const auto recycle_stale = [this](const driver::ChunkMeta& meta) {
+    if (queues_[meta.ring_id].open) {
+      static_cast<void>(queues_[meta.ring_id].driver->recycle(meta));
     }
   };
-  drain_home(qs.capture_queue.get());
-  drain_home(qs.recycle_queue.get());
+  if (qs.capture_queue) {
+    while (auto meta = qs.capture_queue->try_pop()) recycle_stale(*meta);
+  }
+  if (qs.capture_ring) {
+    driver::ChunkMeta meta;
+    while (qs.capture_ring->try_pop(meta)) recycle_stale(meta);
+  }
+  if (qs.steal_inbox) {
+    driver::ChunkMeta meta;
+    while (qs.steal_inbox->try_claim(meta)) recycle_stale(meta);
+  }
+  if (qs.recycle_queue) {
+    while (auto meta = qs.recycle_queue->try_pop()) recycle_stale(*meta);
+  }
 
-  // Capture queues may receive chunks from every buddy, so size them for
-  // the whole NIC's chunk population.
-  const std::size_t capacity = static_cast<std::size_t>(config_.chunk_count) *
-                               nic_.config().num_rx_queues;
-  qs.capture_queue = std::make_unique<MpmcQueue<driver::ChunkMeta>>(capacity);
+  if (config_.handoff == HandoffMode::kLockFree) {
+    // The SPSC ring carries only this queue's own chunks (buddies
+    // deposit into the inbox instead), so R slots always suffice.
+    qs.capture_ring =
+        std::make_unique<SpscRing<driver::ChunkMeta>>(config_.chunk_count);
+    qs.steal_inbox = std::make_unique<StealInbox<driver::ChunkMeta>>();
+    qs.capture_queue.reset();
+  } else {
+    // MPMC capture queues may receive chunks from every buddy, so size
+    // them for the whole NIC's chunk population.
+    const std::size_t capacity =
+        static_cast<std::size_t>(config_.chunk_count) *
+        nic_.config().num_rx_queues;
+    qs.capture_queue =
+        std::make_unique<MpmcQueue<driver::ChunkMeta>>(capacity);
+    qs.capture_ring.reset();
+    qs.steal_inbox.reset();
+  }
   qs.recycle_queue = std::make_unique<MpmcQueue<driver::ChunkMeta>>(
       config_.chunk_count);
+
+  // Per-queue offload-policy state: distinct xorshift streams per queue
+  // (SplitMix64-style spread of the queue id over the golden-ratio
+  // seed; never zero, which xorshift would fix forever).
+  qs.offload_rr = 0;
+  qs.offload_rng = 0x9E3779B97F4A7C15ULL ^
+                   (0xBF58476D1CE4E5B9ULL * (static_cast<std::uint64_t>(queue) + 1));
 
   if (pool_observer_) qs.driver->pool().set_observer(pool_observer_);
   // Fresh journey scratchpad for the fresh pool (stale stamps from a
@@ -86,27 +115,60 @@ void WirecapEngine::close(std::uint32_t queue) {
       throw std::logic_error("WirecapEngine: close-drain recycle failed");
     }
   };
-  while (auto meta = qs.capture_queue->try_pop()) recycle_to_owner(*meta);
+  if (qs.capture_queue) {
+    while (auto meta = qs.capture_queue->try_pop()) recycle_to_owner(*meta);
+  }
+  if (qs.capture_ring) {
+    driver::ChunkMeta meta;
+    while (qs.capture_ring->try_pop(meta)) recycle_to_owner(meta);
+  }
+  if (qs.steal_inbox) {
+    // Buddies' deposits we never claimed go home to their pools.
+    driver::ChunkMeta meta;
+    while (qs.steal_inbox->try_claim(meta)) recycle_to_owner(meta);
+  }
   for (const driver::ChunkMeta& meta : qs.pending) recycle_to_owner(meta);
   qs.pending.clear();
   drop_current(qs);
 
   // Chunks this ring offloaded to buddies that are still queued (or
   // being read) over there reference the pool being torn down: pull
-  // them back and recycle them before it disappears.
+  // them back and recycle them before it disappears.  In lock-free mode
+  // offloads only ever sit in buddies' steal inboxes (their SPSC rings
+  // carry nothing but their own chunks); in mutex mode they sit in
+  // buddies' MPMC capture queues.
   for (QueueState& other : queues_) {
-    if (&other == &qs || !other.capture_queue) continue;
-    std::deque<driver::ChunkMeta> kept;
-    while (auto meta = other.capture_queue->try_pop()) {
-      if (meta->ring_id == queue) {
-        recycle_to_owner(*meta);
-      } else {
-        kept.push_back(*meta);
+    if (&other == &qs) continue;
+    if (other.steal_inbox) {
+      std::vector<driver::ChunkMeta> kept;
+      driver::ChunkMeta meta;
+      while (other.steal_inbox->try_claim(meta)) {
+        if (meta.ring_id == queue) {
+          recycle_to_owner(meta);
+        } else {
+          kept.push_back(meta);
+        }
+      }
+      using Inbox = StealInbox<driver::ChunkMeta>;
+      for (const driver::ChunkMeta& keep : kept) {
+        if (other.steal_inbox->try_deposit(keep) != Inbox::Deposit::kOk) {
+          throw std::logic_error("WirecapEngine: close sweep lost a chunk");
+        }
       }
     }
-    for (const driver::ChunkMeta& meta : kept) {
-      if (!other.capture_queue->try_push(meta)) {
-        throw std::logic_error("WirecapEngine: close sweep lost a chunk");
+    if (other.capture_queue) {
+      std::deque<driver::ChunkMeta> kept;
+      while (auto meta = other.capture_queue->try_pop()) {
+        if (meta->ring_id == queue) {
+          recycle_to_owner(*meta);
+        } else {
+          kept.push_back(*meta);
+        }
+      }
+      for (const driver::ChunkMeta& meta : kept) {
+        if (!other.capture_queue->try_push(meta)) {
+          throw std::logic_error("WirecapEngine: close sweep lost a chunk");
+        }
       }
     }
     if (other.current && other.current->meta.ring_id == queue) {
@@ -155,13 +217,20 @@ void WirecapEngine::poll(std::uint32_t queue) {
   ++qs.extra.polls;
   Nanos cost = Nanos::zero();
 
-  // 3. Recycle used chunks returned by application threads.
-  while (auto meta = qs.recycle_queue->try_pop()) {
-    const Status status = qs.driver->recycle(*meta);
-    if (!status.is_ok()) {
+  // 3. Recycle used chunks returned by application threads — batched:
+  // one free-list lock round-trip to drain, one recycle_batch ioctl
+  // validating every chunk with a single ring replenish at the end.
+  recycle_scratch_.clear();
+  while (qs.recycle_queue->try_pop_batch(recycle_scratch_,
+                                         config_.chunk_count) > 0) {
+  }
+  if (!recycle_scratch_.empty()) {
+    const std::size_t accepted = qs.driver->recycle_batch(recycle_scratch_);
+    if (accepted != recycle_scratch_.size()) {
       throw std::logic_error("WirecapEngine: recycle of own chunk failed");
     }
-    cost += costs_.recycle_chunk_cost;
+    cost += Nanos{static_cast<std::int64_t>(accepted) *
+                  costs_.recycle_chunk_cost.count()};
   }
 
   // 1. Capture filled chunks from the ring (zero-copy; the timeout path
@@ -199,7 +268,7 @@ void WirecapEngine::poll(std::uint32_t queue) {
   while (!to_place.empty()) {
     const driver::ChunkMeta meta = to_place.front();
     to_place.pop_front();
-    dispatch(queue, meta);
+    cost += dispatch(queue, meta);
   }
 
   const bool had_work = copied > 0 || !captured.empty();
@@ -219,9 +288,12 @@ void WirecapEngine::poll(std::uint32_t queue) {
   });
 }
 
-void WirecapEngine::dispatch(std::uint32_t queue,
-                             const driver::ChunkMeta& meta) {
+Nanos WirecapEngine::dispatch(std::uint32_t queue,
+                              const driver::ChunkMeta& meta) {
   QueueState& qs = queues_[queue];
+  const bool lockfree = config_.handoff == HandoffMode::kLockFree;
+  const Nanos handoff_cost =
+      lockfree ? costs_.lockfree_handoff_cost : costs_.mutex_handoff_cost;
   std::uint32_t target = queue;
 
   // A queue's load toward the threshold T is its capture-queue depth
@@ -231,13 +303,20 @@ void WirecapEngine::dispatch(std::uint32_t queue,
   // offload target) exactly like a slow application would.
   const auto effective_load = [this](std::uint32_t q) -> std::size_t {
     const QueueState& s = queues_[q];
-    std::size_t load = s.capture_queue->size();
+    std::size_t load = capture_depth(s);
     if (s.spool_backlog) load += s.spool_backlog();
     return load;
   };
 
   if (config_.offload_threshold && !qs.buddies.empty()) {
-    const double fill = static_cast<double>(effective_load(queue)) /
+    // One observation of the home load drives both the threshold test
+    // and the keep-home compare below.  The load is volatile (spool
+    // probes, concurrent consumers): re-reading it for the compare
+    // could judge against a different value than the one that tripped
+    // T, offloading when home already drained — or never offloading at
+    // all when the probe oscillates.
+    const std::size_t home_load = effective_load(queue);
+    const double fill = static_cast<double>(home_load) /
                         static_cast<double>(config_.chunk_count);
     if (fill > *config_.offload_threshold) {
       // Long-term load imbalance indicator tripped: pick a buddy per the
@@ -254,43 +333,94 @@ void WirecapEngine::dispatch(std::uint32_t queue,
             }
           }
           // Only offload to somewhere actually less busy.
-          if (best_len >= effective_load(queue)) target = queue;
+          if (best_len >= home_load) target = queue;
           break;
         }
         case OffloadPolicy::kRandomBuddy: {
-          // xorshift: deterministic, independent of workload randomness.
-          offload_rng_ ^= offload_rng_ << 13;
-          offload_rng_ ^= offload_rng_ >> 7;
-          offload_rng_ ^= offload_rng_ << 17;
-          target = qs.buddies[offload_rng_ % qs.buddies.size()];
+          // Per-queue xorshift: deterministic, independent of workload
+          // randomness and of every other queue's draws.
+          qs.offload_rng ^= qs.offload_rng << 13;
+          qs.offload_rng ^= qs.offload_rng >> 7;
+          qs.offload_rng ^= qs.offload_rng << 17;
+          target = qs.buddies[qs.offload_rng % qs.buddies.size()];
           break;
         }
         case OffloadPolicy::kRoundRobin:
-          target = qs.buddies[offload_rr_++ % qs.buddies.size()];
+          target = qs.buddies[qs.offload_rr++ % qs.buddies.size()];
           break;
       }
       // A buddy that closed after the group was bound still sits in the
       // buddy list; its capture queue would be destroyed on reopen with
       // our chunk inside, leaking it from the engine's accounting.
-      if (!queues_[target].open) target = queue;
+      if (!queues_[target].open) {
+        if (target != queue) ++qs.extra.handoff_fallbacks;
+        target = queue;
+      }
     }
   }
 
-  if (!queues_[target].capture_queue->try_push(meta)) {
-    if (target == queue || !qs.capture_queue->try_push(meta)) {
+  // Remote placement never blocks and never parks: a steal deposit
+  // (lock-free) or a closed/full-aware push (mutex) either lands the
+  // chunk or the loser falls home in one step.  Only the home queue may
+  // park a chunk in `pending` — backpressure there is real (the one
+  // bound consumer is behind), whereas a closed or contended buddy is
+  // not a reason to hold the chunk hostage.
+  std::size_t depth_at_push = 0;
+  bool depth_known = false;
+  if (target != queue) {
+    bool placed = false;
+    QueueState& ts = queues_[target];
+    if (lockfree) {
+      using Inbox = StealInbox<driver::ChunkMeta>;
+      switch (ts.steal_inbox->try_deposit(meta)) {
+        case Inbox::Deposit::kOk:
+          placed = true;
+          ++ts.extra.handoff_steals;
+          break;
+        case Inbox::Deposit::kContended:
+          // Lost the CAS race against another depositor mid-slot: the
+          // loser falls home rather than spinning on the buddy.
+          ++qs.extra.handoff_contended;
+          break;
+        case Inbox::Deposit::kFull:
+          break;
+      }
+    } else {
+      const PushOutcome outcome = ts.capture_queue->push_result(meta);
+      placed = outcome.ok();
+      if (placed) {
+        depth_at_push = outcome.depth;
+        depth_known = true;
+      }
+      // kFull and kClosed both fall home immediately; kClosed in
+      // particular must not reach `pending`, where it would inflate
+      // pending_high_water waiting for backpressure that never clears.
+    }
+    if (!placed) {
+      ++qs.extra.handoff_fallbacks;
+      target = queue;
+    }
+  }
+
+  if (target == queue) {
+    const PushOutcome outcome = lockfree
+                                    ? qs.capture_ring->try_push(meta)
+                                    : qs.capture_queue->push_result(meta);
+    if (!outcome.ok()) {
       // Nowhere to put it: hold the chunk; backpressure will show up as
       // pool exhaustion and, eventually, capture drops at the NIC.
       qs.pending.push_back(meta);
       qs.extra.pending_high_water =
           std::max(qs.extra.pending_high_water,
                    static_cast<std::uint64_t>(qs.pending.size()));
-      return;
+      return handoff_cost;
     }
-    target = queue;
+    depth_at_push = outcome.depth;
+    depth_known = true;
   }
 
   if (latency_ && latency_->enabled()) [[unlikely]] {
-    journey_enqueue(meta);
+    journey_enqueue(meta, target != queue);
   }
   WIRECAP_TRACE(tracer_,
                 instant("chunk.enqueue", "engine", scheduler_.now(), target,
@@ -305,10 +435,71 @@ void WirecapEngine::dispatch(std::uint32_t queue,
                           "to_queue", target, "chunk", meta.chunk_id));
   }
   QueueState& ts = queues_[target];
-  ts.extra.capture_queue_high_water = std::max(
-      ts.extra.capture_queue_high_water,
-      static_cast<std::uint64_t>(ts.capture_queue->size()));
-  if (ts.data_callback) ts.data_callback();
+  // High-water from the depth the push itself observed — a second
+  // size() read here can race a concurrent consumer and miss the peak
+  // this push created.  (Steal deposits have no ordered depth; the
+  // owner's drain and the sampler cover the inbox's ≤8 slots.)
+  if (depth_known) {
+    ts.extra.capture_queue_high_water =
+        std::max(ts.extra.capture_queue_high_water,
+                 static_cast<std::uint64_t>(depth_at_push));
+  }
+  if (ts.data_callback) {
+    if (lockfree) {
+      // Non-blocking mode: the consumer is poll-driven; kicking it is a
+      // plain call in virtual time.
+      ts.data_callback();
+    } else {
+      // Blocking mode: the consumer sleeps on the condvar, so delivery
+      // pays the futex wake + scheduler dispatch before it runs.
+      scheduler_.schedule_after(costs_.condvar_wakeup_delay, [this, target] {
+        QueueState& sleeper = queues_[target];
+        if (sleeper.open && sleeper.data_callback) sleeper.data_callback();
+      });
+    }
+  }
+  return handoff_cost;
+}
+
+std::optional<driver::ChunkMeta> WirecapEngine::pop_capture(QueueState& qs) {
+  if (qs.capture_ring) {
+    // Own traffic first (the SPSC fast path), then offloads buddies
+    // deposited: claiming a ready slot is the consumer half of the
+    // work-stealing handoff.
+    driver::ChunkMeta meta;
+    if (qs.capture_ring->try_pop(meta)) return meta;
+    if (qs.steal_inbox && qs.steal_inbox->try_claim(meta)) return meta;
+    return std::nullopt;
+  }
+  return qs.capture_queue ? qs.capture_queue->try_pop() : std::nullopt;
+}
+
+std::size_t WirecapEngine::capture_depth(const QueueState& qs) const {
+  if (qs.capture_ring) {
+    return qs.capture_ring->size() +
+           (qs.steal_inbox ? qs.steal_inbox->size_approx() : 0);
+  }
+  return qs.capture_queue ? qs.capture_queue->size() : 0;
+}
+
+std::vector<driver::ChunkMeta> WirecapEngine::capture_metas(
+    const QueueState& qs) const {
+  std::vector<driver::ChunkMeta> metas;
+  if (qs.capture_ring) {
+    metas = qs.capture_ring->snapshot();
+    if (qs.steal_inbox) {
+      for (const driver::ChunkMeta& meta : qs.steal_inbox->snapshot()) {
+        metas.push_back(meta);
+      }
+    }
+    return metas;
+  }
+  if (qs.capture_queue) {
+    for (const driver::ChunkMeta& meta : qs.capture_queue->snapshot()) {
+      metas.push_back(meta);
+    }
+  }
+  return metas;
 }
 
 std::optional<engines::CaptureView> WirecapEngine::try_next(
@@ -316,7 +507,7 @@ std::optional<engines::CaptureView> WirecapEngine::try_next(
   QueueState& qs = queues_.at(queue);
   if (!qs.open) return std::nullopt;
   while (!qs.current) {
-    auto meta = qs.capture_queue->try_pop();
+    auto meta = pop_capture(qs);
     if (!meta) return std::nullopt;
     if (meta->pkt_count == 0) {
       // Defensive: an empty capture (nothing to deliver) goes straight
@@ -372,7 +563,7 @@ std::optional<engines::ChunkCaptureView> WirecapEngine::try_next_chunk(
     qs.current.reset();
   } else {
     for (;;) {
-      auto popped = qs.capture_queue->try_pop();
+      auto popped = pop_capture(qs);
       if (!popped) return std::nullopt;
       if (popped->pkt_count == 0) {
         static_cast<void>(queues_[popped->ring_id].driver->recycle(*popped));
@@ -420,7 +611,7 @@ std::size_t WirecapEngine::try_next_batch(std::uint32_t queue,
   QueueState& qs = queues_.at(queue);
   if (!qs.open || max_packets == 0) return 0;
   while (!qs.current) {
-    auto meta = qs.capture_queue->try_pop();
+    auto meta = pop_capture(qs);
     if (!meta) return 0;
     if (meta->pkt_count == 0) {
       static_cast<void>(queues_[meta->ring_id].driver->recycle(*meta));
@@ -543,7 +734,8 @@ void WirecapEngine::journey_capture(const driver::ChunkMeta& meta,
   j.captured_ns = scheduler_.now().count();
 }
 
-void WirecapEngine::journey_enqueue(const driver::ChunkMeta& meta) {
+void WirecapEngine::journey_enqueue(const driver::ChunkMeta& meta,
+                                    bool stolen) {
   QueueState& owner = queues_[meta.ring_id];
   if (meta.chunk_id >= owner.journeys.size()) return;
   telemetry::ChunkJourney& j = owner.journeys[meta.chunk_id];
@@ -551,6 +743,7 @@ void WirecapEngine::journey_enqueue(const driver::ChunkMeta& meta) {
   // survivors through raw queue operations, never through here).
   if (j.arrival_ns < 0 || j.enqueued_ns >= 0) return;
   j.enqueued_ns = scheduler_.now().count();
+  j.stolen = stolen;
 }
 
 void WirecapEngine::journey_dequeue(const driver::ChunkMeta& meta,
@@ -667,10 +860,8 @@ void WirecapEngine::bind_queue_telemetry(std::uint32_t queue) {
   // made against the old instances would dangle.  Liveness gauges also
   // test qs.open so a closed queue reads 0 (tombstoned) instead of the
   // last state of its dead driver/queues until a reopen revives them.
-  registry.bind_gauge(qp + "capture_queue.depth", [&qs] {
-    return qs.open && qs.capture_queue
-               ? static_cast<double>(qs.capture_queue->size())
-               : 0.0;
+  registry.bind_gauge(qp + "capture_queue.depth", [this, &qs] {
+    return qs.open ? static_cast<double>(capture_depth(qs)) : 0.0;
   });
   registry.bind_gauge(qp + "pending.depth", [&qs] {
     return qs.open ? static_cast<double>(qs.pending.size()) : 0.0;
@@ -693,6 +884,14 @@ void WirecapEngine::bind_queue_telemetry(std::uint32_t queue) {
     return qs.extra.pending_high_water;
   });
   registry.bind_counter(qp + "polls", [&qs] { return qs.extra.polls; });
+  // Work-stealing handoff outcomes (lock-free mode; fallbacks also
+  // count mutex-mode remote pushes refused as full/closed).
+  registry.bind_counter(qp + "handoff.steals",
+                        [&qs] { return qs.extra.handoff_steals; });
+  registry.bind_counter(qp + "handoff.contended",
+                        [&qs] { return qs.extra.handoff_contended; });
+  registry.bind_counter(qp + "handoff.fallbacks",
+                        [&qs] { return qs.extra.handoff_fallbacks; });
   const auto driver_counter = [&registry, &qs, &qp](
                                   const char* name,
                                   std::uint64_t driver::WirecapDriverStats::*
@@ -762,10 +961,8 @@ WirecapEngine::CapturedCensus WirecapEngine::captured_census(
   CapturedCensus census;
   const QueueState& owner = queues_.at(ring);
   for (const QueueState& qs : queues_) {
-    if (qs.capture_queue) {
-      for (const driver::ChunkMeta& meta : qs.capture_queue->snapshot()) {
-        if (meta.ring_id == ring) ++census.in_capture_queues;
-      }
+    for (const driver::ChunkMeta& meta : capture_metas(qs)) {
+      if (meta.ring_id == ring) ++census.in_capture_queues;
     }
     for (const driver::ChunkMeta& meta : qs.pending) {
       if (meta.ring_id == ring) ++census.in_pending;
@@ -787,7 +984,7 @@ void WirecapEngine::sample_depths(Nanos /*now*/) {
     if (!qs.open) continue;
     qs.extra.capture_queue_high_water =
         std::max(qs.extra.capture_queue_high_water,
-                 static_cast<std::uint64_t>(qs.capture_queue->size()));
+                 static_cast<std::uint64_t>(capture_depth(qs)));
     qs.extra.pending_high_water = std::max(
         qs.extra.pending_high_water,
         static_cast<std::uint64_t>(qs.pending.size()));

@@ -27,7 +27,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/handoff.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/spsc_ring.hpp"
+#include "common/steal_inbox.hpp"
 #include "driver/wirecap_driver.hpp"
 #include "engines/engine.hpp"
 #include "sim/costs.hpp"
@@ -58,6 +61,14 @@ struct WirecapConfig {
   std::size_t max_chunks_per_capture = 16;
   /// Offload target selection (ablation; default is the paper's).
   OffloadPolicy offload_policy = OffloadPolicy::kLeastBusy;
+  /// Capture-queue handoff implementation.  kLockFree (default) pairs a
+  /// per-queue SpscRing (driver dispatch → the one bound app thread)
+  /// with a StealInbox for buddy offloads, so dispatch never takes a
+  /// lock.  kMutex keeps the MpmcQueue work-queue pair — required for
+  /// the §5e shared-queue paradigm (several app threads on one queue)
+  /// and the blocking-capture baseline.  The pool free-list (recycle
+  /// queue) stays an MpmcQueue in both modes: any app thread recycles.
+  HandoffMode handoff = HandoffMode::kLockFree;
 };
 
 struct WirecapQueueExtraStats {
@@ -67,6 +78,15 @@ struct WirecapQueueExtraStats {
   /// sampled periodically by the telemetry sampler.
   std::uint64_t pending_high_water = 0;
   std::uint64_t polls = 0;
+  /// Lock-free offload handoff outcomes (engine.<q>.handoff.*).
+  /// A buddy's deposit into this queue's steal inbox succeeded:
+  std::uint64_t handoff_steals = 0;
+  /// ... or lost a CAS race mid-deposit (counted on the dispatching
+  /// queue; the loser falls home rather than retrying):
+  std::uint64_t handoff_contended = 0;
+  /// ... or could not place remotely at all (inbox full, target queue
+  /// full or closed) and the chunk fell back to the home queue:
+  std::uint64_t handoff_fallbacks = 0;
 };
 
 class WirecapEngine final : public engines::CaptureEngine {
@@ -205,10 +225,21 @@ class WirecapEngine final : public engines::CaptureEngine {
     std::uint64_t epoch = 0;
     std::unique_ptr<driver::WirecapQueueDriver> driver;
     std::unique_ptr<sim::SimCore> capture_core;
+    /// Mutex mode only: the MPMC capture queue (null in lock-free mode).
     std::unique_ptr<MpmcQueue<driver::ChunkMeta>> capture_queue;
+    /// Lock-free mode only: the SPSC fast path (home dispatch → app
+    /// thread) and the inbox buddies deposit offloaded chunks into.
+    std::unique_ptr<SpscRing<driver::ChunkMeta>> capture_ring;
+    std::unique_ptr<StealInbox<driver::ChunkMeta>> steal_inbox;
     std::unique_ptr<MpmcQueue<driver::ChunkMeta>> recycle_queue;
     std::deque<driver::ChunkMeta> pending;  // couldn't be enqueued yet
     std::vector<std::uint32_t> buddies;
+    /// Per-queue offload-policy state.  Engine-global state here skewed
+    /// round-robin toward low indices with heterogeneous buddy lists and
+    /// correlated the xorshift streams across queues; open() seeds the
+    /// RNG from the queue id (never zero — xorshift fixes 0 forever).
+    std::uint32_t offload_rr = 0;
+    std::uint64_t offload_rng = 0x9E3779B97F4A7C15ULL;
     std::optional<CurrentChunk> current;
     std::function<void()> data_callback;
     /// Spool-shard backlog probe (see set_spool_backlog_probe).
@@ -255,8 +286,19 @@ class WirecapEngine final : public engines::CaptureEngine {
 
   void poll(std::uint32_t queue);
   /// Places a captured chunk on a capture queue per the offloading
-  /// policy; on failure parks it in `pending`.
-  void dispatch(std::uint32_t queue, const driver::ChunkMeta& meta);
+  /// policy; on failure parks it in `pending`.  Returns the modeled
+  /// handoff cost the capture thread paid (cheap atomics in lock-free
+  /// mode, lock+notify in mutex mode) for poll() to accumulate.
+  Nanos dispatch(std::uint32_t queue, const driver::ChunkMeta& meta);
+  /// Pops the next chunk bound for `qs`'s application: the SPSC ring
+  /// then the steal inbox in lock-free mode, the MPMC queue otherwise.
+  std::optional<driver::ChunkMeta> pop_capture(QueueState& qs);
+  /// Mode-aware capture-side depth (ring + inbox, or MPMC queue).
+  [[nodiscard]] std::size_t capture_depth(const QueueState& qs) const;
+  /// Mode-aware snapshot of every chunk queued toward `qs`'s
+  /// application (census / quiesced introspection only).
+  [[nodiscard]] std::vector<driver::ChunkMeta> capture_metas(
+      const QueueState& qs) const;
   void deref(std::uint64_t key) { deref_n(key, 1); }
   /// Drops `count` references of the chunk behind `key` in one step —
   /// the done_batch() fast path.
@@ -274,7 +316,7 @@ class WirecapEngine final : public engines::CaptureEngine {
   // on `latency_ && latency_->enabled()` so the disabled hot path pays
   // one predicted branch per site (the EventTracer pattern).
   void journey_capture(const driver::ChunkMeta& meta, bool rescued);
-  void journey_enqueue(const driver::ChunkMeta& meta);
+  void journey_enqueue(const driver::ChunkMeta& meta, bool stolen);
   void journey_dequeue(const driver::ChunkMeta& meta, std::uint32_t queue);
   void journey_release(const driver::ChunkMeta& meta);
 
@@ -284,8 +326,8 @@ class WirecapEngine final : public engines::CaptureEngine {
   sim::CostModel costs_;
   std::vector<QueueState> queues_;
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;
-  std::uint32_t offload_rr_ = 0;        // round-robin ablation state
-  std::uint64_t offload_rng_ = 0x9E3779B97F4A7C15ULL;  // random ablation state
+  /// Scratch for poll()'s batched recycle drain (reused across polls).
+  std::vector<driver::ChunkMeta> recycle_scratch_;
   driver::PoolObserver* pool_observer_ = nullptr;
   // Telemetry context retained so queues opened after bind_telemetry()
   // still publish their per-queue metrics.

@@ -172,6 +172,28 @@ Status WirecapQueueDriver::recycle(const ChunkMeta& meta) {
   return status;
 }
 
+std::size_t WirecapQueueDriver::recycle_batch(
+    const std::vector<ChunkMeta>& metas) {
+  std::size_t accepted = 0;
+  for (const ChunkMeta& meta : metas) {
+    if (pool_.recycle(meta).is_ok()) {
+      ++stats_.chunks_recycled;
+      ++accepted;
+      if (tracer_ && tracer_->enabled() && clock_) {
+        tracer_->instant("chunk.recycle", "driver", clock_(), queue_, "chunk",
+                         meta.chunk_id);
+      }
+    } else {
+      ++stats_.recycle_rejects;
+    }
+  }
+  // One replenish covers the whole batch: every freed chunk is visible
+  // to the attach loop, without the per-chunk ring scans the singular
+  // path pays.
+  if (accepted > 0) replenish();
+  return accepted;
+}
+
 bool WirecapQueueDriver::transmit(std::uint32_t tx_queue,
                                   const ChunkMeta& meta,
                                   std::uint32_t cell_index,

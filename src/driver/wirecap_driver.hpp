@@ -77,6 +77,12 @@ class WirecapQueueDriver {
   /// The recycle operation, with strict metadata validation.
   Status recycle(const ChunkMeta& meta);
 
+  /// Batched recycle: validates and returns every chunk, replenishing
+  /// the ring once at the end instead of once per chunk (the engine's
+  /// poll drains its whole recycle queue through this).  Returns the
+  /// number of chunks accepted; rejects count in `recycle_rejects`.
+  std::size_t recycle_batch(const std::vector<ChunkMeta>& metas);
+
   /// Arrival time of a just-captured chunk: the NIC writeback timestamp
   /// of its first packet.  This is when the chunk's data entered the
   /// ring — the anchor for end-to-end latency accounting.

@@ -42,6 +42,10 @@ struct EngineConfig {
   /// Offload target selection: "least-busy" (the paper's policy),
   /// "random", or "round-robin" (ablations).
   std::string offload_policy = "least-busy";
+  /// Capture-queue handoff: "lock-free" (per-queue SPSC ring + steal
+  /// inbox, non-blocking dispatch) or "mutex" (MpmcQueue work-queue
+  /// pair — the blocking baseline and the §5e shared-queue paradigm).
+  std::string handoff = "lock-free";
 };
 
 using EngineFactoryFn = std::function<std::unique_ptr<CaptureEngine>(

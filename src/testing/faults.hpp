@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/handoff.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "engines/engine.hpp"
@@ -110,6 +111,11 @@ struct FaultHarnessConfig {
   /// Advanced mode (buddy offloading) puts chunks on foreign capture
   /// queues — the paths close() must sweep.
   bool advanced_mode = true;
+  /// Handoff implementation under test.  Defaults to the engine's
+  /// lock-free fast path so the conservation soaks prove the SPSC ring
+  /// + steal inbox under every fault; set kMutex to soak the blocking
+  /// MpmcQueue pair.
+  HandoffMode handoff = HandoffMode::kLockFree;
   /// Mean inter-arrival of background traffic, per queue.
   Nanos mean_gap = Nanos::from_micros(2);
   /// Cadence of the conservation audit.
