@@ -22,6 +22,14 @@ inline void note(const std::string& text) {
   std::printf("    %s\n", text.c_str());
 }
 
+/// The --pipeline/--steering flags parsed by telemetry_main(), applied
+/// by the shared experiment shapes below so every flag-aware bench can
+/// run its workload through an in-capture stage chain + fan-out.
+inline apps::PipelineFlags& pipeline_flags() {
+  static apps::PipelineFlags flags;
+  return flags;
+}
+
 /// "The traffic generator transmits P 64-byte packets at the wire rate
 /// (14.88 Mp/s)": single queue, one flow, pkt_handler with the given x.
 /// With `flags`, the run writes --metrics-out/--trace-out files
@@ -34,6 +42,7 @@ inline apps::ExperimentResult run_burst(
   config.num_queues = 1;
   config.x = x;
   if (flags) flags->apply(config);
+  if (pipeline_flags().any()) pipeline_flags().apply(config);
   apps::Experiment experiment{config};
 
   trace::ConstantRateConfig trace_config;
@@ -61,6 +70,7 @@ inline apps::ExperimentResult run_border_trace(
   config.x = x;
   config.forward = forward;
   if (flags) flags->apply(config);
+  if (pipeline_flags().any()) pipeline_flags().apply(config);
   apps::Experiment experiment{config};
 
   trace::BorderRouterConfig trace_config;
@@ -87,6 +97,16 @@ inline std::string percent(double fraction) {
 /// copy-pasted into every flag-aware bench.
 inline int telemetry_main(int argc, char** argv,
                           int (*run)(const apps::TelemetryFlags&)) {
+  try {
+    pipeline_flags() = apps::parse_pipeline_flags(argc, argv);
+    if (pipeline_flags().any()) {
+      apps::ExperimentConfig scratch;  // validate spec/steering up front
+      pipeline_flags().apply(scratch);
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   return run(apps::parse_telemetry_flags(argc, argv));
 }
 

@@ -1,132 +1,68 @@
 // Flow statistics collector — the paper's second motivating application
 // class ("packet-based network performance analysis applications").
 //
-// A NetFlow-style collector on top of the libpcap-compatible API: for
-// every flow it tracks packets, bytes, duration and mean rate, with an
-// idle-timeout export sweep.  Run over the border-router trace on a
-// six-queue WireCAP-A setup, it demonstrates that flow records stay
-// whole (per-flow steering + buddy offloading never splits a flow away
-// from the application) even while the hot queue is overloaded.
-#include <algorithm>
+// A NetFlow-style collector built from the in-capture pipeline: each
+// queue's PipelineRunner executes the stage spec "aggregate" (the same
+// chain `--pipeline=aggregate` builds on the benches), folding every
+// packet into a net::FlowTable before delivery.  Run over the
+// border-router trace on a six-queue WireCAP-A setup, it demonstrates
+// that flow records stay whole (per-flow steering + buddy offloading
+// never split a flow away from the application) even while the hot
+// queue is overloaded.
 #include <cstdio>
-#include <memory>
-#include <unordered_map>
-#include <vector>
 
-#include "apps/pkt_handler.hpp"
-#include "core/wirecap_engine.hpp"
-#include "engines/factory.hpp"
-#include "net/headers.hpp"
-#include "nic/device.hpp"
-#include "nic/wire.hpp"
+#include "apps/harness.hpp"
+#include "net/flow_table.hpp"
+#include "pipeline/stages.hpp"
 #include "trace/border_router.hpp"
 
 using namespace wirecap;
 
-namespace {
-
-struct FlowRecord {
-  std::uint64_t packets = 0;
-  std::uint64_t bytes = 0;
-  Nanos first{};
-  Nanos last{};
-
-  [[nodiscard]] double duration_s() const { return (last - first).seconds(); }
-  [[nodiscard]] double rate_pps() const {
-    const double d = duration_s();
-    return d > 0 ? static_cast<double>(packets) / d : 0.0;
-  }
-};
-
-}  // namespace
-
 int main() {
   std::puts("flow statistics collector on WireCAP (6 queues, advanced mode)");
+  std::puts("(pipeline spec: \"aggregate\" — per-flow accounting in capture)");
 
   constexpr std::uint32_t kQueues = 6;
-  sim::Scheduler scheduler;
-  sim::IoBus bus{scheduler};
-  nic::NicConfig nic_config;
-  nic_config.num_rx_queues = kQueues;
-  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  apps::ExperimentConfig config;
+  config.engine.kind = apps::EngineKind::kWirecapAdvanced;
+  config.engine.offload_threshold = 0.6;
+  config.num_queues = kQueues;
+  config.x = 120;  // moderate per-packet accounting cost
+  config.filter = "";
+  config.pipeline = "aggregate";  // what --pipeline=aggregate sets
 
-  engines::EngineConfig engine_config;
-  engine_config.offload_threshold = 0.6;
-  auto engine_ptr = engines::make_engine("WireCAP-A", nic, engine_config);
-  auto& engine = dynamic_cast<core::WirecapEngine&>(*engine_ptr);
-
-  // One flow table per application thread; a flow must only ever appear
-  // in one of them (application-logic preservation).
-  std::vector<std::unordered_map<net::FlowKey, FlowRecord>> tables(kQueues);
-
-  const sim::CostModel costs;
-  std::vector<std::unique_ptr<sim::SimCore>> cores;
-  std::vector<std::unique_ptr<apps::PktHandler>> collectors;
-  for (std::uint32_t q = 0; q < kQueues; ++q) {
-    cores.push_back(std::make_unique<sim::SimCore>(scheduler, q));
-    apps::PktHandlerConfig config;
-    config.x = 120;  // moderate per-packet accounting cost
-    config.filter = "";
-    config.execute_filter = false;
-    collectors.push_back(std::make_unique<apps::PktHandler>(
-        *cores.back(), engine, q, config, costs));
-    collectors.back()->set_packet_hook(
-        [&tables, q](const engines::CaptureView& view) {
-          const auto flow = net::parse_flow(view.bytes);
-          if (!flow) return;
-          FlowRecord& record = tables[q][*flow];
-          if (record.packets == 0) record.first = view.timestamp;
-          record.last = view.timestamp;
-          ++record.packets;
-          record.bytes += view.wire_len;
-        });
-  }
-  engine.set_buddy_group({0, 1, 2, 3, 4, 5});
+  apps::Experiment experiment(std::move(config));
 
   trace::BorderRouterConfig trace_config;
   trace_config.duration_s = 10.0;
   auto source = trace::make_border_router_source(trace_config);
-  nic::TrafficInjector injector{scheduler, *source, nic};
-  injector.start();
-  scheduler.run_until(Nanos::from_seconds(trace_config.duration_s + 10));
+  const apps::ExperimentResult result = experiment.run(
+      *source, Nanos::from_seconds(trace_config.duration_s + 10));
 
-  // Merge per-thread tables, checking the no-split property as we go.
-  // (With buddy offloading, a flow's packets may be *processed* by any
-  // thread of this application — but they remain inside the application;
-  // here we verify total conservation per flow across the app's tables.)
-  std::unordered_map<net::FlowKey, FlowRecord> merged;
-  std::uint64_t total_packets = 0;
-  for (const auto& table : tables) {
-    for (const auto& [flow, record] : table) {
-      FlowRecord& into = merged[flow];
-      if (into.packets == 0 || record.first < into.first) {
-        into.first = record.first;
-      }
-      into.last = std::max(into.last, record.last);
-      into.packets += record.packets;
-      into.bytes += record.bytes;
-      total_packets += record.packets;
-    }
+  // Merge the per-thread tables for the whole-application report.  (With
+  // buddy offloading, a flow's packets may be *processed* by any thread
+  // of this application — but they remain inside the application.)
+  net::FlowTable merged;
+  for (std::uint32_t q = 0; q < kQueues; ++q) {
+    const auto* aggregate = dynamic_cast<const pipeline::AggregateStage*>(
+        experiment.runner(q).pipeline().find("aggregate"));
+    merged.merge(aggregate->table());
   }
 
-  std::printf("\npackets: %llu injected, %llu accounted, %llu dropped "
-              "(offloading kept the books complete)\n",
-              static_cast<unsigned long long>(injector.injected()),
-              static_cast<unsigned long long>(total_packets),
-              static_cast<unsigned long long>(nic.total_rx_dropped()));
+  std::printf("\npackets: %llu injected, %llu accounted, %llu unclassified, "
+              "%llu dropped (offloading kept the books complete)\n",
+              static_cast<unsigned long long>(result.sent),
+              static_cast<unsigned long long>(merged.total_packets()),
+              static_cast<unsigned long long>(merged.unclassified()),
+              static_cast<unsigned long long>(result.capture_dropped +
+                                              result.delivery_dropped));
   std::printf("flows tracked: %zu\n", merged.size());
 
   // Top flows by volume — the classic "heavy hitter" report.
-  std::vector<std::pair<net::FlowKey, FlowRecord>> sorted(merged.begin(),
-                                                          merged.end());
-  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-    return a.second.bytes > b.second.bytes;
-  });
   std::puts("\ntop 8 flows by bytes:");
   std::printf("  %-44s %10s %12s %10s %10s\n", "flow", "packets", "bytes",
               "secs", "pkt/s");
-  for (std::size_t i = 0; i < std::min<std::size_t>(8, sorted.size()); ++i) {
-    const auto& [flow, record] = sorted[i];
+  for (const auto& [flow, record] : merged.top_by_bytes(8)) {
     std::printf("  %-44s %10llu %12llu %10.2f %10.0f\n",
                 flow.to_string().c_str(),
                 static_cast<unsigned long long>(record.packets),

@@ -1,160 +1,254 @@
 // IDS-style monitor — the paper's motivating workload (§1: intrusion
 // detection systems are the canonical heavy per-packet consumers that
-// drop packets under load).
+// drop packets under load) — now as the headline of the in-capture
+// pipeline: ONE capture box (one WireCAP-A engine over six RSS queues)
+// simultaneously serves three applications as zero-copy fan-out
+// subscribers of the same chunk stream:
 //
-// A multi-queue NIC spreads border-router traffic across six receive
-// queues by RSS; a heavyweight analysis thread (emulating snort-class
-// per-packet work, the paper's x=300 ~ 38,844 p/s) runs per queue.  The
-// six queues form one buddy group, so when the per-flow steering
-// concentrates load on one queue, WireCAP's advanced mode offloads
-// chunks to the idle buddies instead of dropping.
+//   * "ids"   — snort-class signature matching (real BPF programs),
+//   * "flows" — a NetFlow-style collector over net::FlowTable,
+//   * "spool" — a capture-to-disk consumer (byte/chunk accounting
+//               standing in for store::Spool).
 //
-// The example runs the same trace twice — basic mode, then advanced
-// mode — and reports per-queue counters and simple "alert" statistics
-// from a real BPF signature set.
+// Every subscriber's views alias the same ring-buffer-pool chunks; the
+// per-chunk refcount recycles a chunk only after the LAST subscriber
+// releases it.  To show nothing is lost in the sharing, the same trace
+// is then replayed twice more with each application owning a dedicated
+// engine, and the per-application results are compared — they match
+// byte for byte.
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "apps/pkt_handler.hpp"
+#include "apps/harness.hpp"
 #include "bpf/codegen.hpp"
 #include "bpf/vm.hpp"
-#include "core/wirecap_engine.hpp"
-#include "engines/factory.hpp"
-#include "nic/device.hpp"
-#include "nic/wire.hpp"
+#include "net/flow_table.hpp"
 #include "trace/border_router.hpp"
 
 using namespace wirecap;
 
 namespace {
 
+constexpr std::uint32_t kQueues = 6;
+constexpr unsigned kIdsCostX = 300;   // snort-class per-packet work
+constexpr unsigned kFlowCostX = 120;  // accounting-class per-packet work
+
+trace::BorderRouterConfig trace_config() {
+  trace::BorderRouterConfig config;
+  config.duration_s = 6.0;
+  config.hot_phase_split_s = 1.0;
+  return config;
+}
+
+apps::ExperimentConfig base_config() {
+  apps::ExperimentConfig config;
+  config.engine.kind = apps::EngineKind::kWirecapAdvanced;
+  config.engine.cells_per_chunk = 256;
+  config.engine.chunk_count = 100;
+  config.engine.offload_threshold = 0.6;
+  config.num_queues = kQueues;
+  config.filter = "";
+  return config;
+}
+
 struct Signature {
   const char* name;
   bpf::Program program;
 };
 
-struct RunResult {
-  std::uint64_t injected = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t inspected = 0;
-  std::uint64_t offloaded = 0;
-  std::vector<std::uint64_t> per_queue_inspected;
-  std::vector<std::uint64_t> alerts;
-};
-
-RunResult run_ids(bool advanced_mode) {
-  constexpr std::uint32_t kQueues = 6;
-
-  sim::Scheduler scheduler;
-  sim::IoBus bus{scheduler};
-  nic::NicConfig nic_config;
-  nic_config.num_rx_queues = kQueues;
-  nic::MultiQueueNic nic{scheduler, bus, nic_config};
-
-  engines::EngineConfig engine_config;
-  engine_config.cells_per_chunk = 256;
-  engine_config.chunk_count = 100;
-  engine_config.offload_threshold = 0.6;
-  auto engine_ptr = engines::make_engine(
-      advanced_mode ? "WireCAP-A" : "WireCAP-B", nic, engine_config);
-  auto& engine = dynamic_cast<core::WirecapEngine&>(*engine_ptr);
-
-  // Signature set: compiled once, applied to every inspected packet.
+std::vector<Signature> make_signatures() {
   std::vector<Signature> signatures;
-  signatures.push_back({"udp-to-fermilab", bpf::compile_filter(
-                                               "udp and dst net 131.225.0.0/16")});
+  signatures.push_back(
+      {"udp-to-fermilab",
+       bpf::compile_filter("udp and dst net 131.225.0.0/16")});
   signatures.push_back({"ssh-traffic", bpf::compile_filter("tcp port 22")});
   signatures.push_back({"tiny-frames", bpf::compile_filter("len <= 64")});
+  return signatures;
+}
 
-  RunResult result;
-  result.per_queue_inspected.assign(kQueues, 0);
-  result.alerts.assign(signatures.size(), 0);
+struct IdsState {
+  std::vector<Signature> signatures = make_signatures();
+  std::uint64_t inspected = 0;
+  std::vector<std::uint64_t> per_queue_inspected =
+      std::vector<std::uint64_t>(kQueues, 0);
+  std::vector<std::uint64_t> alerts = std::vector<std::uint64_t>(3, 0);
 
-  const sim::CostModel costs;
-  std::vector<std::unique_ptr<sim::SimCore>> cores;
-  std::vector<std::unique_ptr<apps::PktHandler>> analysts;
-  for (std::uint32_t q = 0; q < kQueues; ++q) {
-    cores.push_back(std::make_unique<sim::SimCore>(scheduler, q));
-    // x=300 charges the snort-class per-packet CPU cost; the hook runs
-    // the real signature programs on the packet bytes.
-    apps::PktHandlerConfig handler_config;
-    handler_config.x = 300;
-    handler_config.filter = "";
-    handler_config.execute_filter = false;
-    analysts.push_back(std::make_unique<apps::PktHandler>(
-        *cores.back(), engine, q, handler_config, costs));
-    analysts.back()->set_packet_hook(
-        [&result, &signatures, q](const engines::CaptureView& view) {
-          ++result.inspected;
-          ++result.per_queue_inspected[q];
-          for (std::size_t s = 0; s < signatures.size(); ++s) {
-            if (bpf::matches(signatures[s].program, view.bytes,
-                             view.wire_len)) {
-              ++result.alerts[s];
-            }
-          }
-        });
+  void inspect(std::uint32_t queue, const engines::CaptureView& view) {
+    ++inspected;
+    ++per_queue_inspected[queue];
+    for (std::size_t s = 0; s < signatures.size(); ++s) {
+      if (bpf::matches(signatures[s].program, view.bytes, view.wire_len)) {
+        ++alerts[s];
+      }
+    }
   }
-  if (advanced_mode) {
-    engine.set_buddy_group({0, 1, 2, 3, 4, 5});
-  }
+};
 
-  trace::BorderRouterConfig trace_config;
-  trace_config.duration_s = 8.0;
-  trace_config.hot_phase_split_s = 1.0;
-  auto source = trace::make_border_router_source(trace_config);
-  nic::TrafficInjector injector{scheduler, *source, nic};
-  injector.start();
-  scheduler.run_until(Nanos::from_seconds(trace_config.duration_s + 10));
+struct FlowState {
+  // One table per application thread (a flow only ever lands in one).
+  std::vector<net::FlowTable> tables = std::vector<net::FlowTable>(kQueues);
 
-  result.injected = injector.injected();
-  result.dropped = nic.total_rx_dropped();
-  for (std::uint32_t q = 0; q < kQueues; ++q) {
-    result.offloaded += engine.queue_stats(q).chunks_offloaded_out;
+  [[nodiscard]] net::FlowTable merged() const {
+    net::FlowTable merged_table;
+    for (const net::FlowTable& table : tables) merged_table.merge(table);
+    return merged_table;
   }
+};
+
+struct SpoolState {
+  std::uint64_t batches = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The shared-engine run: three subscribers per queue on one fan-out.
+struct SharedResult {
+  IdsState ids;
+  FlowState flows;
+  SpoolState spool;
+  apps::ExperimentResult experiment;
+};
+
+SharedResult run_shared() {
+  SharedResult result;
+  apps::ExperimentConfig config = base_config();
+  // One combined processing budget for the shared box: the IDS is the
+  // heavyweight consumer, so its cost dominates the runner's work item.
+  config.x = kIdsCostX;
+  config.steering = pipeline::Steering::kBroadcast;
+  config.subscribers = [&result](std::uint32_t q) {
+    std::vector<pipeline::Subscriber> subs;
+    subs.push_back({"ids",
+                    [&result, q](pipeline::SharedBatch batch) {
+                      for (const engines::CaptureView& view : batch.batch()) {
+                        result.ids.inspect(q, view);
+                      }
+                    },
+                    std::nullopt});
+    subs.push_back({"flows",
+                    [&result, q](pipeline::SharedBatch batch) {
+                      for (const engines::CaptureView& view : batch.batch()) {
+                        result.flows.tables[q].update(view);
+                      }
+                    },
+                    std::nullopt});
+    subs.push_back({"spool",
+                    [&result](pipeline::SharedBatch batch) {
+                      ++result.spool.batches;
+                      for (const engines::CaptureView& view : batch.batch()) {
+                        result.spool.bytes += view.wire_len;
+                      }
+                    },
+                    std::nullopt});
+    return subs;
+  };
+
+  apps::Experiment experiment(std::move(config));
+  const trace::BorderRouterConfig trace = trace_config();
+  auto source = trace::make_border_router_source(trace);
+  result.experiment =
+      experiment.run(*source, Nanos::from_seconds(trace.duration_s + 10));
   return result;
 }
 
-void report(const char* mode, const RunResult& result) {
-  std::printf("\n--- %s ---\n", mode);
-  std::printf("packets on the wire: %llu\n",
-              static_cast<unsigned long long>(result.injected));
-  std::printf("dropped before inspection: %llu (%.1f%%)\n",
-              static_cast<unsigned long long>(result.dropped),
-              100.0 * static_cast<double>(result.dropped) /
-                  static_cast<double>(result.injected));
-  std::printf("inspected: %llu; chunks offloaded between cores: %llu\n",
-              static_cast<unsigned long long>(result.inspected),
-              static_cast<unsigned long long>(result.offloaded));
-  std::printf("per-queue inspected:");
-  for (const auto count : result.per_queue_inspected) {
-    std::printf(" %llu", static_cast<unsigned long long>(count));
+IdsState run_dedicated_ids() {
+  IdsState ids;
+  apps::ExperimentConfig config = base_config();
+  config.x = kIdsCostX;
+  config.execute_filter = false;
+  apps::Experiment experiment(std::move(config));
+  for (std::uint32_t q = 0; q < kQueues; ++q) {
+    experiment.handler(q).set_packet_hook(
+        [&ids, q](const engines::CaptureView& view) { ids.inspect(q, view); });
   }
-  std::printf("\nalerts: udp-to-fermilab=%llu ssh=%llu tiny=%llu\n",
-              static_cast<unsigned long long>(result.alerts[0]),
-              static_cast<unsigned long long>(result.alerts[1]),
-              static_cast<unsigned long long>(result.alerts[2]));
+  const trace::BorderRouterConfig trace = trace_config();
+  auto source = trace::make_border_router_source(trace);
+  experiment.run(*source, Nanos::from_seconds(trace.duration_s + 10));
+  return ids;
+}
+
+FlowState run_dedicated_flows() {
+  FlowState flows;
+  apps::ExperimentConfig config = base_config();
+  config.x = kFlowCostX;
+  config.execute_filter = false;
+  apps::Experiment experiment(std::move(config));
+  for (std::uint32_t q = 0; q < kQueues; ++q) {
+    experiment.handler(q).set_packet_hook(
+        [&flows, q](const engines::CaptureView& view) {
+          flows.tables[q].update(view);
+        });
+  }
+  const trace::BorderRouterConfig trace = trace_config();
+  auto source = trace::make_border_router_source(trace);
+  experiment.run(*source, Nanos::from_seconds(trace.duration_s + 10));
+  return flows;
+}
+
+bool same_flow_tables(const net::FlowTable& a, const net::FlowTable& b) {
+  if (a.size() != b.size() || a.total_packets() != b.total_packets() ||
+      a.total_bytes() != b.total_bytes()) {
+    return false;
+  }
+  for (const auto& [flow, record] : a.records()) {
+    const auto it = b.records().find(flow);
+    if (it == b.records().end() || it->second.packets != record.packets ||
+        it->second.bytes != record.bytes || it->second.first != record.first ||
+        it->second.last != record.last) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
 int main() {
-  std::puts("IDS monitor on WireCAP: basic vs advanced mode");
-  std::puts("(six RSS queues, snort-class analysis threads, real BPF "
-            "signatures)");
+  std::puts("one capture box, three consumers: IDS + flow stats + spool");
+  std::puts("(six RSS queues, WireCAP-A, zero-copy fan-out subscriptions)");
 
-  const RunResult basic = run_ids(/*advanced_mode=*/false);
-  report("basic mode (no offloading)", basic);
+  const SharedResult shared = run_shared();
 
-  const RunResult advanced = run_ids(/*advanced_mode=*/true);
-  report("advanced mode (buddy-group offloading)", advanced);
+  std::printf("\npackets on the wire: %llu, dropped: %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(shared.experiment.sent),
+              static_cast<unsigned long long>(
+                  shared.experiment.capture_dropped +
+                  shared.experiment.delivery_dropped),
+              100.0 * shared.experiment.drop_rate());
+  std::printf("chunks offloaded between buddy cores: %llu\n",
+              static_cast<unsigned long long>(
+                  shared.experiment.offloaded_chunks));
 
-  std::printf("\nmissed-alert reduction: %.1f%% of traffic was invisible to "
-              "the IDS in basic mode, %.1f%% in advanced mode\n",
-              100.0 * static_cast<double>(basic.dropped) /
-                  static_cast<double>(basic.injected),
-              100.0 * static_cast<double>(advanced.dropped) /
-                  static_cast<double>(advanced.injected));
-  return 0;
+  std::printf("\n[ids]   inspected: %llu\n",
+              static_cast<unsigned long long>(shared.ids.inspected));
+  std::printf("[ids]   alerts: udp-to-fermilab=%llu ssh=%llu tiny=%llu\n",
+              static_cast<unsigned long long>(shared.ids.alerts[0]),
+              static_cast<unsigned long long>(shared.ids.alerts[1]),
+              static_cast<unsigned long long>(shared.ids.alerts[2]));
+  const net::FlowTable shared_merged = shared.flows.merged();
+  std::printf("[flows] flows tracked: %zu (%llu packets, %llu bytes)\n",
+              shared_merged.size(),
+              static_cast<unsigned long long>(shared_merged.total_packets()),
+              static_cast<unsigned long long>(shared_merged.total_bytes()));
+  std::printf("[spool] spooled: %llu bytes in %llu batches\n",
+              static_cast<unsigned long long>(shared.spool.bytes),
+              static_cast<unsigned long long>(shared.spool.batches));
+
+  std::puts("\nreplaying the same trace with one DEDICATED engine per app...");
+  const IdsState dedicated_ids = run_dedicated_ids();
+  const FlowState dedicated_flows = run_dedicated_flows();
+
+  const bool ids_match =
+      shared.ids.inspected == dedicated_ids.inspected &&
+      shared.ids.alerts == dedicated_ids.alerts &&
+      shared.ids.per_queue_inspected == dedicated_ids.per_queue_inspected;
+  const bool flows_match =
+      same_flow_tables(shared_merged, dedicated_flows.merged());
+
+  std::printf("\nshared vs dedicated, per-app results: ids %s, flows %s\n",
+              ids_match ? "IDENTICAL" : "DIFFERENT",
+              flows_match ? "IDENTICAL" : "DIFFERENT");
+  std::puts(ids_match && flows_match
+                ? "sharing one capture engine cost the apps nothing."
+                : "mismatch — expected only under overload (check drops).");
+  return ids_match && flows_match ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include "engines/dpdk_engine.hpp"
 #include "engines/factory.hpp"
+#include "pipeline/spec.hpp"
 #include "telemetry/export.hpp"
 
 #include <cstdio>
@@ -107,6 +108,32 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
     app_cores_.push_back(
         std::make_unique<sim::SimCore>(scheduler_, q, config_.cpu_ghz));
     if (config_.spool) continue;  // spool mode replaces the handlers
+    if (config_.pipeline_mode()) {
+      // Pipeline mode: stages + fan-out replace the pkt_handler.  The
+      // fan-out is built (and its subscribers registered) before the
+      // runner starts pulling batches.
+      fanouts_.push_back(std::make_unique<wirecap::pipeline::FanOut>(
+          *engine_, config_.steering));
+      if (config_.subscribers) {
+        for (wirecap::pipeline::Subscriber& sub : config_.subscribers(q)) {
+          fanouts_.back()->subscribe(std::move(sub));
+        }
+      } else {
+        // Release-only sink so delivery still drains and is counted.
+        fanouts_.back()->subscribe(wirecap::pipeline::Subscriber{
+            "sink", [](wirecap::pipeline::SharedBatch batch) {
+              batch.release();
+            },
+            std::nullopt});
+      }
+      wirecap::pipeline::PipelineRunnerConfig runner_config;
+      runner_config.x = config_.x;
+      runners_.push_back(std::make_unique<wirecap::pipeline::PipelineRunner>(
+          *app_cores_[q], *engine_, q,
+          wirecap::pipeline::parse_pipeline_spec(config_.pipeline),
+          *fanouts_.back(), runner_config, config_.costs));
+      continue;
+    }
     PktHandlerConfig handler_config;
     handler_config.x = config_.x;
     handler_config.filter = config_.filter;
@@ -194,6 +221,15 @@ void Experiment::bind_telemetry() {
           [&sink] { return sink.packets_consumed(); });
       continue;
     }
+    if (config_.pipeline_mode()) {
+      const wirecap::pipeline::PipelineRunnerStats& rs =
+          runners_[q]->stats();
+      telemetry_.registry.bind_counter("app.q" + qn + ".processed",
+                                       [&rs] { return rs.packets_in; });
+      runners_[q]->pipeline().bind_telemetry(telemetry_, "pipeline.q" + qn);
+      fanouts_[q]->bind_telemetry(telemetry_, "fanout.q" + qn);
+      continue;
+    }
     const PktHandlerStats& hs = handlers_[q]->stats();
     telemetry_.registry.bind_counter("app.q" + qn + ".processed",
                                      [&hs] { return hs.processed; });
@@ -218,6 +254,36 @@ void Experiment::bind_telemetry() {
     sampler_ = std::make_unique<wirecap::telemetry::Sampler>(
         scheduler_, telemetry_, config_.telemetry.sample_interval);
     sampler_->start();
+  }
+}
+
+PipelineFlags parse_pipeline_flags(int argc, char** argv) {
+  PipelineFlags flags;
+  constexpr std::string_view kPipeline = "--pipeline=";
+  constexpr std::string_view kSteering = "--steering=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with(kPipeline)) {
+      flags.spec = std::string(arg.substr(kPipeline.size()));
+    } else if (arg.starts_with(kSteering)) {
+      flags.steering = std::string(arg.substr(kSteering.size()));
+    }
+  }
+  return flags;
+}
+
+void PipelineFlags::apply(ExperimentConfig& config) const {
+  // Parse once here so a typo fails at flag time, not mid-experiment.
+  (void)wirecap::pipeline::parse_pipeline_spec(spec);
+  config.pipeline = spec;
+  if (steering == "broadcast") {
+    config.steering = wirecap::pipeline::Steering::kBroadcast;
+  } else if (steering == "flow") {
+    config.steering = wirecap::pipeline::Steering::kFlowHash;
+  } else if (steering == "bpf") {
+    config.steering = wirecap::pipeline::Steering::kBpfMatch;
+  } else {
+    throw std::invalid_argument("--steering must be broadcast, flow or bpf");
   }
 }
 
@@ -312,8 +378,11 @@ ExperimentResult Experiment::run(trace::TrafficSource& source, Nanos horizon) {
     queue_result.capture_dropped = rx.dropped;
     queue_result.delivery_dropped = engine_stats.delivery_dropped;
     queue_result.delivered = engine_stats.delivered;
-    queue_result.processed = config_.spool ? sinks_[q]->packets_consumed()
-                                           : handlers_[q]->stats().processed;
+    queue_result.processed = config_.spool
+                                 ? sinks_[q]->packets_consumed()
+                                 : (config_.pipeline_mode()
+                                        ? runners_[q]->stats().packets_in
+                                        : handlers_[q]->stats().processed);
 
     result.capture_dropped += rx.dropped;
     result.delivery_dropped += engine_stats.delivery_dropped;

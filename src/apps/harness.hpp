@@ -15,6 +15,8 @@
 #include "core/wirecap_engine.hpp"
 #include "engines/baselines.hpp"
 #include "nic/wire.hpp"
+#include "pipeline/fanout.hpp"
+#include "pipeline/runner.hpp"
 #include "sim/bus.hpp"
 #include "store/spool.hpp"
 #include "store/store_sink.hpp"
@@ -82,6 +84,24 @@ struct ExperimentConfig {
   /// queue (num_shards is overridden to num_queues).  WireCAP engines
   /// additionally get the spool-backlog offload feedback wired up.
   std::optional<store::SpoolConfig> spool;
+  /// In-capture processing pipeline spec (see pipeline/spec.hpp).
+  /// Non-empty enables pipeline mode: each queue gets a PipelineRunner
+  /// feeding a FanOut instead of a pkt_handler.  An empty spec string
+  /// with a non-null `subscribers` factory also enables pipeline mode
+  /// (fan-out with no stages).
+  /// (Fully qualified below: the member shadows the namespace.)
+  std::string pipeline;
+  wirecap::pipeline::Steering steering =
+      wirecap::pipeline::Steering::kBroadcast;
+  /// Pipeline mode: builds each queue's subscribers.  Null attaches one
+  /// internal release-only "sink" subscriber, whose delivery counts are
+  /// readable via Experiment::fanout(q).subscriber_stats(0).
+  std::function<std::vector<wirecap::pipeline::Subscriber>(std::uint32_t)>
+      subscribers;
+
+  [[nodiscard]] bool pipeline_mode() const {
+    return !spool && (!pipeline.empty() || subscribers != nullptr);
+  }
 };
 
 /// The standard observability command-line surface of the benches:
@@ -111,6 +131,22 @@ struct TelemetryFlags {
 };
 
 [[nodiscard]] TelemetryFlags parse_telemetry_flags(int argc, char** argv);
+
+/// The pipeline command-line surface:
+///   --pipeline=SPEC    stage chain, e.g. "filter:tcp|sample:1/8|aggregate"
+///   --steering=MODE    broadcast (default) | flow | bpf
+/// Unrecognized arguments are ignored (same contract as telemetry flags).
+struct PipelineFlags {
+  std::string spec;
+  std::string steering = "broadcast";
+
+  [[nodiscard]] bool any() const { return !spec.empty(); }
+  /// Validates the spec/steering and installs them into `config`.
+  /// Throws std::invalid_argument on a malformed spec or steering name.
+  void apply(ExperimentConfig& config) const;
+};
+
+[[nodiscard]] PipelineFlags parse_pipeline_flags(int argc, char** argv);
 
 struct QueueResult {
   std::uint64_t arrived = 0;          // steered to this queue
@@ -182,6 +218,14 @@ class Experiment {
   [[nodiscard]] PktHandler& handler(std::uint32_t queue) {
     return *handlers_.at(queue);
   }
+  /// Pipeline mode only (config().pipeline_mode()).
+  [[nodiscard]] wirecap::pipeline::FanOut& fanout(std::uint32_t queue) {
+    return *fanouts_.at(queue);
+  }
+  [[nodiscard]] wirecap::pipeline::PipelineRunner& runner(
+      std::uint32_t queue) {
+    return *runners_.at(queue);
+  }
   /// Null unless the experiment was configured with a spool.
   [[nodiscard]] store::Spool* spool() { return spool_.get(); }
   [[nodiscard]] store::StoreSink& store_sink(std::uint32_t queue) {
@@ -207,6 +251,10 @@ class Experiment {
   std::unique_ptr<engines::CaptureEngine> engine_;
   std::vector<std::unique_ptr<sim::SimCore>> app_cores_;
   std::vector<std::unique_ptr<PktHandler>> handlers_;
+  // Pipeline mode (declared after engine_: fan-out slots can hold
+  // batches aliasing engine pools, so they tear down first).
+  std::vector<std::unique_ptr<wirecap::pipeline::FanOut>> fanouts_;
+  std::vector<std::unique_ptr<wirecap::pipeline::PipelineRunner>> runners_;
   // Declared after engine_: sinks/spool hold chunk views into engine
   // pools and must be torn down first.
   std::unique_ptr<store::Spool> spool_;

@@ -55,7 +55,8 @@ void PktHandler::process_batch() {
     }
     if (config_.forward) {
       // forward() releases the buffer on both outcomes (TX completion
-      // or full-ring drop), so a fully forwarded batch recycles itself.
+      // or full-ring drop): subtract each view from the batch's refs so
+      // done_batch() does not release it a second time.
       for (const engines::CaptureView& view : batch_.views) {
         if (engine_.forward(queue_, view, *config_.forward->nic,
                             config_.forward->tx_queue)) {
@@ -63,8 +64,8 @@ void PktHandler::process_batch() {
         } else {
           ++stats_.forward_failures;
         }
+        batch_.note_released(view.handle);
       }
-      batch_.views.clear();
     }
     engine_.done_batch(queue_, batch_);  // one recycle per batch
     process_batch();

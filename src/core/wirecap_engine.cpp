@@ -662,14 +662,24 @@ std::size_t WirecapEngine::try_next_batch(std::uint32_t queue,
   current.cursor += take;
   if (current.cursor == meta.pkt_count) qs.current.reset();
   qs.stats.delivered += take;  // one accounting update per batch
+  // One ref covers the whole batch: a batch never spans chunks, so any
+  // view's handle resolves to the one chunk key at release time.
+  batch.refs.push_back(engines::BatchRef{batch.views[0].handle, take});
   return take;
 }
 
-void WirecapEngine::done_batch(std::uint32_t /*queue*/,
+void WirecapEngine::done_batch(std::uint32_t queue,
                                const engines::PacketBatch& batch) {
-  // Views arrive in capture order, so same-chunk views are consecutive:
-  // collapse each run into a single deref_n.  (Robust to callers that
-  // filtered or reordered the batch — a run is just shorter then.)
+  if (!batch.refs.empty()) {
+    // The base settles refs via release_ref() → deref_n: one refcount
+    // decrement per batch regardless of how the views were compacted.
+    engines::CaptureEngine::done_batch(queue, batch);
+    return;
+  }
+  // Hand-built batch with no refs: release by views.  They arrive in
+  // capture order, so same-chunk views are consecutive — collapse each
+  // run into a single deref_n.  (Robust to callers that filtered or
+  // reordered the batch — a run is just shorter then.)
   std::size_t i = 0;
   const std::size_t n = batch.views.size();
   while (i < n) {
@@ -678,6 +688,37 @@ void WirecapEngine::done_batch(std::uint32_t /*queue*/,
     while (j < n && handle_key(batch.views[j].handle) == key) ++j;
     deref_n(key, static_cast<std::uint32_t>(j - i));
     i = j;
+  }
+}
+
+void WirecapEngine::release_ref(std::uint32_t /*queue*/, std::uint64_t handle,
+                                std::uint32_t count) {
+  deref_n(handle_key(handle), count);
+}
+
+void WirecapEngine::add_batch_shares(std::uint32_t /*queue*/,
+                                     const engines::PacketBatch& batch,
+                                     std::uint32_t extra) {
+  if (extra == 0) return;
+  for (const engines::BatchRef& ref : batch.refs) {
+    if (ref.packets == 0) continue;
+    const auto it = outstanding_.find(handle_key(ref.handle));
+    if (it == outstanding_.end()) {
+      throw std::logic_error("WirecapEngine: shares on unknown chunk");
+    }
+    Outstanding& entry = it->second;
+    entry.remaining += ref.packets * extra;
+    entry.shares += extra;
+    // Mirror the grant into the kernel's share count so a buggy early
+    // recycle of a fanned-out chunk is refused at the pool boundary.
+    QueueState& owner = queues_[entry.meta.ring_id];
+    if (entry.epoch == owner.epoch) {
+      const Status status =
+          owner.driver->pool().add_shares(entry.meta.chunk_id, extra);
+      if (!status.is_ok()) {
+        throw std::logic_error("WirecapEngine: pool rejected share grant");
+      }
+    }
   }
 }
 
@@ -694,6 +735,7 @@ void WirecapEngine::deref_n(std::uint64_t key, std::uint32_t count) {
   if (it->second.remaining == 0) {
     const driver::ChunkMeta meta = it->second.meta;
     const std::uint64_t epoch = it->second.epoch;
+    const std::uint32_t shares = it->second.shares;
     outstanding_.erase(it);
     QueueState& owner = queues_[meta.ring_id];
     if (epoch != owner.epoch) {
@@ -701,6 +743,16 @@ void WirecapEngine::deref_n(std::uint64_t key, std::uint32_t count) {
       // is gone (or about to be).  Dropping the metadata is the correct
       // end of life — recycling it would corrupt a reopened pool.
       return;
+    }
+    if (shares != 0) {
+      // Every fan-out share has been released (that is what remaining
+      // reaching zero means); clear the kernel-side count so the
+      // recycle below passes its shares-outstanding check.
+      const Status status =
+          owner.driver->pool().release_shares(meta.chunk_id, shares);
+      if (!status.is_ok()) {
+        throw std::logic_error("WirecapEngine: pool share release failed");
+      }
     }
     if (latency_ && latency_->enabled()) [[unlikely]] {
       journey_release(meta);

@@ -131,13 +131,22 @@ class WirecapEngine final : public engines::CaptureEngine {
   /// Batch-native handoff: serves up to `max_packets` views of the
   /// queue's current chunk metadata-only (chunk == batch when
   /// `max_packets` >= M) and bumps `delivered` once per batch.  A batch
-  /// never spans chunks, so done_batch() is one refcount decrement.
+  /// never spans chunks, so it carries one BatchRef and done_batch() is
+  /// one refcount decrement.
   std::size_t try_next_batch(std::uint32_t queue, std::size_t max_packets,
                              engines::PacketBatch& batch) override;
-  /// Releases a batch with one deref per run of same-chunk views
-  /// instead of one per packet.
+  /// Settles the batch's refs with one deref_n each; hand-built batches
+  /// without refs fall back to one deref per run of same-chunk views.
   void done_batch(std::uint32_t queue,
                   const engines::PacketBatch& batch) override;
+  [[nodiscard]] bool supports_batch_shares() const override { return true; }
+  /// Fan-out support: raises each chunk's outstanding refcount by
+  /// `extra` releases per batch packet and mirrors the grant into the
+  /// pool's kernel-side share count (recycle refuses a chunk whose
+  /// shares have not all been released — defense in depth against an
+  /// engine bug releasing a fanned-out chunk early).
+  void add_batch_shares(std::uint32_t queue, const engines::PacketBatch& batch,
+                        std::uint32_t extra) override;
   bool forward(std::uint32_t queue, const engines::CaptureView& view,
                nic::MultiQueueNic& out_nic, std::uint32_t tx_queue) override;
   void set_data_callback(std::uint32_t queue,
@@ -216,6 +225,10 @@ class WirecapEngine final : public engines::CaptureEngine {
     /// final release means the queue closed in between and the metadata
     /// must be dropped, not recycled.
     std::uint64_t epoch = 0;
+    /// Fan-out shares granted on this chunk (add_batch_shares); the
+    /// pool's kernel-side share count is cleared by this amount when
+    /// the last reference goes, immediately before the recycle.
+    std::uint32_t shares = 0;
   };
 
   struct QueueState {
@@ -299,6 +312,8 @@ class WirecapEngine final : public engines::CaptureEngine {
   /// application (census / quiesced introspection only).
   [[nodiscard]] std::vector<driver::ChunkMeta> capture_metas(
       const QueueState& qs) const;
+  void release_ref(std::uint32_t queue, std::uint64_t handle,
+                   std::uint32_t count) override;
   void deref(std::uint64_t key) { deref_n(key, 1); }
   /// Drops `count` references of the chunk behind `key` in one step —
   /// the done_batch() fast path.

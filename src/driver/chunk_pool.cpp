@@ -26,6 +26,7 @@ RingBufferPool::RingBufferPool(std::uint32_t nic_id, std::uint32_t ring_id,
   memory_.resize(memory_bytes());
   cell_info_.resize(capacity_packets());
   states_.assign(chunk_count, ChunkState::kFree);
+  extra_shares_.assign(chunk_count, 0);
   // Free list as a stack; lowest ids on top for deterministic behaviour.
   free_list_.resize(chunk_count);
   std::iota(free_list_.rbegin(), free_list_.rend(), 0u);
@@ -84,6 +85,11 @@ Status RingBufferPool::recycle(const ChunkMeta& meta) {
   if (states_[meta.chunk_id] != ChunkState::kCaptured) {
     return reject(StatusCode::kInvalidArgument);  // double recycle / foreign
   }
+  if (extra_shares_[meta.chunk_id] != 0) {
+    // Fan-out subscribers still hold shares of this chunk; recycling
+    // now would hand their live views' memory back to the NIC.
+    return reject(StatusCode::kWouldBlock);
+  }
   states_[meta.chunk_id] = ChunkState::kFree;
   free_list_.push_back(meta.chunk_id);
   notify(meta.chunk_id, ChunkState::kCaptured, ChunkState::kFree, "recycle");
@@ -98,6 +104,39 @@ void RingBufferPool::release_attached(std::uint32_t chunk_id) {
   states_[chunk_id] = ChunkState::kFree;
   free_list_.push_back(chunk_id);
   notify(chunk_id, ChunkState::kAttached, ChunkState::kFree, "release");
+}
+
+Status RingBufferPool::add_shares(std::uint32_t chunk_id,
+                                  std::uint32_t extra) {
+  if (chunk_id >= chunk_count_) return Status{StatusCode::kInvalidArgument};
+  if (states_[chunk_id] != ChunkState::kCaptured) {
+    return Status{StatusCode::kInvalidArgument};
+  }
+  extra_shares_[chunk_id] += extra;
+  if (observer_ && extra != 0) {
+    observer_->on_shares(*this, chunk_id, static_cast<std::int64_t>(extra),
+                         extra_shares_[chunk_id]);
+  }
+  return Status::ok();
+}
+
+Status RingBufferPool::release_shares(std::uint32_t chunk_id,
+                                      std::uint32_t count) {
+  if (chunk_id >= chunk_count_) return Status{StatusCode::kInvalidArgument};
+  if (extra_shares_[chunk_id] < count) {
+    return Status{StatusCode::kInvalidArgument};
+  }
+  extra_shares_[chunk_id] -= count;
+  if (observer_ && count != 0) {
+    observer_->on_shares(*this, chunk_id, -static_cast<std::int64_t>(count),
+                         extra_shares_[chunk_id]);
+  }
+  return Status::ok();
+}
+
+std::uint32_t RingBufferPool::extra_shares(std::uint32_t chunk_id) const {
+  check_chunk_id(chunk_id);
+  return extra_shares_[chunk_id];
 }
 
 ChunkState RingBufferPool::state(std::uint32_t chunk_id) const {

@@ -51,6 +51,18 @@ class PoolObserver {
     static_cast<void>(meta);
     static_cast<void>(code);
   }
+
+  /// Fired after a fan-out share grant (`delta` > 0) or release
+  /// (`delta` < 0) commits on a captured chunk; `now` is the resulting
+  /// share count.  Shares gate recycle: a chunk cannot leave the
+  /// captured state while any remain.
+  virtual void on_shares(const RingBufferPool& pool, std::uint32_t chunk_id,
+                         std::int64_t delta, std::uint32_t now) {
+    static_cast<void>(pool);
+    static_cast<void>(chunk_id);
+    static_cast<void>(delta);
+    static_cast<void>(now);
+  }
 };
 
 /// Per-state population of a pool; free + attached + captured always
@@ -162,6 +174,25 @@ class RingBufferPool {
   /// is not attached (this is a driver-internal path, not a user one).
   void release_attached(std::uint32_t chunk_id);
 
+  // --- fan-out share accounting ---
+
+  /// Registers `extra` additional user-space release shares on a
+  /// *captured* chunk (the pipeline's FanOut hands one chunk's metadata
+  /// to several subscribers; each share is one pending release).
+  /// recycle() refuses the chunk while shares remain — defense in depth
+  /// against an engine bug recycling a fanned-out chunk early.
+  /// kInvalidArgument on a bad chunk id or a chunk not captured.
+  Status add_shares(std::uint32_t chunk_id, std::uint32_t extra);
+
+  /// Drops `count` shares of `chunk_id` (the engine clears a chunk's
+  /// remaining shares when its last reference is released, immediately
+  /// before recycling it).  kInvalidArgument when fewer than `count`
+  /// shares are outstanding.
+  Status release_shares(std::uint32_t chunk_id, std::uint32_t count);
+
+  /// Outstanding fan-out shares of `chunk_id`.
+  [[nodiscard]] std::uint32_t extra_shares(std::uint32_t chunk_id) const;
+
   /// Registers (or clears, with null) the transition observer.  The
   /// observer must outlive the pool or be cleared before destruction.
   void set_observer(PoolObserver* observer) { observer_ = observer; }
@@ -227,6 +258,8 @@ class RingBufferPool {
   std::vector<CellInfo> cell_info_;
   std::vector<ChunkState> states_;
   std::vector<std::uint32_t> free_list_;
+  /// Per-chunk fan-out share counts; nonzero only while captured.
+  std::vector<std::uint32_t> extra_shares_;
   PoolObserver* observer_ = nullptr;
 };
 

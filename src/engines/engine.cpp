@@ -1,5 +1,7 @@
 #include "engines/engine.hpp"
 
+#include <stdexcept>
+
 namespace wirecap::engines {
 
 std::optional<ChunkCaptureView> CaptureEngine::try_next_chunk(
@@ -29,12 +31,33 @@ std::size_t CaptureEngine::try_next_batch(std::uint32_t queue,
     auto view = try_next(queue);
     if (!view) break;
     batch.views.push_back(*view);
+    batch.refs.push_back(BatchRef{view->handle, 1});
   }
   return batch.views.size();
 }
 
 void CaptureEngine::done_batch(std::uint32_t queue, const PacketBatch& batch) {
+  if (!batch.refs.empty()) {
+    for (const BatchRef& ref : batch.refs) {
+      if (ref.packets > 0) release_ref(queue, ref.handle, ref.packets);
+    }
+    return;
+  }
   for (const CaptureView& view : batch.views) done(queue, view);
+}
+
+void CaptureEngine::add_batch_shares(std::uint32_t /*queue*/,
+                                     const PacketBatch& /*batch*/,
+                                     std::uint32_t /*extra*/) {
+  throw std::logic_error(
+      "CaptureEngine::add_batch_shares: engine has no native share support");
+}
+
+void CaptureEngine::release_ref(std::uint32_t queue, std::uint64_t handle,
+                                std::uint32_t count) {
+  CaptureView view;
+  view.handle = handle;
+  for (std::uint32_t i = 0; i < count; ++i) done(queue, view);
 }
 
 void CaptureEngine::bind_telemetry(telemetry::Telemetry& telemetry,

@@ -81,18 +81,36 @@ class CaptureEngine {
   /// a loop so copying baselines stay honest about their per-packet
   /// cost structure; chunk-native engines (WireCAP) override it to
   /// surface one captured chunk's worth of views metadata-only, with
-  /// accounting amortized to one update per batch.
+  /// accounting amortized to one update per batch.  Either way
+  /// `batch.refs` records the batch's original extent, so releasing is
+  /// independent of later in-place compaction of `batch.views`.
   virtual std::size_t try_next_batch(std::uint32_t queue,
                                      std::size_t max_packets,
                                      PacketBatch& batch);
 
-  /// Releases every packet of a batch obtained from try_next_batch()
-  /// in one call.  Views the application already released individually
-  /// (e.g. handed to forward()) must be removed from `batch.views`
-  /// before calling.  The base implementation loops done(); WireCAP
-  /// overrides it to decrement each chunk's refcount once per run of
-  /// views instead of once per packet.
+  /// Releases a batch obtained from try_next_batch() in one call.
+  /// Settles `batch.refs` — the extent recorded at read time — so a
+  /// batch whose views were compacted in place (a pipeline stage
+  /// dropping packets, even down to zero) still releases every buffer
+  /// exactly once.  Views released out of band (forward()) must be
+  /// subtracted via PacketBatch::note_released() first.  Hand-built
+  /// batches with empty refs fall back to one done() per view.
   virtual void done_batch(std::uint32_t queue, const PacketBatch& batch);
+
+  /// True when the engine implements add_batch_shares() natively (the
+  /// pipeline FanOut then lets subscribers release independently;
+  /// otherwise it falls back to holding the original batch itself).
+  [[nodiscard]] virtual bool supports_batch_shares() const { return false; }
+
+  /// Grants `extra` additional release shares for every ref of `batch`:
+  /// after this call the buffers behind the batch tolerate (1 + extra)
+  /// full releases — one per done_batch() on the original and on each
+  /// of `extra` ref-copies handed to fan-out subscribers — and recycle
+  /// only on the last.  Must be called while the original batch is
+  /// still unreleased.  Throws std::logic_error on engines without
+  /// native support (check supports_batch_shares()).
+  virtual void add_batch_shares(std::uint32_t queue, const PacketBatch& batch,
+                                std::uint32_t extra);
 
   /// Forwards the packet out `tx_queue` of `out_nic`, releasing the
   /// underlying buffer when transmission completes (zero-copy where the
@@ -141,6 +159,16 @@ class CaptureEngine {
   }
 
  protected:
+  /// Releases `count` references of the buffers behind `handle` — the
+  /// settlement primitive done_batch() applies per ref.  The base
+  /// implementation synthesizes a handle-only view and loops done()
+  /// (every engine's done() keys off `view.handle` alone); it only ever
+  /// sees count == 1 because the base try_next_batch() mints one ref
+  /// per view.  WireCAP overrides it with one chunk-refcount decrement
+  /// of `count`.
+  virtual void release_ref(std::uint32_t queue, std::uint64_t handle,
+                           std::uint32_t count);
+
   /// Set by bind_telemetry; null (the default) keeps every trace site at
   /// its single-branch disabled cost.
   telemetry::EventTracer* tracer_ = nullptr;

@@ -62,6 +62,7 @@ std::size_t PsioeEngine::try_next_batch(std::uint32_t queue,
     out.bytes = {staging.data() + offset, n};
     out.handle = 0;
     batch.views.push_back(out);
+    batch.refs.push_back(BatchRef{out.handle, 1});
   }
   return batch.views.size();
 }

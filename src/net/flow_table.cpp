@@ -1,0 +1,80 @@
+#include "net/flow_table.hpp"
+
+#include <algorithm>
+
+#include "net/headers.hpp"
+
+namespace wirecap::net {
+
+std::optional<FlowKey> FlowTable::update(const engines::CaptureView& view) {
+  const std::optional<FlowKey> flow = parse_flow(view.bytes);
+  if (!flow) {
+    ++unclassified_;
+    return std::nullopt;
+  }
+  update(*flow, view.timestamp, view.wire_len);
+  return flow;
+}
+
+void FlowTable::update(const FlowKey& flow, Nanos timestamp,
+                       std::uint64_t wire_bytes) {
+  FlowRecord& record = records_[flow];
+  if (record.packets == 0) record.first = timestamp;
+  // Timestamps may arrive slightly out of order across merge sources;
+  // keep first/last as a true envelope.
+  record.first = std::min(record.first, timestamp);
+  record.last = std::max(record.last, timestamp);
+  ++record.packets;
+  record.bytes += wire_bytes;
+  ++total_packets_;
+  total_bytes_ += wire_bytes;
+}
+
+std::size_t FlowTable::sweep_idle(Nanos now, const Exporter& exporter) {
+  const Nanos cutoff = now - idle_timeout_;
+  std::size_t swept = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.last < cutoff) {
+      if (exporter) exporter(it->first, it->second);
+      it = records_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  exported_ += swept;
+  return swept;
+}
+
+void FlowTable::merge(const FlowTable& other) {
+  for (const auto& [flow, record] : other.records_) {
+    FlowRecord& into = records_[flow];
+    if (into.packets == 0) {
+      into = record;
+    } else {
+      into.first = std::min(into.first, record.first);
+      into.last = std::max(into.last, record.last);
+      into.packets += record.packets;
+      into.bytes += record.bytes;
+    }
+  }
+  total_packets_ += other.total_packets_;
+  total_bytes_ += other.total_bytes_;
+  unclassified_ += other.unclassified_;
+}
+
+std::vector<std::pair<FlowKey, FlowRecord>> FlowTable::top_by_bytes(
+    std::size_t n) const {
+  std::vector<std::pair<FlowKey, FlowRecord>> sorted(records_.begin(),
+                                                     records_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second.bytes != b.second.bytes) {
+      return a.second.bytes > b.second.bytes;
+    }
+    return a.first < b.first;  // deterministic order for equal volumes
+  });
+  if (sorted.size() > n) sorted.resize(n);
+  return sorted;
+}
+
+}  // namespace wirecap::net

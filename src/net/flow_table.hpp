@@ -1,0 +1,103 @@
+// Per-flow accounting keyed by the IP 5-tuple — the reusable core of a
+// NetFlow-style collector, extracted from the ad-hoc map that
+// examples/flow_stats.cpp grew.  Used by the pipeline's aggregate stage
+// (src/pipeline) and directly by applications.
+//
+// A table is single-threaded by design: in the WireCAP model each
+// application thread keeps its own table (per-flow NIC steering plus
+// buddy offloading guarantee a flow's packets stay inside one
+// application), and tables are merge()d for whole-application reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "engines/packet_view.hpp"
+#include "net/flow.hpp"
+
+namespace wirecap::net {
+
+/// Accumulated statistics of one flow.
+struct FlowRecord {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;  // wire bytes (not snapped capture lengths)
+  Nanos first{};
+  Nanos last{};
+
+  [[nodiscard]] double duration_s() const { return (last - first).seconds(); }
+  [[nodiscard]] double rate_pps() const {
+    const double d = duration_s();
+    return d > 0 ? static_cast<double>(packets) / d : 0.0;
+  }
+};
+
+class FlowTable {
+ public:
+  /// Callback receiving flows evicted by the idle-timeout sweep.
+  using Exporter = std::function<void(const FlowKey&, const FlowRecord&)>;
+
+  /// `idle_timeout` bounds how long a flow may go without traffic
+  /// before sweep_idle() exports and evicts it.
+  explicit FlowTable(Nanos idle_timeout = Nanos::from_seconds(60))
+      : idle_timeout_(idle_timeout) {}
+
+  /// Parses the view down to its 5-tuple and folds it in.  Returns the
+  /// flow key when the packet was IPv4 TCP/UDP (and was counted),
+  /// nullopt otherwise (not counted).
+  std::optional<FlowKey> update(const engines::CaptureView& view);
+
+  /// Folds one already-classified packet in.
+  void update(const FlowKey& flow, Nanos timestamp, std::uint64_t wire_bytes);
+
+  /// Export sweep: every flow idle since before `now - idle_timeout` is
+  /// handed to `exporter` (may be null) and removed.  Returns the
+  /// number of flows exported.
+  std::size_t sweep_idle(Nanos now, const Exporter& exporter = nullptr);
+
+  /// Folds `other`'s records into this table (first/last widen, counts
+  /// add) — the whole-application merge across per-thread tables.
+  void merge(const FlowTable& other);
+
+  /// Flows sorted by descending byte count, truncated to `n` — the
+  /// classic heavy-hitter report.
+  [[nodiscard]] std::vector<std::pair<FlowKey, FlowRecord>> top_by_bytes(
+      std::size_t n) const;
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  /// Packets update() could not classify (non-IPv4 / non-TCP/UDP).
+  [[nodiscard]] std::uint64_t unclassified() const { return unclassified_; }
+  /// Flows evicted by sweep_idle() over the table's lifetime.
+  [[nodiscard]] std::uint64_t exported() const { return exported_; }
+  [[nodiscard]] Nanos idle_timeout() const { return idle_timeout_; }
+
+  [[nodiscard]] const std::unordered_map<FlowKey, FlowRecord>& records()
+      const {
+    return records_;
+  }
+
+  void clear() {
+    records_.clear();
+    total_packets_ = 0;
+    total_bytes_ = 0;
+    unclassified_ = 0;
+    exported_ = 0;
+  }
+
+ private:
+  Nanos idle_timeout_;
+  std::unordered_map<FlowKey, FlowRecord> records_;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t unclassified_ = 0;
+  std::uint64_t exported_ = 0;
+};
+
+}  // namespace wirecap::net

@@ -36,16 +36,13 @@ void PcapHandle::set_filter(bpf::Program program) {
 }
 
 void PcapHandle::release_batch() {
-  if (batch_.empty()) return;
-  if (injected_in_batch_ > 0) {
-    // Forwarded views were released by forward(); drop them from the
-    // recycle set.
-    std::size_t w = 0;
-    for (std::size_t i = 0; i < batch_.views.size(); ++i) {
-      if (accepts_[i] != kInjected) batch_.views[w++] = batch_.views[i];
-    }
-    batch_.views.resize(w);
-  }
+  // An empty views vector does NOT mean nothing to release: a pushdown
+  // stage may have compacted the whole batch away while its refs (the
+  // chunk's release obligations) remain.  Gating on views alone leaked
+  // the chunk — the satellite regression in test_pcap_compat.
+  if (batch_.views.empty() && batch_.refs.empty()) return;
+  // Injected views were subtracted from the refs at inject time, so
+  // done_batch() settles exactly the releases still owed.
   engine_.done_batch(queue_, batch_);  // one recycle per batch
   batch_.clear();
   injected_in_batch_ = 0;
@@ -55,6 +52,12 @@ void PcapHandle::release_batch() {
 bool PcapHandle::refill_batch() {
   release_batch();
   if (engine_.try_next_batch(queue_, kBatchPackets, batch_) == 0) return false;
+  if (batch_hook_) {
+    // Pipeline pushdown: stages run before the handle's filter and may
+    // compact the batch in place (possibly to zero views — the caller's
+    // read loop then refills again, releasing the refs on the way).
+    batch_hook_(batch_);
+  }
   if (filter_) {
     // One pre-decoded pass over the whole batch.
     static_cast<void>(filter_->run_batch(batch_, accepts_));
@@ -92,6 +95,9 @@ void PcapHandle::deliver(const engines::CaptureView& view,
   if (injected_) {
     accepts_[cursor_] = kInjected;
     ++injected_in_batch_;
+    // forward() consumed this view's release; keep the batch's refs in
+    // step so release_batch() does not release it again.
+    batch_.note_released(view.handle);
   }
   in_flight_ = nullptr;
   ++matched_;

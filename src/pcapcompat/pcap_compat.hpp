@@ -126,14 +126,27 @@ class PcapHandle {
   /// pcap_stats.
   [[nodiscard]] Stats stats() const;
 
+  /// Attaches an in-capture processing hook run over every freshly
+  /// pulled batch *before* the handle's own filter pass — the pipeline
+  /// pushdown seam (bind a pipeline::Pipeline's run() here to truncate,
+  /// sample, or pre-drop packets ahead of pcap delivery).  The hook may
+  /// compact `batch.views` in place, even down to zero packets:
+  /// releases follow `batch.refs`, so dropped views still recycle.
+  /// Null clears.
+  void set_batch_hook(std::function<void(engines::PacketBatch&)> hook) {
+    batch_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] std::uint32_t queue() const { return queue_; }
 
  private:
   // Per-view disposition inside the current batch.
   enum : std::uint8_t { kFiltered = 0, kMatched = 1, kInjected = 2 };
 
-  /// Releases the current batch back to the engine: one done_batch,
-  /// minus views the handler forwarded.
+  /// Releases the current batch back to the engine: one done_batch
+  /// settling the batch's refs (views the handler forwarded were
+  /// subtracted at inject time).  Tolerates a batch whose views were
+  /// compacted away entirely — the refs still recycle the chunk.
   void release_batch();
   /// release_batch(), then pulls + filters the next batch.  Returns
   /// false when the engine has nothing pending.
@@ -149,6 +162,7 @@ class PcapHandle {
   nic::MultiQueueNic& nic_;
   std::uint32_t queue_;
   std::optional<bpf::Predecoded> filter_;
+  std::function<void(engines::PacketBatch&)> batch_hook_;
   bool break_ = false;
   std::uint64_t matched_ = 0;
   std::uint64_t filtered_out_ = 0;

@@ -1,0 +1,55 @@
+#include "pipeline/pipeline.hpp"
+
+#include <unordered_map>
+
+namespace wirecap::pipeline {
+
+Stage& Pipeline::add(std::unique_ptr<Stage> stage) {
+  stages_.push_back(std::move(stage));
+  return *stages_.back();
+}
+
+void Pipeline::run(engines::PacketBatch& batch) {
+  ++batches_;
+  packets_in_ += batch.views.size();
+  for (const std::unique_ptr<Stage>& stage : stages_) {
+    if (batch.views.empty()) break;
+    stage->process(batch);
+  }
+  packets_out_ += batch.views.size();
+}
+
+Stage* Pipeline::find(std::string_view name) {
+  for (const std::unique_ptr<Stage>& stage : stages_) {
+    if (stage->name() == name) return stage.get();
+  }
+  return nullptr;
+}
+
+void Pipeline::bind_telemetry(telemetry::Telemetry& telemetry,
+                              const std::string& prefix) const {
+  telemetry.registry.bind_counter(prefix + ".batches",
+                                  [this] { return batches_; });
+  telemetry.registry.bind_counter(prefix + ".packets_in",
+                                  [this] { return packets_in_; });
+  telemetry.registry.bind_counter(prefix + ".packets_out",
+                                  [this] { return packets_out_; });
+  std::unordered_map<std::string, std::size_t> seen;
+  for (const std::unique_ptr<Stage>& stage : stages_) {
+    std::string base(stage->name());
+    const std::size_t ordinal = ++seen[base];
+    if (ordinal > 1) base += std::to_string(ordinal);
+    const std::string stem = prefix + "." + base;
+    const Stage* s = stage.get();
+    telemetry.registry.bind_counter(stem + ".batches",
+                                    [s] { return s->stats().batches; });
+    telemetry.registry.bind_counter(stem + ".packets_in",
+                                    [s] { return s->stats().packets_in; });
+    telemetry.registry.bind_counter(stem + ".packets_out",
+                                    [s] { return s->stats().packets_out; });
+    telemetry.registry.bind_counter(stem + ".dropped",
+                                    [s] { return s->stats().dropped(); });
+  }
+}
+
+}  // namespace wirecap::pipeline

@@ -1,0 +1,68 @@
+// An ordered chain of Stages applied to each batch between capture and
+// delivery.  The pipeline owns its stages; run() applies them front to
+// back and stops early once a stage has compacted the batch to zero
+// packets (later filters cannot resurrect anything — but the batch's
+// refs still carry the release obligations to done_batch()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pipeline/stage.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace wirecap::pipeline {
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  /// Appends a stage; returns it for configuration chaining.
+  Stage& add(std::unique_ptr<Stage> stage);
+
+  /// Emplaces a stage of concrete type `S`.
+  template <typename S, typename... Args>
+  S& emplace(Args&&... args) {
+    auto stage = std::make_unique<S>(std::forward<Args>(args)...);
+    S& ref = *stage;
+    add(std::move(stage));
+    return ref;
+  }
+
+  /// Runs every stage over `batch` in order (early-out on empty).
+  void run(engines::PacketBatch& batch);
+
+  [[nodiscard]] std::size_t size() const { return stages_.size(); }
+  [[nodiscard]] bool empty() const { return stages_.empty(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<Stage>>& stages() const {
+    return stages_;
+  }
+
+  /// First stage with the given name() (nullptr when absent) — how the
+  /// harness reaches the aggregate stage's FlowTable after a spec parse.
+  [[nodiscard]] Stage* find(std::string_view name);
+
+  [[nodiscard]] std::uint64_t batches() const { return batches_; }
+  [[nodiscard]] std::uint64_t packets_in() const { return packets_in_; }
+  [[nodiscard]] std::uint64_t packets_out() const { return packets_out_; }
+
+  /// Registers `<prefix>.<stage>.{batches,packets_in,packets_out,dropped}`
+  /// per stage plus the pipeline totals under `<prefix>`.  Stages with
+  /// duplicate names get an ordinal suffix (`filter`, `filter2`, ...).
+  /// The pipeline must outlive `telemetry` reads (counters are bound).
+  void bind_telemetry(telemetry::Telemetry& telemetry,
+                      const std::string& prefix) const;
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t packets_in_ = 0;
+  std::uint64_t packets_out_ = 0;
+};
+
+}  // namespace wirecap::pipeline

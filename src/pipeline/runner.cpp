@@ -1,0 +1,56 @@
+#include "pipeline/runner.hpp"
+
+#include <utility>
+
+namespace wirecap::pipeline {
+
+PipelineRunner::PipelineRunner(sim::SimCore& core,
+                               engines::CaptureEngine& engine,
+                               std::uint32_t queue, Pipeline pipeline,
+                               FanOut& fanout, PipelineRunnerConfig config,
+                               const sim::CostModel& costs)
+    : core_(core),
+      engine_(engine),
+      queue_(queue),
+      pipeline_(std::move(pipeline)),
+      fanout_(fanout),
+      config_(config) {
+  per_packet_cost_ =
+      costs.pkt_handler_cost(config_.x) + engine.app_overhead_per_packet();
+  if (config_.batch_packets == 0) config_.batch_packets = 1;
+  engine_.open(queue_, core_);
+  engine_.set_data_callback(queue_, [this] { maybe_start(); });
+  maybe_start();
+}
+
+void PipelineRunner::maybe_start() {
+  if (busy_) return;
+  busy_ = true;
+  process_batch();
+}
+
+void PipelineRunner::process_batch() {
+  const std::size_t n =
+      engine_.try_next_batch(queue_, config_.batch_packets, batch_);
+  if (n == 0) {
+    busy_ = false;  // back to blocking on the capture API
+    return;
+  }
+  // One work item per batch, like PktHandler: batch_ is stable until the
+  // item runs (maybe_start never re-enters while busy_).
+  core_.submit(sim::WorkPriority::kUser,
+               per_packet_cost_ * static_cast<std::int64_t>(n), [this] {
+    ++stats_.batches;
+    stats_.packets_in += batch_.size();
+    pipeline_.run(batch_);
+    stats_.packets_out += batch_.size();
+    // The FanOut consumes the batch — steering, subscriber delivery and
+    // every release happen inside (including the compacted-to-zero
+    // case, where offer() settles the refs itself).
+    fanout_.offer(queue_, std::move(batch_));
+    batch_.clear();  // moved-from: restore to a known-empty state
+    process_batch();
+  });
+}
+
+}  // namespace wirecap::pipeline

@@ -1,0 +1,63 @@
+// PipelineRunner — the simulation actor that drives capture through a
+// Pipeline into a FanOut.  The batch-granular read loop mirrors
+// apps::PktHandler: each iteration pulls one batch via try_next_batch(),
+// charges the batch's processing cost as one work item on the
+// application core, runs the stages in place, and hands the survivors
+// to the FanOut terminal (which owns the release from there on).
+#pragma once
+
+#include <cstdint>
+
+#include "engines/engine.hpp"
+#include "pipeline/fanout.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/core.hpp"
+#include "sim/costs.hpp"
+
+namespace wirecap::pipeline {
+
+struct PipelineRunnerConfig {
+  /// Packets pulled per try_next_batch() call.
+  std::size_t batch_packets = 64;
+  /// Per-packet processing cost proxy, in equivalent BPF applications
+  /// (the experiment harness's x): charged via CostModel as the cost of
+  /// running the stages + subscriber handlers over one packet.
+  unsigned x = 0;
+};
+
+struct PipelineRunnerStats {
+  std::uint64_t batches = 0;     // delivering try_next_batch calls
+  std::uint64_t packets_in = 0;  // packets entering the pipeline
+  std::uint64_t packets_out = 0; // packets surviving to the fan-out
+};
+
+class PipelineRunner {
+ public:
+  /// Opens `queue` on `engine` and starts the read loop.  `fanout` must
+  /// outlive the runner; subscribers must already be registered.
+  PipelineRunner(sim::SimCore& core, engines::CaptureEngine& engine,
+                 std::uint32_t queue, Pipeline pipeline, FanOut& fanout,
+                 PipelineRunnerConfig config, const sim::CostModel& costs);
+
+  [[nodiscard]] const PipelineRunnerStats& stats() const { return stats_; }
+  [[nodiscard]] Pipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const Pipeline& pipeline() const { return pipeline_; }
+  [[nodiscard]] std::uint32_t queue() const { return queue_; }
+
+ private:
+  void maybe_start();
+  void process_batch();
+
+  sim::SimCore& core_;
+  engines::CaptureEngine& engine_;
+  std::uint32_t queue_;
+  Pipeline pipeline_;
+  FanOut& fanout_;
+  PipelineRunnerConfig config_;
+  Nanos per_packet_cost_;
+  PipelineRunnerStats stats_;
+  engines::PacketBatch batch_;
+  bool busy_ = false;
+};
+
+}  // namespace wirecap::pipeline

@@ -1,0 +1,105 @@
+#include "pipeline/spec.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+#include "pipeline/stages.hpp"
+
+namespace wirecap::pipeline {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view token, const std::string& why) {
+  throw std::invalid_argument("pipeline spec: bad stage \"" +
+                              std::string(token) + "\": " + why);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::uint32_t parse_u32(std::string_view token, std::string_view text) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail(token, "expected an unsigned integer, got \"" + std::string(text) +
+                    "\"");
+  }
+  return value;
+}
+
+void add_stage(Pipeline& pipeline, std::string_view token) {
+  const std::size_t colon = token.find(':');
+  const std::string_view name = trim(token.substr(0, colon));
+  const std::string_view arg =
+      colon == std::string_view::npos
+          ? std::string_view{}
+          : trim(token.substr(colon + 1));
+
+  if (name == "filter") {
+    if (arg.empty()) fail(token, "filter needs a BPF expression");
+    try {
+      pipeline.emplace<FilterStage>(std::string(arg));
+    } catch (const std::exception& e) {  // bpf parse/compile errors
+      fail(token, e.what());
+    }
+  } else if (name == "sample") {
+    // "1/N" or "flow/N"
+    const std::size_t slash = arg.find('/');
+    if (slash == std::string_view::npos) {
+      fail(token, "sample needs \"1/N\" or \"flow/N\"");
+    }
+    const std::string_view kind = trim(arg.substr(0, slash));
+    const std::uint32_t n = parse_u32(token, trim(arg.substr(slash + 1)));
+    if (n == 0) fail(token, "N must be >= 1");
+    if (kind == "1") {
+      pipeline.emplace<SampleStage>(SampleMode::kOneInN, n);
+    } else if (kind == "flow") {
+      pipeline.emplace<SampleStage>(SampleMode::kPerFlow, n);
+    } else {
+      fail(token, "sample kind must be \"1\" or \"flow\"");
+    }
+  } else if (name == "truncate") {
+    if (arg.empty()) fail(token, "truncate needs a snaplen");
+    const std::uint32_t snaplen = parse_u32(token, arg);
+    if (snaplen == 0) fail(token, "snaplen must be >= 1");
+    pipeline.emplace<TruncateStage>(snaplen);
+  } else if (name == "aggregate") {
+    if (arg.empty()) {
+      pipeline.emplace<AggregateStage>();
+    } else {
+      const std::uint32_t idle_s = parse_u32(token, arg);
+      if (idle_s == 0) fail(token, "idle timeout must be >= 1 second");
+      pipeline.emplace<AggregateStage>(Nanos::from_seconds(idle_s));
+    }
+  } else {
+    fail(token, "unknown stage (expected filter / sample / truncate / "
+                "aggregate)");
+  }
+}
+
+}  // namespace
+
+Pipeline parse_pipeline_spec(std::string_view spec) {
+  Pipeline pipeline;
+  while (!spec.empty()) {
+    const std::size_t bar = spec.find('|');
+    const std::string_view token =
+        trim(bar == std::string_view::npos ? spec : spec.substr(0, bar));
+    spec = bar == std::string_view::npos ? std::string_view{}
+                                         : spec.substr(bar + 1);
+    if (token.empty()) continue;
+    add_stage(pipeline, token);
+  }
+  return pipeline;
+}
+
+}  // namespace wirecap::pipeline

@@ -1,0 +1,26 @@
+// Textual pipeline specs — how the experiment harness's --pipeline flag
+// builds a stage chain:
+//
+//   stage ("|" stage)*
+//   stage := "filter:" <bpf expression>
+//          | "sample:1/" <N>          (keep every Nth packet)
+//          | "sample:flow/" <N>       (keep 1-in-N whole flows)
+//          | "truncate:" <snaplen>
+//          | "aggregate" [":" <idle seconds>]
+//
+// e.g.  --pipeline "filter:tcp port 80|sample:1/8|truncate:96|aggregate"
+#pragma once
+
+#include <string_view>
+
+#include "pipeline/pipeline.hpp"
+
+namespace wirecap::pipeline {
+
+/// Builds a Pipeline from a spec string.  Throws std::invalid_argument
+/// on unknown stage names, malformed arguments, or an invalid BPF
+/// expression (with the offending token in the message).  An empty or
+/// all-whitespace spec yields an empty pipeline.
+[[nodiscard]] Pipeline parse_pipeline_spec(std::string_view spec);
+
+}  // namespace wirecap::pipeline

@@ -1,0 +1,72 @@
+// The in-capture processing stage contract (ROADMAP: "in-capture
+// functional processing pipeline", in the PFQ / sPIN direction).
+//
+// A Stage transforms one engines::PacketBatch *in place* at batch
+// granularity.  The compaction contract: a stage drops packets by
+// moving the surviving CaptureViews to the front of `batch.views` and
+// shrinking the vector — views are ~40-byte metadata records aliasing
+// the capture chunk, so a drop never copies packet bytes.  Stages must
+// never touch `batch.refs`: the refs record the release obligations
+// try_next_batch() minted, and done_batch() settles them regardless of
+// what the stages kept — that is what makes arbitrary (even total)
+// compaction leak-free.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "engines/packet_view.hpp"
+
+namespace wirecap::pipeline {
+
+/// Per-stage accounting, published as pipeline.<stage>.* counters.
+struct StageStats {
+  std::uint64_t batches = 0;
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_out = 0;
+  [[nodiscard]] std::uint64_t dropped() const {
+    return packets_in - packets_out;
+  }
+};
+
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Stable identifier used for telemetry names and spec parsing.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Transforms `batch` in place (see the compaction contract above).
+  /// Views may also be rewritten — e.g. truncation shrinks
+  /// `view.bytes` — as long as they keep aliasing the capture chunk.
+  virtual void process(engines::PacketBatch& batch) = 0;
+
+  [[nodiscard]] const StageStats& stats() const { return stats_; }
+
+ protected:
+  /// Implementations call this once per process() invocation.
+  void account(std::size_t packets_in, std::size_t packets_out) {
+    ++stats_.batches;
+    stats_.packets_in += packets_in;
+    stats_.packets_out += packets_out;
+  }
+
+  StageStats stats_;
+};
+
+/// In-place compaction helper: keeps exactly the views for which
+/// `keep(index, view)` returns true, preserving order.  Metadata-only —
+/// packet bytes never move.
+template <typename Keep>
+void compact_views(engines::PacketBatch& batch, Keep&& keep) {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < batch.views.size(); ++i) {
+    if (keep(i, batch.views[i])) {
+      if (w != i) batch.views[w] = batch.views[i];
+      ++w;
+    }
+  }
+  batch.views.resize(w);
+}
+
+}  // namespace wirecap::pipeline

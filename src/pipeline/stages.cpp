@@ -1,0 +1,87 @@
+#include "pipeline/stages.hpp"
+
+#include <algorithm>
+
+#include "bpf/codegen.hpp"
+#include "net/headers.hpp"
+
+namespace wirecap::pipeline {
+
+FilterStage::FilterStage(const std::string& expression)
+    : filter_(bpf::compile_filter(expression)) {}
+
+FilterStage::FilterStage(const bpf::Program& program) : filter_(program) {}
+
+void FilterStage::process(engines::PacketBatch& batch) {
+  const std::size_t in = batch.views.size();
+  if (in != 0) {
+    filter_.run_batch(batch, accepts_);
+    compact_views(batch, [this](std::size_t i, const engines::CaptureView&) {
+      return accepts_[i] != 0;
+    });
+  }
+  account(in, batch.views.size());
+}
+
+SampleStage::SampleStage(SampleMode mode, std::uint32_t n)
+    : mode_(mode), n_(n) {
+  if (n_ == 0) n_ = 1;
+}
+
+void SampleStage::process(engines::PacketBatch& batch) {
+  const std::size_t in = batch.views.size();
+  if (n_ > 1 && in != 0) {
+    if (mode_ == SampleMode::kOneInN) {
+      compact_views(batch,
+                    [this](std::size_t, const engines::CaptureView&) {
+                      return counter_++ % n_ == 0;
+                    });
+    } else {
+      compact_views(batch,
+                    [this](std::size_t, const engines::CaptureView& view) {
+                      const std::optional<net::FlowKey> flow =
+                          net::parse_flow(view.bytes);
+                      const std::uint64_t key = flow ? flow->mix() : view.seq;
+                      return key % n_ == 0;
+                    });
+    }
+  }
+  account(in, batch.views.size());
+}
+
+TruncateStage::TruncateStage(std::uint32_t snaplen) : snaplen_(snaplen) {}
+
+void TruncateStage::process(engines::PacketBatch& batch) {
+  const std::size_t in = batch.views.size();
+  for (engines::CaptureView& view : batch.views) {
+    if (view.bytes.size() > snaplen_) {
+      view.bytes = view.bytes.first(snaplen_);
+      ++truncated_;
+    }
+  }
+  account(in, in);
+}
+
+AggregateStage::AggregateStage(Nanos idle_timeout) : table_(idle_timeout) {}
+
+void AggregateStage::set_exporter(net::FlowTable::Exporter exporter) {
+  exporter_ = std::move(exporter);
+}
+
+void AggregateStage::process(engines::PacketBatch& batch) {
+  const std::size_t in = batch.views.size();
+  for (const engines::CaptureView& view : batch.views) {
+    table_.update(view);
+    high_water_ = std::max(high_water_, view.timestamp);
+  }
+  if (next_sweep_.count() == 0) {
+    // First traffic seen: anchor the sweep cadence to the capture clock.
+    next_sweep_ = high_water_ + table_.idle_timeout();
+  } else if (high_water_ >= next_sweep_) {
+    table_.sweep_idle(high_water_, exporter_);
+    next_sweep_ = high_water_ + table_.idle_timeout();
+  }
+  account(in, in);
+}
+
+}  // namespace wirecap::pipeline

@@ -1,0 +1,108 @@
+// Built-in pipeline stages: BPF pushdown filtering, 1-in-N and
+// per-flow sampling, snaplen truncation, and per-flow aggregation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bpf/insn.hpp"
+#include "bpf/predecode.hpp"
+#include "common/units.hpp"
+#include "net/flow_table.hpp"
+#include "pipeline/stage.hpp"
+
+namespace wirecap::pipeline {
+
+/// Pushdown BPF pre-filter: one bpf::Predecoded::run_batch() pass per
+/// batch, then metadata-only compaction of the rejected views.  Running
+/// this before delivery is the "filter in capture" the paper's kernel
+/// filter performs — consumers never see packets the filter rejects.
+class FilterStage final : public Stage {
+ public:
+  /// Compiles `expression` with the built-in filter compiler.
+  explicit FilterStage(const std::string& expression);
+  /// Verifies and pre-decodes an already-built program.
+  explicit FilterStage(const bpf::Program& program);
+
+  [[nodiscard]] std::string_view name() const override { return "filter"; }
+  void process(engines::PacketBatch& batch) override;
+
+ private:
+  bpf::Predecoded filter_;
+  std::vector<std::uint8_t> accepts_;  // reused across batches
+};
+
+enum class SampleMode : std::uint8_t {
+  /// Keeps every Nth packet of the stream (deterministic count-based
+  /// decimation).
+  kOneInN,
+  /// Keeps every packet of 1-in-N *flows* (FlowKey::mix() % N == 0), so
+  /// sampled flows stay whole — the property per-flow analysis needs.
+  /// Packets with no parseable 5-tuple fall back to seq-based 1-in-N.
+  kPerFlow,
+};
+
+class SampleStage final : public Stage {
+ public:
+  SampleStage(SampleMode mode, std::uint32_t n);
+
+  [[nodiscard]] std::string_view name() const override { return "sample"; }
+  void process(engines::PacketBatch& batch) override;
+
+  [[nodiscard]] SampleMode mode() const { return mode_; }
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+
+ private:
+  SampleMode mode_;
+  std::uint32_t n_;
+  std::uint64_t counter_ = 0;  // kOneInN position in the stream
+};
+
+/// Shrinks every view to at most `snaplen` captured bytes by slicing
+/// the view's span — zero-copy truncation; `wire_len` keeps reporting
+/// the original length, exactly like a pcap snaplen.
+class TruncateStage final : public Stage {
+ public:
+  explicit TruncateStage(std::uint32_t snaplen);
+
+  [[nodiscard]] std::string_view name() const override { return "truncate"; }
+  void process(engines::PacketBatch& batch) override;
+
+  [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
+  /// Views actually shortened (caplen was above the snaplen).
+  [[nodiscard]] std::uint64_t truncated() const { return truncated_; }
+
+ private:
+  std::uint32_t snaplen_;
+  std::uint64_t truncated_ = 0;
+};
+
+/// Per-flow aggregation over a net::FlowTable — an observer stage:
+/// packets pass through unchanged while the table accumulates.  When an
+/// idle timeout is configured, the stage sweeps the table as capture
+/// timestamps advance and hands evicted flows to the exporter.
+class AggregateStage final : public Stage {
+ public:
+  explicit AggregateStage(Nanos idle_timeout = Nanos::from_seconds(60));
+
+  [[nodiscard]] std::string_view name() const override { return "aggregate"; }
+  void process(engines::PacketBatch& batch) override;
+
+  /// Receives flows evicted by the idle sweep.
+  void set_exporter(net::FlowTable::Exporter exporter);
+
+  [[nodiscard]] net::FlowTable& table() { return table_; }
+  [[nodiscard]] const net::FlowTable& table() const { return table_; }
+
+ private:
+  net::FlowTable table_;
+  net::FlowTable::Exporter exporter_;
+  /// Latest capture timestamp seen; sweeps run at idle-timeout cadence
+  /// against this virtual clock.
+  Nanos high_water_{};
+  Nanos next_sweep_{};
+};
+
+}  // namespace wirecap::pipeline

@@ -147,6 +147,40 @@ void ChunkLifecycleAuditor::on_recycle_reject(
   }
 }
 
+void ChunkLifecycleAuditor::on_shares(const driver::RingBufferPool& pool,
+                                      std::uint32_t chunk_id,
+                                      std::int64_t delta, std::uint32_t now) {
+  if (delta > 0) {
+    stats_.share_grants += static_cast<std::uint64_t>(delta);
+  } else {
+    stats_.share_releases += static_cast<std::uint64_t>(-delta);
+  }
+  if (chunk_id >= pool.chunk_count()) {
+    violation(pool, chunk_id, "share change for out-of-range chunk id");
+    return;
+  }
+  bool first_sight = false;
+  Shadow& shadow = shadow_for(pool, pool.state(chunk_id), chunk_id,
+                              &first_sight);
+  if (shadow.shares.size() < pool.chunk_count()) {
+    shadow.shares.resize(pool.chunk_count(), 0);
+  }
+  if (shadow.states[chunk_id] != driver::ChunkState::kCaptured) {
+    violation(pool, chunk_id,
+              std::string("share change on a ") +
+                  to_string(shadow.states[chunk_id]) + " chunk");
+  }
+  const std::int64_t expected =
+      static_cast<std::int64_t>(shadow.shares[chunk_id]) + delta;
+  if (expected < 0 || expected != static_cast<std::int64_t>(now)) {
+    violation(pool, chunk_id,
+              "share count " + std::to_string(now) + " disagrees with shadow " +
+                  std::to_string(shadow.shares[chunk_id]) + " + delta " +
+                  std::to_string(delta));
+  }
+  shadow.shares[chunk_id] = now;
+}
+
 void ChunkLifecycleAuditor::check_pool(const driver::RingBufferPool& pool) {
   const driver::ChunkStateCounts counts = pool.state_counts();
   if (counts.free + counts.attached + counts.captured != pool.chunk_count()) {
@@ -171,6 +205,20 @@ void ChunkLifecycleAuditor::check_pool(const driver::RingBufferPool& pool) {
                 std::string("shadow state ") + to_string(it->second.states[c]) +
                     " disagrees with pool state " + to_string(pool.state(c)) +
                     " (a transition bypassed the observer)");
+    }
+    const std::uint32_t shares = c < it->second.shares.size()
+                                     ? it->second.shares[c]
+                                     : 0;
+    if (shares != pool.extra_shares(c)) {
+      violation(pool, c,
+                "shadow share count " + std::to_string(shares) +
+                    " disagrees with pool share count " +
+                    std::to_string(pool.extra_shares(c)));
+    }
+    if (shares != 0 && pool.state(c) != driver::ChunkState::kCaptured) {
+      violation(pool, c,
+                std::string("fan-out shares outstanding on a ") +
+                    to_string(pool.state(c)) + " chunk");
     }
   }
 }
@@ -207,6 +255,10 @@ void ChunkLifecycleAuditor::bind_telemetry(telemetry::Telemetry& telemetry,
                                   [this] { return stats_.violations; });
   telemetry.registry.bind_counter(p + "recycle_rejects",
                                   [this] { return stats_.recycle_rejects; });
+  telemetry.registry.bind_counter(p + "share_grants",
+                                  [this] { return stats_.share_grants; });
+  telemetry.registry.bind_counter(p + "share_releases",
+                                  [this] { return stats_.share_releases; });
   telemetry.registry.bind_counter(p + "conservation_checks",
                                   [this] { return stats_.conservation_checks; });
   telemetry.registry.bind_gauge(p + "tracked_pools", [this] {

@@ -52,6 +52,9 @@ struct AuditorStats {
   std::uint64_t recycles = 0;
   std::uint64_t releases = 0;
   std::uint64_t recycle_rejects = 0;
+  /// Fan-out share grants / releases observed (pipeline FanOut).
+  std::uint64_t share_grants = 0;
+  std::uint64_t share_releases = 0;
   std::uint64_t conservation_checks = 0;
   std::uint64_t violations = 0;
 };
@@ -67,6 +70,8 @@ class ChunkLifecycleAuditor final : public driver::PoolObserver {
   void on_recycle_reject(const driver::RingBufferPool& pool,
                          const driver::ChunkMeta& meta,
                          StatusCode code) override;
+  void on_shares(const driver::RingBufferPool& pool, std::uint32_t chunk_id,
+                 std::int64_t delta, std::uint32_t now) override;
 
   // --- audits (call at event boundaries, i.e. between scheduler events) ---
 
@@ -98,6 +103,10 @@ class ChunkLifecycleAuditor final : public driver::PoolObserver {
  private:
   struct Shadow {
     std::vector<driver::ChunkState> states;
+    /// Shadowed fan-out share counts (lazily sized on first grant);
+    /// nonzero shares are only legal on captured chunks, and every
+    /// recycle must happen at zero.
+    std::vector<std::uint32_t> shares;
   };
 
   Shadow& shadow_for(const driver::RingBufferPool& pool,

@@ -555,5 +555,48 @@ TEST(Predecoded, RunBatchFlagsEachPacket) {
   EXPECT_TRUE(accepts.empty());
 }
 
+// A batch whose every view has zero captured bytes: every absolute load
+// is out of bounds, so a data-dependent filter rejects all packets —
+// but the call itself must stay well-defined and size `accepts`.
+TEST(Predecoded, RunBatchHandlesZeroLengthViews) {
+  const Predecoded pre{compile_filter("udp")};
+  engines::PacketBatch batch;
+  for (int i = 0; i < 3; ++i) {
+    engines::CaptureView view;
+    view.bytes = {};  // captured length 0
+    view.wire_len = 64;
+    batch.views.push_back(view);
+  }
+  std::vector<std::uint8_t> accepts{0xFF};  // stale content must be reset
+  EXPECT_EQ(pre.run_batch(batch, accepts), 0u);
+  ASSERT_EQ(accepts.size(), 3u);
+  for (const std::uint8_t a : accepts) EXPECT_EQ(a, 0);
+}
+
+// All packets rejected: the shape a pipeline FilterStage compacts to an
+// empty batch (its deferred release path depends on this count being
+// exact).
+TEST(Predecoded, RunBatchAllPacketsRejected) {
+  const Predecoded pre{compile_filter("tcp port 9999")};
+  std::vector<std::array<std::byte, 64>> frames;
+  for (std::uint16_t p = 0; p < 4; ++p) {
+    frames.push_back(make_frame(FlowKey{Ipv4Addr{10, 0, 0, 1},
+                                        Ipv4Addr{10, 0, 0, 2},
+                                        static_cast<std::uint16_t>(1000 + p),
+                                        53, IpProto::kUdp}));
+  }
+  engines::PacketBatch batch;
+  for (auto& frame : frames) {
+    engines::CaptureView view;
+    view.bytes = std::span<std::byte>{frame};
+    view.wire_len = 64;
+    batch.views.push_back(view);
+  }
+  std::vector<std::uint8_t> accepts;
+  EXPECT_EQ(pre.run_batch(batch, accepts), 0u);
+  ASSERT_EQ(accepts.size(), 4u);
+  for (const std::uint8_t a : accepts) EXPECT_EQ(a, 0);
+}
+
 }  // namespace
 }  // namespace wirecap::bpf

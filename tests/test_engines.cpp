@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "apps/harness.hpp"
+#include "core/wirecap_engine.hpp"
 #include "engines/factory.hpp"
 #include "net/packet.hpp"
 #include "nic/device.hpp"
@@ -304,6 +305,121 @@ TEST(BatchApi, BaselineAdapterDeliversSameStreamAsPerPacket) {
   const auto via_batches = run_path(true);
   EXPECT_EQ(per_packet.size(), 60u);
   EXPECT_EQ(per_packet, via_batches);
+}
+
+// --- the refs-based release contract (PacketBatch::refs) ---
+
+// try_next_batch() mints release obligations (`refs`) matching the
+// batch's extent at read time; done_batch() settles the refs, not the
+// views.  Compacting views in place — even to zero — must not leak a
+// single cell.
+TEST(BatchApi, RefsSettleReleasesNotViews) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = 1;
+  nic_config.rx_ring_size = 32;  // R must exceed ring_size / M
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  engines::EngineConfig config;
+  config.cells_per_chunk = 8;
+  config.chunk_count = 12;  // tiny pool: a leaked chunk shows up fast
+  auto engine = engines::make_engine("WireCAP-B", nic, config);
+  auto& wirecap = dynamic_cast<core::WirecapEngine&>(*engine);
+  sim::SimCore core{scheduler, 0};
+  engine->open(0, core);
+
+  const net::FlowKey flow{net::Ipv4Addr{10, 0, 0, 1},
+                          net::Ipv4Addr{10, 0, 0, 2}, 5000, 53,
+                          net::IpProto::kUdp};
+  constexpr std::uint64_t kPackets = 500;  // several pool generations
+  trace::ConstantRateConfig trace_config;
+  trace_config.packet_count = kPackets;
+  trace_config.flows = {flow};
+  trace::ConstantRateSource source{trace_config};
+  nic::TrafficInjector injector{scheduler, source, nic};
+  injector.start();
+
+  engines::PacketBatch batch;
+  std::uint64_t drained = 0;
+  bool dropped_all_once = false;
+  int idle = 0;
+  while (idle < 2) {
+    scheduler.run_until(scheduler.now() + Nanos::from_millis(5));
+    bool any = false;
+    while (engine->try_next_batch(0, 1000, batch) > 0) {
+      ASSERT_FALSE(batch.refs.empty());
+      ASSERT_EQ(batch.pending_releases(), batch.views.size());
+      drained += batch.views.size();
+      if (!dropped_all_once) {
+        batch.views.clear();  // total compaction
+        dropped_all_once = true;
+      } else {
+        batch.views.resize(batch.views.size() / 2);  // partial compaction
+      }
+      engine->done_batch(0, batch);  // refs settle the FULL extent
+      any = true;
+    }
+    idle = any ? 0 : idle + 1;
+  }
+  EXPECT_TRUE(dropped_all_once);
+  EXPECT_EQ(drained, kPackets);  // the tiny pool never ran dry: no leak
+  EXPECT_EQ(nic.rx_stats(0).dropped, 0u);
+
+  const auto census = wirecap.captured_census(0);
+  EXPECT_EQ(census.outstanding, 0u);
+  EXPECT_EQ(wirecap.pool(0).state_counts().captured, census.total());
+  engine->close(0);
+}
+
+// A view released out of band (an individual done(), forward()) is
+// subtracted from the batch's refs via note_released(), and done_batch()
+// releases exactly the remainder; over-subtracting throws.
+TEST(BatchApi, NoteReleasedKeepsRefsInStepWithOutOfBandReleases) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = 1;
+  nic_config.rx_ring_size = 32;  // R must exceed ring_size / M
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  engines::EngineConfig config;
+  config.cells_per_chunk = 8;
+  config.chunk_count = 12;
+  auto engine = engines::make_engine("WireCAP-B", nic, config);
+  auto& wirecap = dynamic_cast<core::WirecapEngine&>(*engine);
+  sim::SimCore core{scheduler, 0};
+  engine->open(0, core);
+
+  const net::FlowKey flow{net::Ipv4Addr{10, 0, 0, 5},
+                          net::Ipv4Addr{10, 0, 0, 6}, 7000, 80,
+                          net::IpProto::kTcp};
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    nic.receive(net::WirePacket::make(
+        Nanos::from_micros(2.0 * static_cast<double>(i + 1)), flow, 64));
+  }
+  scheduler.run_until(Nanos::from_millis(5));
+
+  engines::PacketBatch batch;
+  ASSERT_GT(engine->try_next_batch(0, 1000, batch), 0u);
+  const std::size_t extent = batch.views.size();
+  ASSERT_GE(extent, 2u);
+
+  // Release the first view through the per-packet path, then keep the
+  // batch's books in step.
+  engine->done(0, batch.views.front());
+  batch.note_released(batch.views.front().handle);
+  EXPECT_EQ(batch.pending_releases(), extent - 1);
+
+  engine->done_batch(0, batch);  // settles exactly the remainder
+
+  const auto census = wirecap.captured_census(0);
+  EXPECT_EQ(census.outstanding, 0u);
+
+  // Over-subtraction is a caller bug and throws.
+  engines::PacketBatch standalone;
+  standalone.refs.push_back(engines::BatchRef{77, 1});
+  standalone.note_released(77);
+  EXPECT_THROW(standalone.note_released(77), std::logic_error);
+  engine->close(0);
 }
 
 }  // namespace

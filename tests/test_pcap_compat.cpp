@@ -282,5 +282,63 @@ TEST(PcapCompat, DeprecatedLegacyHandlerStillDelivers) {
   EXPECT_EQ(seen, 20);
 }
 
+// Regression: a pushdown batch hook that compacts a batch to ZERO views
+// must not leak the batch's chunks.  The deferred release keys off the
+// batch's refs, not its views — an early-out on `views.empty()` here
+// once dropped the whole chunk on the floor (permanent pool exhaustion).
+TEST(PcapCompat, BatchCompactedToZeroStillRecycles) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.rx_ring_size = 32;  // R must exceed ring_size / M
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 8;
+  engine_config.chunk_count = 12;  // small pool: a leak exhausts it fast
+  core::WirecapEngine engine{scheduler, nic, engine_config};
+  sim::SimCore app_core{scheduler, 0};
+
+  PcapHandle handle{scheduler, engine, nic, 0, app_core};
+  std::uint64_t hook_batches = 0;
+  std::uint64_t hook_packets = 0;
+  handle.set_batch_hook([&](engines::PacketBatch& batch) {
+    ++hook_batches;
+    hook_packets += batch.views.size();
+    batch.views.clear();  // compact everything away; refs stay
+  });
+
+  trace::ConstantRateConfig config;
+  config.packet_count = 400;  // > pool capacity (12 * 8 = 96 cells)
+  Xoshiro256 rng{43};
+  config.flows = {trace::random_flow(rng)};
+  trace::ConstantRateSource source{config};
+  nic::TrafficInjector injector{scheduler, source, nic};
+  injector.start();
+
+  int seen = 0;
+  const auto drain = [&] {
+    handle.dispatch(0, [&seen](const PacketHeader&,
+                               std::span<const std::byte>) { ++seen; });
+  };
+  // Interleave injection and dispatch so a leak would exhaust the pool
+  // mid-run (capture drops), not just strand chunks at the end.
+  for (int step = 1; step <= 20; ++step) {
+    scheduler.run_until(Nanos::from_micros(50.0 * step));
+    drain();
+  }
+  scheduler.run_until(Nanos::from_seconds(1));
+  drain();
+
+  EXPECT_EQ(seen, 0);  // every packet was compacted away pre-delivery
+  EXPECT_GT(hook_batches, 0u);
+  EXPECT_EQ(hook_packets, 400u);  // nothing dropped: the pool never ran dry
+  EXPECT_EQ(handle.stats().ps_ifdrop, 0u);
+
+  // Every chunk settled home: nothing outstanding, nothing captured.
+  const auto census = engine.captured_census(0);
+  EXPECT_EQ(census.outstanding, 0u);
+  EXPECT_EQ(engine.pool(0).state_counts().captured, census.total());
+}
+
 }  // namespace
 }  // namespace wirecap::pcap
