@@ -32,6 +32,7 @@
 #include "bpf/vm.hpp"
 #include "common/mpmc_queue.hpp"
 #include "driver/chunk_pool.hpp"
+#include "engines/packet_view.hpp"
 #include "net/headers.hpp"
 #include "store/reader.hpp"
 #include "store/spool.hpp"
@@ -150,13 +151,16 @@ int main(int argc, char** argv) {
   std::thread app_thread([&] {
     const bpf::Program filter = bpf::compile_filter("131.225.2 and udp");
     std::unique_ptr<store::SegmentWriter> writer;
+    std::vector<engines::CaptureView> chunk_views;
     if (!spool_dir.empty()) {
       std::filesystem::create_directories(spool_dir);
       store::SegmentWriter::Options options;
       options.segment_max_bytes = 4u << 20;
       writer = std::make_unique<store::SegmentWriter>(spool_dir, 0, options);
+      chunk_views.reserve(kCellsPerChunk);
     }
     while (auto meta = capture_queue.pop()) {
+      chunk_views.clear();
       for (std::uint32_t cell = 0; cell < meta->pkt_count; ++cell) {
         const auto bytes = pool.cell(meta->chunk_id, cell);
         const driver::CellInfo& info = pool.cell_info(meta->chunk_id, cell);
@@ -165,11 +169,18 @@ int main(int argc, char** argv) {
           ++matched;
         }
         if (writer) {
-          writer->write(Nanos{info.timestamp_ns}, bytes.first(info.length),
-                        info.wire_length, info.seq);
+          engines::CaptureView view;
+          view.bytes = bytes.first(info.length);
+          view.wire_len = info.wire_length;
+          view.timestamp = Nanos{info.timestamp_ns};
+          view.seq = info.seq;
+          chunk_views.push_back(view);
         }
         ++delivered;
       }
+      // One vectored writev commit per chunk: the gather path batches
+      // the whole chunk's cells straight from the pool, no copies.
+      if (writer && !chunk_views.empty()) writer->write_chunk(chunk_views);
       recycle_queue.push(*meta);
     }
     if (writer) {

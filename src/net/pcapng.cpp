@@ -1,5 +1,10 @@
 #include "net/pcapng.hpp"
 
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
 #include <cstring>
 #include <stdexcept>
 
@@ -8,6 +13,12 @@ namespace wirecap::net {
 namespace {
 
 constexpr std::uint32_t pad4(std::uint32_t n) { return (n + 3u) & ~3u; }
+
+#ifdef IOV_MAX
+constexpr std::size_t kMaxIov = IOV_MAX;
+#else
+constexpr std::size_t kMaxIov = 1024;
+#endif
 
 constexpr std::uint32_t bswap32(std::uint32_t v) {
   return (v << 24) | ((v << 8) & 0x00FF0000u) | ((v >> 8) & 0x0000FF00u) |
@@ -18,25 +29,34 @@ constexpr std::uint32_t bswap32(std::uint32_t v) {
 
 // --- writer ---
 
+void PcapngWriter::ensure_open() const {
+  if (out_ == nullptr) {
+    throw std::runtime_error("PcapngWriter: write after close");
+  }
+}
+
+void PcapngWriter::put_bytes(const void* data, std::size_t size) {
+  if (size != 0) std::fwrite(data, 1, size, out_);
+}
+
 void PcapngWriter::put32(std::uint32_t value) {
-  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  put_bytes(&value, sizeof(value));
 }
 
 void PcapngWriter::put16(std::uint16_t value) {
-  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  put_bytes(&value, sizeof(value));
 }
 
 void PcapngWriter::put_option(std::uint16_t code,
                               std::span<const std::byte> value) {
   put16(code);
   put16(static_cast<std::uint16_t>(value.size()));
-  out_.write(reinterpret_cast<const char*>(value.data()),
-             static_cast<std::streamsize>(value.size()));
+  put_bytes(value.data(), value.size());
   const std::uint32_t padding =
       pad4(static_cast<std::uint32_t>(value.size())) -
       static_cast<std::uint32_t>(value.size());
   const char zeros[4] = {};
-  out_.write(zeros, padding);
+  put_bytes(zeros, padding);
 }
 
 void PcapngWriter::put_end_of_options() {
@@ -47,8 +67,8 @@ void PcapngWriter::put_end_of_options() {
 PcapngWriter::PcapngWriter(const std::filesystem::path& path,
                            std::uint32_t snaplen, const std::string& hardware,
                            const std::string& application)
-    : out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_) {
+    : out_(std::fopen(path.c_str(), "wb")) {
+  if (out_ == nullptr) {
     throw std::runtime_error("PcapngWriter: cannot open " + path.string());
   }
   const auto string_option = [](const std::string& text) {
@@ -96,6 +116,7 @@ PcapngWriter::PcapngWriter(const std::filesystem::path& path,
 void PcapngWriter::write(Nanos timestamp, std::span<const std::byte> data,
                          std::uint32_t orig_len, std::uint32_t interface_id,
                          std::optional<std::uint64_t> packet_id) {
+  ensure_open();
   if (timestamp.count() < 0) {
     throw std::invalid_argument("PcapngWriter: negative timestamp");
   }
@@ -113,10 +134,9 @@ void PcapngWriter::write(Nanos timestamp, std::span<const std::byte> data,
   put32(static_cast<std::uint32_t>(ts & 0xFFFFFFFFu));
   put32(captured);
   put32(orig_len);
-  out_.write(reinterpret_cast<const char*>(data.data()),
-             static_cast<std::streamsize>(captured));
+  put_bytes(data.data(), captured);
   const char zeros[4] = {};
-  out_.write(zeros, pad4(captured) - captured);
+  put_bytes(zeros, pad4(captured) - captured);
   if (packet_id) {
     const std::uint64_t id = *packet_id;
     put_option(5, std::span<const std::byte>{
@@ -124,38 +144,150 @@ void PcapngWriter::write(Nanos timestamp, std::span<const std::byte> data,
     put_end_of_options();
   }
   put32(block_len);
-  if (!out_) throw std::runtime_error("PcapngWriter: write failed");
+  if (std::ferror(out_)) throw std::runtime_error("PcapngWriter: write failed");
   ++records_;
   bytes_ += block_len;
 }
 
+void PcapngWriter::write_gather(std::span<const GatherSlice> slices,
+                                std::uint32_t interface_id) {
+  ensure_open();
+  if (slices.empty()) return;
+
+  gather_arena_.clear();
+  gather_pieces_.clear();
+  const auto arena32 = [this](std::uint32_t value) {
+    const auto* raw = reinterpret_cast<const std::byte*>(&value);
+    gather_arena_.insert(gather_arena_.end(), raw, raw + 4);
+  };
+  const auto arena16 = [this](std::uint16_t value) {
+    const auto* raw = reinterpret_cast<const std::byte*>(&value);
+    gather_arena_.insert(gather_arena_.end(), raw, raw + 2);
+  };
+
+  std::uint64_t batch_bytes = 0;
+  for (const GatherSlice& slice : slices) {
+    if (slice.timestamp.count() < 0) {
+      throw std::invalid_argument("PcapngWriter: negative timestamp");
+    }
+    const auto ts = static_cast<std::uint64_t>(slice.timestamp.count());
+    const auto captured = static_cast<std::uint32_t>(slice.data.size());
+    // epb_packetid option (4 header + 8 value) + opt_endofopt.
+    const std::uint32_t options_len = 12 + 4;
+    const std::uint32_t block_len = 32 + pad4(captured) + options_len;
+
+    // Header piece (28 bytes of framing up to the packet data).
+    const std::size_t header_at = gather_arena_.size();
+    arena32(kPcapngEpbType);
+    arena32(block_len);
+    arena32(interface_id);
+    arena32(static_cast<std::uint32_t>(ts >> 32));
+    arena32(static_cast<std::uint32_t>(ts & 0xFFFFFFFFu));
+    arena32(captured);
+    arena32(slice.orig_len);
+    gather_pieces_.push_back(
+        {header_at, nullptr, gather_arena_.size() - header_at});
+
+    // The payload stays external — that is the whole point of the
+    // gather path.
+    if (captured != 0) {
+      gather_pieces_.push_back({0, slice.data.data(), captured});
+    }
+
+    // Tail piece: data padding, epb_packetid option, end-of-options,
+    // trailing block length.
+    const std::size_t tail_at = gather_arena_.size();
+    gather_arena_.resize(tail_at + (pad4(captured) - captured),
+                         std::byte{0});
+    arena16(5);  // epb_packetid
+    arena16(8);
+    const auto* id_raw = reinterpret_cast<const std::byte*>(&slice.packet_id);
+    gather_arena_.insert(gather_arena_.end(), id_raw, id_raw + 8);
+    arena16(0);  // opt_endofopt
+    arena16(0);
+    arena32(block_len);
+    gather_pieces_.push_back({tail_at, nullptr, gather_arena_.size() - tail_at});
+
+    batch_bytes += block_len;
+  }
+
+  // Materialize iovecs only now: the arena has stopped growing, so its
+  // data() pointer is stable.
+  std::vector<::iovec> iov;
+  iov.reserve(gather_pieces_.size());
+  for (const GatherPiece& piece : gather_pieces_) {
+    if (piece.len == 0) continue;
+    const std::byte* base = piece.external != nullptr
+                                ? piece.external
+                                : gather_arena_.data() + piece.arena_offset;
+    iov.push_back({const_cast<std::byte*>(base), piece.len});
+  }
+
+  // Push any buffered scalar writes first so the vectored bytes land in
+  // order, then drain the iovec list through writev.
+  if (std::fflush(out_) != 0) {
+    throw std::runtime_error("PcapngWriter: flush before gather failed");
+  }
+  const int fd = ::fileno(out_);
+  std::size_t idx = 0;
+  while (idx < iov.size()) {
+    const auto count =
+        static_cast<int>(std::min(iov.size() - idx, kMaxIov));
+    const ssize_t wrote = ::writev(fd, iov.data() + idx, count);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("PcapngWriter: writev failed");
+    }
+    auto remaining = static_cast<std::size_t>(wrote);
+    while (idx < iov.size() && remaining >= iov[idx].iov_len) {
+      remaining -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (remaining > 0) {
+      iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + remaining;
+      iov[idx].iov_len -= remaining;
+    }
+  }
+
+  records_ += slices.size();
+  bytes_ += batch_bytes;
+}
+
 void PcapngWriter::write_custom_block(std::uint32_t pen,
                                       std::span<const std::byte> payload) {
+  ensure_open();
   const auto size = static_cast<std::uint32_t>(payload.size());
   const std::uint32_t block_len = 16 + pad4(size);
   put32(kPcapngCbType);
   put32(block_len);
   put32(pen);
-  out_.write(reinterpret_cast<const char*>(payload.data()),
-             static_cast<std::streamsize>(size));
+  put_bytes(payload.data(), size);
   const char zeros[4] = {};
-  out_.write(zeros, pad4(size) - size);
+  put_bytes(zeros, pad4(size) - size);
   put32(block_len);
-  if (!out_) throw std::runtime_error("PcapngWriter: custom block failed");
+  if (std::ferror(out_)) {
+    throw std::runtime_error("PcapngWriter: custom block failed");
+  }
   bytes_ += block_len;
 }
 
 PcapngWriter::~PcapngWriter() {
-  if (out_.is_open()) out_.flush();
+  if (out_ != nullptr) std::fclose(out_);  // flushes; errors swallowed
 }
 
-void PcapngWriter::flush() { out_.flush(); }
+void PcapngWriter::flush() {
+  if (out_ != nullptr) std::fflush(out_);
+}
 
 void PcapngWriter::close() {
-  if (!out_.is_open()) return;
-  out_.flush();
-  out_.close();
-  if (!out_) throw std::runtime_error("PcapngWriter: close failed");
+  if (out_ == nullptr) return;
+  const int flush_rc = std::fflush(out_);
+  const int had_error = std::ferror(out_);
+  const int close_rc = std::fclose(out_);
+  out_ = nullptr;
+  if (flush_rc != 0 || close_rc != 0 || had_error != 0) {
+    throw std::runtime_error("PcapngWriter: close failed");
+  }
 }
 
 // --- reader ---

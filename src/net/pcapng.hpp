@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -29,6 +30,17 @@ inline constexpr std::uint32_t kPcapngEpbType = 0x00000006;
 /// layer uses it for per-segment footer indexes.
 inline constexpr std::uint32_t kPcapngCbType = 0x00000BAD;
 inline constexpr std::uint32_t kPcapngByteOrderMagic = 0x1A2B3C4D;
+
+/// One packet in a vectored (scatter-gather) batch.  The data span must
+/// stay valid until write_gather() returns; the writer never copies
+/// packet payloads into its own buffers.
+struct GatherSlice {
+  Nanos timestamp;
+  std::span<const std::byte> data;
+  std::uint32_t orig_len = 0;
+  /// Stamped as an epb_packetid option on every gathered record.
+  std::uint64_t packet_id = 0;
+};
 
 struct PcapngRecord {
   std::uint32_t interface_id = 0;
@@ -67,6 +79,15 @@ class PcapngWriter {
     write(packet.timestamp(), packet.bytes(), packet.wire_len());
   }
 
+  /// Appends one Enhanced Packet Block per slice and commits the whole
+  /// batch through a single writev()-shaped vectored call (netsniff-ng's
+  /// pcap_sg scheme): block framing is encoded into a reusable arena,
+  /// packet payloads are referenced in place, and the resulting iovec
+  /// list is flushed in IOV_MAX-sized chunks.  Every record carries an
+  /// epb_packetid option.
+  void write_gather(std::span<const GatherSlice> slices,
+                    std::uint32_t interface_id = 0);
+
   /// Appends a Custom Block (type 0x00000BAD) carrying `payload` under
   /// `pen`.  Readers that do not recognize the PEN skip the block.
   void write_custom_block(std::uint32_t pen,
@@ -81,14 +102,29 @@ class PcapngWriter {
   void close();
 
  private:
+  void ensure_open() const;
+  void put_bytes(const void* data, std::size_t size);
   void put32(std::uint32_t value);
   void put16(std::uint16_t value);
   void put_option(std::uint16_t code, std::span<const std::byte> value);
   void put_end_of_options();
 
-  std::ofstream out_;
+  /// One iovec-to-be: either a range of `gather_arena_` (framing bytes)
+  /// or an external packet-payload span.  Arena ranges are resolved to
+  /// pointers only after the arena stops growing.
+  struct GatherPiece {
+    std::size_t arena_offset = 0;
+    const std::byte* external = nullptr;
+    std::size_t len = 0;
+  };
+
+  std::FILE* out_ = nullptr;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_ = 0;
+  // Reused across write_gather() calls to keep the hot path allocation
+  // free once warmed up.
+  std::vector<std::byte> gather_arena_;
+  std::vector<GatherPiece> gather_pieces_;
 };
 
 class PcapngReader {

@@ -113,6 +113,17 @@ struct CostModel {
   /// How long a shard whose disk reported full waits before retrying.
   Nanos disk_full_retry_interval = Nanos::from_micros(100.0);
 
+  /// Outstanding spool writes the simulated disk accepts before a shard
+  /// stops submitting (NVMe-style queued IO).  At depth N the fixed
+  /// disk_write_op_cost completion latency of up to N chunks overlaps;
+  /// depth 1 reproduces the old synchronous one-write-at-a-time drain.
+  unsigned disk_queue_depth = 4;
+
+  /// Extra per-packet submission cost of the packet-at-a-time drain (one
+  /// write call per packet).  The vectored gather path pays it once per
+  /// chunk instead — the writev()-vs-write() gap this model exposes.
+  Nanos disk_packet_write_cost = Nanos{600};
+
   // --- bus transactions (dimensionless multipliers of one DMA write) ---
 
   /// A packet DMA'd from the NIC to host memory: one transaction.

@@ -42,6 +42,9 @@ struct StoreReadStats {
   /// Segments never opened thanks to the footer index.
   std::uint64_t segments_skipped_time = 0;
   std::uint64_t segments_skipped_flow = 0;
+  /// Segments skipped because the BPF filter pins a full 5-tuple that
+  /// the index (exact tally or bloom) rules out.
+  std::uint64_t segments_skipped_filter = 0;
   std::uint64_t packets_scanned = 0;
   std::uint64_t packets_matched = 0;
 };
@@ -51,8 +54,16 @@ class StoreReader {
   /// Enumerates `dir` for shardNNN-segNNNNNN.pcapng files and loads
   /// their footer indexes.  A segment without a footer (writer died
   /// before finish()) gets an index synthesized by scanning its
-  /// packets.  Throws std::runtime_error if `dir` does not exist.
+  /// packets; a segment truncated mid-block (crash mid-write) yields
+  /// its readable prefix.  Throws std::runtime_error if `dir` does not
+  /// exist.
   explicit StoreReader(const std::filesystem::path& dir);
+
+  /// Segments whose packet scan hit a truncated block (crash evidence);
+  /// their readable prefix is still served.
+  [[nodiscard]] std::uint64_t truncated_segments() const {
+    return truncated_segments_;
+  }
 
   /// Segment catalogue, ordered by (shard id, segment seq).
   [[nodiscard]] const std::vector<SegmentIndex>& segments() const {
@@ -78,6 +89,7 @@ class StoreReader {
 
   std::vector<SegmentFile> files_;
   std::vector<SegmentIndex> segments_;
+  std::uint64_t truncated_segments_ = 0;
 };
 
 }  // namespace wirecap::store

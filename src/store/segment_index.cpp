@@ -45,9 +45,18 @@ class Getter {
 
 }  // namespace
 
+FlowBloom FlowBloom::make(std::size_t bits, std::uint32_t hashes) {
+  std::size_t rounded = 64;
+  while (rounded < bits) rounded *= 2;
+  FlowBloom bloom;
+  bloom.hash_count = hashes == 0 ? 1 : hashes;
+  bloom.words.assign(rounded / 64, 0);
+  return bloom;
+}
+
 std::vector<std::byte> encode_segment_index(const SegmentIndex& index) {
   std::vector<std::byte> out;
-  out.reserve(64 + index.flows.size() * 16);
+  out.reserve(64 + index.flows.size() * 16 + index.flow_bloom.words.size() * 8);
   put32(out, kSegmentIndexMagic);
   put32(out, kSegmentIndexVersion);
   put32(out, index.shard_id);
@@ -66,6 +75,9 @@ std::vector<std::byte> encode_segment_index(const SegmentIndex& index) {
     put32(out, static_cast<std::uint32_t>(entry.flow.proto));
     put64(out, entry.packets);
   }
+  put32(out, index.flow_bloom.hash_count);
+  put32(out, static_cast<std::uint32_t>(index.flow_bloom.words.size()));
+  for (const std::uint64_t word : index.flow_bloom.words) put64(out, word);
   return out;
 }
 
@@ -74,7 +86,7 @@ std::optional<SegmentIndex> decode_segment_index(
   Getter in(payload);
   std::uint32_t magic = 0, version = 0;
   if (!in.get32(magic) || magic != kSegmentIndexMagic) return std::nullopt;
-  if (!in.get32(version) || version != kSegmentIndexVersion) {
+  if (!in.get32(version) || version < 1 || version > kSegmentIndexVersion) {
     return std::nullopt;
   }
   SegmentIndex index;
@@ -103,6 +115,19 @@ std::optional<SegmentIndex> decode_segment_index(
     entry.flow.dst_port = static_cast<std::uint16_t>(ports & 0xFFFF);
     entry.flow.proto = static_cast<net::IpProto>(proto);
     index.flows.push_back(entry);
+  }
+  if (version >= 2) {
+    std::uint32_t hash_count = 0, word_count = 0;
+    if (!in.get32(hash_count) || !in.get32(word_count)) return std::nullopt;
+    if (word_count > (1u << 22)) return std::nullopt;  // implausible (32 MiB)
+    if (word_count != 0 && (word_count & (word_count - 1)) != 0) {
+      return std::nullopt;  // bit count must stay a power of two
+    }
+    index.flow_bloom.hash_count = hash_count;
+    index.flow_bloom.words.resize(word_count);
+    for (std::uint32_t i = 0; i < word_count; ++i) {
+      if (!in.get64(index.flow_bloom.words[i])) return std::nullopt;
+    }
   }
   return index;
 }

@@ -25,11 +25,59 @@ namespace wirecap::store {
 inline constexpr std::uint32_t kSegmentIndexPen = 0x57434150;
 /// First payload word of an index block ("WSIX").
 inline constexpr std::uint32_t kSegmentIndexMagic = 0x57534958;
-inline constexpr std::uint32_t kSegmentIndexVersion = 1;
+/// Version 2 appended the flow Bloom filter; version-1 payloads (no
+/// bloom) still decode.
+inline constexpr std::uint32_t kSegmentIndexVersion = 2;
 
 struct SegmentFlowEntry {
   net::FlowKey flow;
   std::uint64_t packets = 0;
+};
+
+/// Bloom filter over FlowKey::mix() hashes.  Unlike the exact tally
+/// (capped at flow_index_cap), every parseable flow in the segment is
+/// inserted, so a negative lookup proves the segment holds no packet of
+/// that flow — the probabilistic index that keeps flow queries cheap on
+/// high-cardinality segments.
+struct FlowBloom {
+  std::uint32_t hash_count = 0;
+  /// Bit array; bit count is words.size() * 64 and always a power of
+  /// two (double hashing indexes with a mask).
+  std::vector<std::uint64_t> words;
+
+  /// Builds an empty filter of at least `bits` bits (rounded up to a
+  /// power of two, minimum 64) probed with `hashes` positions.
+  [[nodiscard]] static FlowBloom make(std::size_t bits, std::uint32_t hashes);
+
+  [[nodiscard]] bool empty() const { return words.empty(); }
+
+  void insert(const net::FlowKey& flow) {
+    for_each_bit(flow, [this](std::size_t bit) {
+      words[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+    });
+  }
+
+  [[nodiscard]] bool may_contain(const net::FlowKey& flow) const {
+    bool all = true;
+    for_each_bit(flow, [this, &all](std::size_t bit) {
+      all = all && (words[bit >> 6] >> (bit & 63)) & 1;
+    });
+    return all;
+  }
+
+  bool operator==(const FlowBloom&) const = default;
+
+ private:
+  template <typename Fn>
+  void for_each_bit(const net::FlowKey& flow, Fn&& fn) const {
+    // Kirsch–Mitzenmacher double hashing off the 64-bit flow mix.
+    const std::uint64_t h1 = flow.mix();
+    const std::uint64_t h2 = (h1 >> 32) | 1;  // odd, so all probes differ
+    const std::uint64_t mask = words.size() * 64 - 1;
+    for (std::uint32_t i = 0; i < hash_count; ++i) {
+      fn(static_cast<std::size_t>((h1 + i * h2) & mask));
+    }
+  }
 };
 
 struct SegmentIndex {
@@ -46,8 +94,11 @@ struct SegmentIndex {
   std::vector<SegmentFlowEntry> flows;
   /// Packets not attributed in `flows` (non-IPv4/TCP/UDP frames, or
   /// flows beyond the cap).  Non-zero means a flow query cannot rule
-  /// this segment out.
+  /// this segment out — unless the bloom below can.
   std::uint64_t unindexed_packets = 0;
+  /// Probabilistic flow index covering every parseable flow, including
+  /// those past flow_index_cap.  Empty on version-1 segments.
+  FlowBloom flow_bloom;
 
   [[nodiscard]] bool overlaps(std::optional<Nanos> start,
                               std::optional<Nanos> end) const {
@@ -58,12 +109,16 @@ struct SegmentIndex {
   }
 
   /// False only when the index proves no packet of `flow` is present.
+  /// The exact tally answers first; past flow_index_cap the bloom
+  /// decides (it covers every parseable flow, and frames that fail flow
+  /// parsing can never equal an exact query key); legacy version-1
+  /// indexes fall back to the conservative unindexed_packets check.
   [[nodiscard]] bool may_contain_flow(const net::FlowKey& flow) const {
-    if (unindexed_packets > 0) return true;
     for (const SegmentFlowEntry& entry : flows) {
       if (entry.flow == flow) return true;
     }
-    return false;
+    if (!flow_bloom.empty()) return flow_bloom.may_contain(flow);
+    return unindexed_packets > 0;
   }
 };
 

@@ -64,6 +64,9 @@ void SegmentWriter::open_segment() {
   index_ = SegmentIndex{};
   index_.shard_id = shard_id_;
   index_.segment_seq = seq;
+  if (options_.flow_bloom_bits != 0) {
+    index_.flow_bloom = FlowBloom::make(options_.flow_bloom_bits, 4);
+  }
   flow_tally_.clear();
   ++segments_opened_;
 }
@@ -87,6 +90,30 @@ void SegmentWriter::close_segment() {
   writer_.reset();
 }
 
+void SegmentWriter::note_packet(Nanos timestamp,
+                                std::span<const std::byte> snapped) {
+  ++index_.packet_count;
+  index_.byte_count += snapped.size();
+  index_.min_timestamp = std::min(index_.min_timestamp, timestamp);
+  index_.max_timestamp = std::max(index_.max_timestamp, timestamp);
+  if (const auto flow = net::parse_flow(snapped)) {
+    // The bloom covers every parseable flow, including those the exact
+    // tally caps out on — that is what lets flow queries skip
+    // high-cardinality segments.
+    if (!index_.flow_bloom.empty()) index_.flow_bloom.insert(*flow);
+    const auto it = flow_tally_.find(*flow);
+    if (it != flow_tally_.end()) {
+      ++it->second;
+    } else if (flow_tally_.size() < options_.flow_index_cap) {
+      flow_tally_[*flow] = 1;
+    } else {
+      ++index_.unindexed_packets;
+    }
+  } else {
+    ++index_.unindexed_packets;
+  }
+}
+
 std::uint32_t SegmentWriter::write(Nanos timestamp,
                                    std::span<const std::byte> data,
                                    std::uint32_t wire_len,
@@ -107,23 +134,45 @@ std::uint32_t SegmentWriter::write(Nanos timestamp,
       data.first(std::min<std::size_t>(data.size(), options_.snaplen));
   writer_->write(timestamp, snapped, wire_len, 0, packet_id);
   ++packets_written_;
+  note_packet(timestamp, snapped);
+  return rotations;
+}
 
-  ++index_.packet_count;
-  index_.byte_count += snapped.size();
-  index_.min_timestamp = std::min(index_.min_timestamp, timestamp);
-  index_.max_timestamp = std::max(index_.max_timestamp, timestamp);
-  if (const auto flow = net::parse_flow(snapped)) {
-    const auto it = flow_tally_.find(*flow);
-    if (it != flow_tally_.end()) {
-      ++it->second;
-    } else if (flow_tally_.size() < options_.flow_index_cap) {
-      flow_tally_[*flow] = 1;
-    } else {
-      ++index_.unindexed_packets;
-    }
-  } else {
-    ++index_.unindexed_packets;
+std::uint32_t SegmentWriter::write_chunk(
+    std::span<const engines::CaptureView> packets) {
+  if (packets.empty()) return 0;
+
+  // One rotation check for the whole batch against its timestamp
+  // extent; a segment may overshoot a threshold by at most one chunk.
+  Nanos batch_min = packets.front().timestamp;
+  Nanos batch_max = packets.front().timestamp;
+  for (const engines::CaptureView& view : packets.subspan(1)) {
+    batch_min = std::min(batch_min, view.timestamp);
+    batch_max = std::max(batch_max, view.timestamp);
   }
+  std::uint32_t rotations = 0;
+  if (writer_ && index_.packet_count > 0) {
+    const Nanos new_min = std::min(index_.min_timestamp, batch_min);
+    const Nanos new_max = std::max(index_.max_timestamp, batch_max);
+    if (writer_->bytes_written() >= options_.segment_max_bytes ||
+        new_max - new_min > options_.segment_max_span) {
+      close_segment();
+      rotations = 1;
+    }
+  }
+  if (!writer_) open_segment();
+
+  gather_slices_.clear();
+  gather_slices_.reserve(packets.size());
+  for (const engines::CaptureView& view : packets) {
+    const std::span<const std::byte> snapped = view.bytes.first(
+        std::min<std::size_t>(view.bytes.size(), options_.snaplen));
+    gather_slices_.push_back(
+        net::GatherSlice{view.timestamp, snapped, view.wire_len, view.seq});
+    note_packet(view.timestamp, snapped);
+  }
+  writer_->write_gather(gather_slices_);
+  packets_written_ += packets.size();
   return rotations;
 }
 
@@ -144,7 +193,13 @@ SpoolShard::SpoolShard(sim::Scheduler& scheduler, const sim::CostModel& costs,
       writer_(config.dir, shard_id,
               SegmentWriter::Options{config.snaplen, config.segment_max_bytes,
                                      config.segment_max_span,
-                                     config.flow_index_cap}) {}
+                                     config.flow_index_cap,
+                                     config.flow_bloom_bits}) {
+  if (config_.queue_capacity_chunks == 0) {
+    // kDropOldest would pop an empty deque; kBlock would never accept.
+    throw std::invalid_argument("SpoolShard: queue_capacity_chunks == 0");
+  }
+}
 
 void SpoolShard::discard(Queued&& item,
                          std::uint64_t ShardStats::*chunk_counter,
@@ -190,27 +245,35 @@ void SpoolShard::offer(engines::ChunkCaptureView chunk, Release release) {
   maybe_start_write();
 }
 
+std::size_t SpoolShard::effective_queue_depth() const {
+  const unsigned depth = config_.disk_queue_depth != 0
+                             ? config_.disk_queue_depth
+                             : costs_.disk_queue_depth;
+  return depth == 0 ? 1 : depth;
+}
+
 void SpoolShard::maybe_start_write() {
-  if (writing_ || retry_scheduled_ || closed_ || queue_.empty()) return;
-  const Nanos now = scheduler_.now();
-  if (now < full_until_) {
-    // ENOSPC: hold the queue (backpressure propagates to the pool) and
-    // retry once space might be back.
-    ++stats_.full_stalls;
-    const Nanos retry =
-        std::min(full_until_, now + costs_.disk_full_retry_interval);
-    retry_scheduled_ = true;
-    scheduler_.schedule_at(retry, [this] {
-      retry_scheduled_ = false;
-      maybe_start_write();
-    });
-    return;
+  while (!closed_ && !retry_scheduled_ && !queue_.empty() &&
+         in_flight_.size() < effective_queue_depth()) {
+    const Nanos now = scheduler_.now();
+    if (now < full_until_) {
+      // ENOSPC: hold the queue (backpressure propagates to the pool)
+      // and retry once space might be back.
+      ++stats_.full_stalls;
+      const Nanos retry =
+          std::min(full_until_, now + costs_.disk_full_retry_interval);
+      retry_scheduled_ = true;
+      scheduler_.schedule_at(retry, [this] {
+        retry_scheduled_ = false;
+        maybe_start_write();
+      });
+      return;
+    }
+    start_write();
   }
-  start_write();
 }
 
 void SpoolShard::start_write() {
-  writing_ = true;
   Queued item = std::move(queue_.front());
   queue_.pop_front();
 
@@ -221,9 +284,13 @@ void SpoolShard::start_write() {
   // freed memory.
   const std::uint64_t before = writer_.total_bytes();
   std::uint32_t rotations = 0;
-  for (const engines::CaptureView& view : item.chunk.packets) {
-    rotations += writer_.write(view.timestamp, view.bytes, view.wire_len,
-                               view.seq);
+  if (config_.vectored_drain) {
+    rotations = writer_.write_chunk(item.chunk.packets);
+  } else {
+    for (const engines::CaptureView& view : item.chunk.packets) {
+      rotations += writer_.write(view.timestamp, view.bytes, view.wire_len,
+                                 view.seq);
+    }
   }
   const std::uint64_t bytes = writer_.total_bytes() - before;
 
@@ -231,28 +298,58 @@ void SpoolShard::start_write() {
   const double factor = now < slow_until_ ? slow_factor_ : 1.0;
   const double write_ns =
       static_cast<double>(bytes) * costs_.disk_write_ns_per_byte * factor;
-  Nanos cost = costs_.disk_write_op_cost +
-               Nanos{static_cast<std::int64_t>(write_ns + 0.5)} +
-               static_cast<std::int64_t>(rotations) *
-                   costs_.disk_segment_rotate_cost;
+  // Device occupancy: the serialized transfer, segment rotations, and —
+  // on the packet-at-a-time path — one submission cost per packet.
+  Nanos device = Nanos{static_cast<std::int64_t>(write_ns + 0.5)} +
+                 static_cast<std::int64_t>(rotations) *
+                     costs_.disk_segment_rotate_cost;
+  if (!config_.vectored_drain) {
+    device += static_cast<std::int64_t>(item.chunk.packets.size()) *
+              costs_.disk_packet_write_cost;
+  }
+  // The device serializes transfers, but the fixed per-op completion
+  // latency rides after each transfer and overlaps across outstanding
+  // writes — the throughput win of queue depth > 1.
+  const Nanos start = std::max(now, device_busy_until_);
+  device_busy_until_ = start + device;
+  const Nanos completion = device_busy_until_ + costs_.disk_write_op_cost;
 
   stats_.chunks_written += 1;
   stats_.packets_written += item.chunk.packets.size();
   stats_.bytes_written += bytes;
   stats_.segments_opened = writer_.segments_opened();
-  in_flight_ = std::move(item);
-  scheduler_.schedule_after(cost, [this] {
-    Queued done = std::move(*in_flight_);
-    in_flight_.reset();
-    writing_ = false;
-    // Disk leg of the latency pipeline: offer() to release.  Recorded
-    // unconditionally — this path already paid for a simulated disk
-    // write, so one histogram increment is noise.
-    drain_latency_.record((scheduler_.now() - done.offered_at).count());
-    done.release(done.chunk);
-    if (drain_callback_) drain_callback_();
-    maybe_start_write();
-  });
+  const std::uint64_t op_id = next_op_id_++;
+  in_flight_.push_back(InFlight{op_id, std::move(item)});
+  stats_.in_flight_high_water =
+      std::max(stats_.in_flight_high_water,
+               static_cast<std::uint64_t>(in_flight_.size()));
+  scheduler_.schedule_at(completion,
+                         [this, op_id] { complete_write(op_id); });
+}
+
+void SpoolShard::complete_write(std::uint64_t op_id) {
+  const auto it =
+      std::find_if(in_flight_.begin(), in_flight_.end(),
+                   [op_id](const InFlight& op) { return op.op_id == op_id; });
+  // close()/evict_ring() settled this op already; the stale completion
+  // must not release a second time (or touch a torn-down pool).
+  if (it == in_flight_.end()) return;
+  Queued done = std::move(it->item);
+  in_flight_.erase(it);
+  // Disk leg of the latency pipeline: offer() to release.  Recorded
+  // unconditionally — this path already paid for a simulated disk
+  // write, so one histogram increment is noise.
+  drain_latency_.record((scheduler_.now() - done.offered_at).count());
+  done.release(done.chunk);
+  if (drain_callback_) drain_callback_();
+  maybe_start_write();
+}
+
+void SpoolShard::settle(InFlight&& op) {
+  Queued done = std::move(op.item);
+  ++stats_.in_flight_settled;
+  drain_latency_.record((scheduler_.now() - done.offered_at).count());
+  done.release(done.chunk);
 }
 
 void SpoolShard::evict_ring(std::uint32_t ring) {
@@ -268,6 +365,20 @@ void SpoolShard::evict_ring(std::uint32_t ring) {
     }
   }
   queue_ = std::move(kept);
+  // Outstanding writes from the evicted ring: their bytes are already
+  // in the segment file, but the deferred completion would release the
+  // chunk into a torn-down pool.  Settle them now; the stale completion
+  // event later finds no matching op_id and no-ops.
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->item.chunk.source_ring == ring) {
+      InFlight op = std::move(*it);
+      it = in_flight_.erase(it);
+      settle(std::move(op));
+    } else {
+      ++it;
+    }
+  }
+  maybe_start_write();
 }
 
 void SpoolShard::set_slow_disk(double factor, Nanos until) {
@@ -281,6 +392,15 @@ void SpoolShard::set_disk_full(Nanos until) { full_until_ = until; }
 void SpoolShard::close() {
   if (closed_) return;
   closed_ = true;
+  // Settle outstanding writes first: their bytes hit the file at submit
+  // time, so the chunks are durably spooled — releasing them now keeps
+  // the lifecycle auditor's conservation census exact when an
+  // experiment ends mid-write.
+  while (!in_flight_.empty()) {
+    InFlight op = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    settle(std::move(op));
+  }
   while (!queue_.empty()) {
     Queued item = std::move(queue_.front());
     queue_.pop_front();
@@ -335,6 +455,9 @@ ShardStats Spool::total_stats() const {
         std::max(total.queue_high_water, s.queue_high_water);
     total.block_overruns += s.block_overruns;
     total.full_stalls += s.full_stalls;
+    total.in_flight_settled += s.in_flight_settled;
+    total.in_flight_high_water =
+        std::max(total.in_flight_high_water, s.in_flight_high_water);
   }
   return total;
 }
@@ -366,6 +489,8 @@ void Spool::bind_telemetry(telemetry::Telemetry& telemetry,
     counter("queue_high_water", &ShardStats::queue_high_water);
     counter("block_overruns", &ShardStats::block_overruns);
     counter("full_stalls", &ShardStats::full_stalls);
+    counter("in_flight_settled", &ShardStats::in_flight_settled);
+    counter("in_flight_high_water", &ShardStats::in_flight_high_water);
     registry.bind_gauge(sp + "backlog", [shard] {
       return static_cast<double>(shard->backlog());
     });

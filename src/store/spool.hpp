@@ -70,6 +70,17 @@ struct SpoolConfig {
   /// Record the engine seq of every dropped/evicted packet (conservation
   /// audits); costs memory proportional to losses.
   bool record_lost_seqs = false;
+  /// Drain chunks through the writev-shaped gather path (one rotation
+  /// check and one vectored commit per chunk).  Off, the drain issues
+  /// one write per packet and pays disk_packet_write_cost for each.
+  bool vectored_drain = true;
+  /// Outstanding simulated-disk writes per shard; 0 takes the cost
+  /// model's disk_queue_depth.  Depth 1 reproduces the synchronous
+  /// one-write-at-a-time drain.
+  unsigned disk_queue_depth = 0;
+  /// Bits per segment footer flow Bloom filter (rounded up to a power
+  /// of two); 0 disables the bloom, leaving only the exact flow tally.
+  std::size_t flow_bloom_bits = 8192;
 };
 
 struct ShardStats {
@@ -94,6 +105,12 @@ struct ShardStats {
   std::uint64_t block_overruns = 0;
   /// Writes deferred because the simulated disk reported full.
   std::uint64_t full_stalls = 0;
+  /// Outstanding writes released early by close()/evict_ring(): their
+  /// bytes were already on disk, only the completion event was pending.
+  std::uint64_t in_flight_settled = 0;
+  /// Most writes simultaneously outstanding (bounded by the disk queue
+  /// depth).
+  std::uint64_t in_flight_high_water = 0;
 };
 
 /// Rotating, indexed pcapng segment writer for one shard.  No simulation
@@ -105,6 +122,8 @@ class SegmentWriter {
     std::uint64_t segment_max_bytes = 8ull << 20;
     Nanos segment_max_span = Nanos::from_millis(100.0);
     std::size_t flow_index_cap = 32;
+    /// Bits in the per-segment flow Bloom filter; 0 disables it.
+    std::size_t flow_bloom_bits = 8192;
   };
 
   SegmentWriter(std::filesystem::path dir, std::uint32_t shard_id,
@@ -115,6 +134,13 @@ class SegmentWriter {
   /// a threshold.  Returns the number of rotations performed (0 or 1).
   std::uint32_t write(Nanos timestamp, std::span<const std::byte> data,
                       std::uint32_t wire_len, std::uint64_t packet_id);
+
+  /// Appends a whole chunk through the vectored gather path: one
+  /// rotation check for the batch (against its min/max timestamp, so a
+  /// segment may overshoot the thresholds by at most one chunk), then a
+  /// single writev-shaped commit of every packet.  Returns the number
+  /// of rotations performed (0 or 1).
+  std::uint32_t write_chunk(std::span<const engines::CaptureView> packets);
 
   /// Finalizes the current segment (footer index + close).  Idempotent.
   void finish();
@@ -139,6 +165,9 @@ class SegmentWriter {
  private:
   void open_segment();
   void close_segment();
+  /// Folds one (snapped) packet into the open segment's index: counts,
+  /// timestamp extent, exact flow tally, bloom.
+  void note_packet(Nanos timestamp, std::span<const std::byte> snapped);
 
   std::filesystem::path dir_;
   std::uint32_t shard_id_;
@@ -146,6 +175,7 @@ class SegmentWriter {
   std::unique_ptr<net::PcapngWriter> writer_;
   SegmentIndex index_;                 // of the open segment
   std::unordered_map<net::FlowKey, std::uint64_t> flow_tally_;
+  std::vector<net::GatherSlice> gather_slices_;  // reused per chunk
   std::uint32_t next_seq_ = 0;
   std::uint64_t segments_opened_ = 0;
   std::uint64_t packets_written_ = 0;
@@ -175,16 +205,18 @@ class SpoolShard {
     return queue_.size() < config_.queue_capacity_chunks;
   }
 
-  /// Chunks accepted but not yet fully written — the engine's
+  /// Chunks accepted but not yet released — queued plus every write
+  /// still outstanding on the simulated disk.  The engine's
   /// offload-feedback probe (set_spool_backlog_probe) reads this.
   [[nodiscard]] std::size_t backlog() const {
-    return queue_.size() + (writing_ ? 1u : 0u);
+    return queue_.size() + in_flight_.size();
   }
 
-  /// Drops every queued chunk whose cells belong to `ring`'s pool.
-  /// MUST be called before engine close(ring): queued views dangle once
-  /// the pool is torn down.  (The in-flight chunk is safe — its bytes
-  /// hit the file at dequeue time.)
+  /// Drops every queued chunk whose cells belong to `ring`'s pool and
+  /// settles every outstanding write from that ring (bytes already hit
+  /// the file at submit time; the release must fire now, not from a
+  /// deferred completion into a torn-down pool).  MUST be called before
+  /// engine close(ring): queued views dangle once the pool is gone.
   void evict_ring(std::uint32_t ring);
 
   /// Simulated-disk faults: multiply write costs until `until`, or
@@ -197,7 +229,9 @@ class SpoolShard {
     drain_callback_ = std::move(fn);
   }
 
-  /// Evicts anything still queued, then finalizes the segment writer.
+  /// Settles outstanding writes (their bytes are already on disk, so
+  /// the chunks are released immediately), evicts anything still
+  /// queued, then finalizes the segment writer.
   void close();
 
   [[nodiscard]] const ShardStats& stats() const { return stats_; }
@@ -222,8 +256,21 @@ class SpoolShard {
     Nanos offered_at = Nanos::zero();
   };
 
+  /// One outstanding disk write.  Identified by op_id so a completion
+  /// event scheduled for an op that close()/evict_ring() already
+  /// settled finds nothing and no-ops instead of double-releasing.
+  struct InFlight {
+    std::uint64_t op_id = 0;
+    Queued item;
+  };
+
   void maybe_start_write();
   void start_write();
+  void complete_write(std::uint64_t op_id);
+  /// Releases one outstanding write early (close/evict): the bytes hit
+  /// the file at submit time, only the completion latency was pending.
+  void settle(InFlight&& op);
+  [[nodiscard]] std::size_t effective_queue_depth() const;
   void discard(Queued&& item, std::uint64_t ShardStats::*chunk_counter,
                std::uint64_t ShardStats::*packet_counter);
 
@@ -233,12 +280,17 @@ class SpoolShard {
   std::uint32_t shard_id_;
   SegmentWriter writer_;
   std::deque<Queued> queue_;
-  bool writing_ = false;
   bool retry_scheduled_ = false;
   bool closed_ = false;
-  /// In-flight chunk: bytes already on disk, awaiting the virtual-time
-  /// completion event that releases it.
-  std::optional<Queued> in_flight_;
+  /// Outstanding writes, oldest first: bytes already on disk, awaiting
+  /// the virtual-time completion events that release them.  Bounded by
+  /// effective_queue_depth().
+  std::deque<InFlight> in_flight_;
+  std::uint64_t next_op_id_ = 0;
+  /// The simulated device serializes transfers; this is when it frees
+  /// up.  The fixed per-op completion latency overlaps across
+  /// outstanding writes.
+  Nanos device_busy_until_ = Nanos::zero();
   double slow_factor_ = 1.0;
   Nanos slow_until_ = Nanos::zero();
   Nanos full_until_ = Nanos::zero();

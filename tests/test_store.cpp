@@ -7,9 +7,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <filesystem>
 #include <memory>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -84,6 +86,34 @@ TEST(SegmentIndexCodec, RoundTrip) {
                                        static_cast<std::ptrdiff_t>(cut));
     (void)decode_segment_index(partial);
   }
+
+  // Bloom round-trip (version 2): inserted flows stay queryable.
+  index.flow_bloom = FlowBloom::make(1024, 4);
+  index.flow_bloom.insert(kFlowA);
+  const auto encoded_bloom = encode_segment_index(index);
+  const auto decoded_bloom = decode_segment_index(encoded_bloom);
+  ASSERT_TRUE(decoded_bloom.has_value());
+  EXPECT_EQ(decoded_bloom->flow_bloom, index.flow_bloom);
+  EXPECT_TRUE(decoded_bloom->flow_bloom.may_contain(kFlowA));
+  for (std::size_t cut = encoded.size(); cut < encoded_bloom.size(); ++cut) {
+    std::vector<std::byte> partial(
+        encoded_bloom.begin(),
+        encoded_bloom.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_segment_index(partial).has_value());
+  }
+
+  // A version-1 payload (no bloom section) still decodes.  `encoded`
+  // carried an empty bloom, so stripping its 8-byte header and patching
+  // the version word reproduces the v1 layout byte-for-byte.
+  std::vector<std::byte> v1(encoded.begin(), encoded.end() - 8);
+  v1[4] = std::byte{1};
+  const auto decoded_v1 = decode_segment_index(v1);
+  ASSERT_TRUE(decoded_v1.has_value());
+  EXPECT_TRUE(decoded_v1->flow_bloom.empty());
+  EXPECT_EQ(decoded_v1->packet_count, 1234u);
+  // ...and without the bloom, a nonzero unindexed count keeps flow
+  // queries conservative.
+  EXPECT_TRUE(decoded_v1->may_contain_flow(kFlowB));
 }
 
 TEST(SegmentNames, RoundTrip) {
@@ -346,6 +376,337 @@ TEST_F(StoreTest, BackpressurePolicies) {
   }
 }
 
+// --- chunk lifecycle regressions: close / evict_ring vs outstanding
+// writes, zero-capacity config ---
+
+// Regression: close() used to abandon the in-flight chunk — its bytes
+// were on disk but the release never fired, leaking the chunk (and its
+// ring cells) forever.  close() must settle outstanding writes, and the
+// stale completion event must then find nothing to double-release.
+TEST_F(StoreTest, CloseSettlesInFlightWrites) {
+  sim::Scheduler scheduler;
+  sim::CostModel costs;
+  SpoolConfig config;
+  config.dir = dir_;
+  Spool spool{scheduler, costs, config};
+
+  std::vector<std::unique_ptr<std::vector<std::byte>>> storage;
+  std::uint64_t releases = 0;
+  spool.shard(0).offer(make_chunk(storage, 0, 0, 4, Nanos{1'000}),
+                       [&releases](const engines::ChunkCaptureView&) {
+                         ++releases;
+                       });
+  // The write was submitted synchronously (bytes are on disk), but its
+  // completion event is still pending on the virtual clock.
+  EXPECT_EQ(releases, 0u);
+  EXPECT_EQ(spool.shard(0).backlog(), 1u);
+
+  spool.close();
+  EXPECT_EQ(releases, 1u) << "close() leaked the in-flight chunk";
+  EXPECT_EQ(spool.shard(0).stats().in_flight_settled, 1u);
+  EXPECT_EQ(spool.shard(0).stats().chunks_evicted, 0u)
+      << "a settled write is not a loss: the bytes are on disk";
+  EXPECT_TRUE(spool.drained());
+
+  // The orphaned completion event must no-op, not release again.
+  scheduler.run_until(Nanos::from_millis(10.0));
+  EXPECT_EQ(releases, 1u);
+
+  StoreReader reader{dir_};
+  EXPECT_EQ(reader.read_all().size(), 4u);
+}
+
+// Regression: queue_capacity_chunks == 0 under kDropOldest popped an
+// empty deque on the first offer.  The config is now rejected up front
+// for every policy (a spool that can hold nothing is a misconfiguration).
+TEST_F(StoreTest, ZeroQueueCapacityRejected) {
+  sim::Scheduler scheduler;
+  sim::CostModel costs;
+  for (const auto policy :
+       {BackpressurePolicy::kBlock, BackpressurePolicy::kDropNewest,
+        BackpressurePolicy::kDropOldest}) {
+    SpoolConfig config;
+    config.dir = dir_;
+    config.policy = policy;
+    config.queue_capacity_chunks = 0;
+    EXPECT_THROW((Spool{scheduler, costs, config}), std::invalid_argument)
+        << to_string(policy);
+  }
+}
+
+// Regression: evict_ring() only filtered the queue; a write still
+// outstanding on the simulated disk kept its deferred completion, which
+// later released a chunk into the (by then) torn-down pool.  The shard
+// must settle in-flight writes from the evicted ring synchronously and
+// exactly once.
+TEST_F(StoreTest, EvictRingSettlesInFlightWrites) {
+  sim::Scheduler scheduler;
+  sim::CostModel costs;
+  SpoolConfig config;
+  config.dir = dir_;
+  config.disk_queue_depth = 4;
+  Spool spool{scheduler, costs, config};
+  SpoolShard& shard = spool.shard(0);
+  // Stretch transfers so every write stays outstanding for a long time.
+  shard.set_slow_disk(1'000.0, Nanos::from_seconds(1.0));
+
+  std::vector<std::unique_ptr<std::vector<std::byte>>> storage;
+  bool ring7_pool_alive = true;
+  std::uint64_t ring7_releases = 0, ring3_releases = 0, late_releases = 0;
+  for (int c = 0; c < 4; ++c) {
+    const std::uint32_t ring = (c % 2 == 0) ? 7u : 3u;
+    shard.offer(make_chunk(storage, ring, static_cast<std::uint64_t>(c) * 10,
+                           4, Nanos{1'000LL * (c + 1)}),
+                [&, ring](const engines::ChunkCaptureView&) {
+                  if (ring == 7) {
+                    ++ring7_releases;
+                    if (!ring7_pool_alive) ++late_releases;
+                  } else {
+                    ++ring3_releases;
+                  }
+                });
+  }
+  // Depth 4: all four writes went straight to the device.
+  EXPECT_EQ(shard.stats().in_flight_high_water, 4u);
+  EXPECT_EQ(shard.backlog(), 4u);
+  EXPECT_EQ(ring7_releases, 0u);
+
+  shard.evict_ring(7);
+  EXPECT_EQ(ring7_releases, 2u)
+      << "in-flight writes from the evicted ring were not settled";
+  EXPECT_EQ(shard.stats().in_flight_settled, 2u);
+  ring7_pool_alive = false;  // ring 7's pool is torn down from here on
+
+  scheduler.run_until(Nanos::from_seconds(2.0));
+  EXPECT_EQ(late_releases, 0u)
+      << "a deferred completion released into the torn-down pool";
+  EXPECT_EQ(ring7_releases, 2u);
+  EXPECT_EQ(ring3_releases, 2u);
+  EXPECT_TRUE(spool.drained());
+  spool.close();
+}
+
+// The multi-outstanding drain is the point of the disk queue: identical
+// work must finish strictly sooner at depth 4 than at depth 1, because
+// the fixed per-op completion latency overlaps across outstanding
+// writes while the device serializes only the transfers.
+TEST_F(StoreTest, DeepDiskQueueOverlapsOpLatency) {
+  const auto drain_finish = [](const std::filesystem::path& dir,
+                               unsigned depth) {
+    sim::Scheduler scheduler;
+    sim::CostModel costs;
+    SpoolConfig config;
+    config.dir = dir;
+    config.disk_queue_depth = depth;
+    Spool spool{scheduler, costs, config};
+    std::vector<std::unique_ptr<std::vector<std::byte>>> storage;
+    std::uint64_t releases = 0;
+    Nanos last_release = Nanos::zero();
+    for (int c = 0; c < 8; ++c) {
+      spool.shard(0).offer(
+          make_chunk(storage, 0, static_cast<std::uint64_t>(c) * 100, 16,
+                     Nanos{1'000LL * (c + 1)}),
+          [&](const engines::ChunkCaptureView&) {
+            ++releases;
+            last_release = scheduler.now();
+          });
+    }
+    scheduler.run_until(Nanos::from_millis(50.0));
+    EXPECT_EQ(releases, 8u);
+    EXPECT_TRUE(spool.drained());
+    EXPECT_LE(spool.shard(0).stats().in_flight_high_water, depth);
+    spool.close();
+    return last_release;
+  };
+  const Nanos deep = drain_finish(dir_ / "deep", 4);
+  const Nanos serial = drain_finish(dir_ / "serial", 1);
+  EXPECT_LT(deep, serial);
+}
+
+// --- crash-truncated segments and index-driven pruning ---
+
+// A segment cut off mid-EPB (writer crashed mid-write, no footer) must
+// still serve its readable prefix, merge cleanly with intact shards,
+// and keep duplicate-timestamp ties ordered by shard id.
+TEST_F(StoreTest, ReaderServesTruncatedSegmentPrefix) {
+  for (std::uint32_t shard = 0; shard < 2; ++shard) {
+    SegmentWriter writer{dir_, shard, SegmentWriter::Options{}};
+    for (int i = 0; i < 10; ++i) {
+      const std::uint64_t id = shard * 1'000 + static_cast<std::uint64_t>(i);
+      const auto pkt = net::WirePacket::make(Nanos{100LL * i}, kFlowA, 80, id);
+      writer.write(pkt.timestamp(), pkt.bytes(), pkt.wire_len(), id);
+    }
+    writer.finish();
+  }
+  // Shard 2 "crashes": no footer, and the file loses its tail mid-block.
+  const auto crashed = dir_ / SegmentWriter::segment_name(2, 0);
+  {
+    net::PcapngWriter writer{crashed};
+    for (int i = 0; i < 10; ++i) {
+      const std::uint64_t id = 2'000 + static_cast<std::uint64_t>(i);
+      const auto pkt = net::WirePacket::make(Nanos{100LL * i}, kFlowA, 80, id);
+      writer.write(pkt.timestamp(), pkt.bytes(), pkt.wire_len(), 0, id);
+    }
+    writer.close();
+  }
+  std::filesystem::resize_file(crashed,
+                               std::filesystem::file_size(crashed) - 8);
+
+  StoreReader reader{dir_};
+  EXPECT_EQ(reader.truncated_segments(), 1u);
+  ASSERT_EQ(reader.segments().size(), 3u);
+  EXPECT_EQ(reader.segments()[2].packet_count, 9u)
+      << "the readable prefix is 9 whole records";
+
+  std::unordered_set<std::uint64_t> seen;
+  Nanos last{-1};
+  std::uint32_t last_shard = 0;
+  std::uint64_t records = 0;
+  reader.read_merged({}, [&](const net::PcapngRecord& record,
+                             std::uint32_t shard) {
+    ++records;
+    EXPECT_GE(record.timestamp, last);
+    if (record.timestamp == last) {
+      EXPECT_GE(shard, last_shard);
+    }
+    last = record.timestamp;
+    last_shard = shard;
+    ASSERT_TRUE(record.packet_id.has_value());
+    EXPECT_TRUE(seen.insert(*record.packet_id).second)
+        << "duplicate packet id " << *record.packet_id;
+  });
+  EXPECT_EQ(records, 29u);  // 10 + 10 + the 9-record prefix
+}
+
+net::FlowKey flow_n(std::uint8_t n) {
+  return net::FlowKey{net::Ipv4Addr{10, 1, 0, n}, net::Ipv4Addr{10, 2, 0, 1},
+                      static_cast<std::uint16_t>(1'000 + n), 53,
+                      net::IpProto::kUdp};
+}
+
+// Past flow_index_cap the exact tally goes blind (unindexed_packets >
+// 0), which used to force a scan of every such segment.  The footer
+// bloom keeps pruning exact-flow queries — and BPF filters that pin a
+// full 5-tuple — beyond the cap.
+TEST_F(StoreTest, BloomSkipsSegmentsBeyondFlowIndexCap) {
+  SegmentWriter::Options options;
+  options.flow_index_cap = 4;
+  options.segment_max_span = Nanos::from_millis(1.0);
+  SegmentWriter writer{dir_, 0, options};
+  std::uint64_t id = 0;
+  // Segment 1: flows 0..19 — cardinality far past the cap.
+  for (int i = 0; i < 20; ++i) {
+    const auto pkt = net::WirePacket::make(
+        Nanos{1'000LL * i}, flow_n(static_cast<std::uint8_t>(i)), 80, id);
+    writer.write(pkt.timestamp(), pkt.bytes(), pkt.wire_len(), id);
+    ++id;
+  }
+  // Far-future timestamps trip span rotation; segment 2: flows 100..119.
+  for (int i = 0; i < 20; ++i) {
+    const auto pkt = net::WirePacket::make(
+        Nanos::from_millis(50.0) + Nanos{1'000LL * i},
+        flow_n(static_cast<std::uint8_t>(100 + i)), 80, id);
+    writer.write(pkt.timestamp(), pkt.bytes(), pkt.wire_len(), id);
+    ++id;
+  }
+  writer.finish();
+
+  StoreReader reader{dir_};
+  ASSERT_EQ(reader.segments().size(), 2u);
+  for (const SegmentIndex& index : reader.segments()) {
+    EXPECT_GT(index.unindexed_packets, 0u) << "cap never engaged";
+    EXPECT_FALSE(index.flow_bloom.empty());
+  }
+
+  // A flow only in segment 2 — and past its tally cap — skips segment 1.
+  StoreQuery q;
+  q.flow = flow_n(119);
+  std::uint64_t matched = 0;
+  auto stats = reader.read_merged(
+      q, [&](const net::PcapngRecord&, std::uint32_t) { ++matched; });
+  EXPECT_EQ(matched, 1u);
+  EXPECT_EQ(stats.segments_skipped_flow, 1u)
+      << "bloom must prune where the capped tally cannot";
+
+  // An absent flow touches no segment at all.
+  q.flow = flow_n(250);
+  matched = 0;
+  stats = reader.read_merged(
+      q, [&](const net::PcapngRecord&, std::uint32_t) { ++matched; });
+  EXPECT_EQ(matched, 0u);
+  EXPECT_EQ(stats.segments_skipped_flow, 2u);
+  EXPECT_EQ(stats.packets_scanned, 0u);
+
+  // A filter pinning the full 5-tuple prunes like an exact flow query.
+  StoreQuery pinned;
+  pinned.filter =
+      "src host 10.1.0.105 and dst host 10.2.0.1 and src port 1105 and "
+      "dst port 53 and udp";
+  matched = 0;
+  stats = reader.read_merged(
+      pinned, [&](const net::PcapngRecord&, std::uint32_t) { ++matched; });
+  EXPECT_EQ(matched, 1u);
+  EXPECT_EQ(stats.segments_skipped_filter, 1u);
+
+  // An unpinned filter must not engage segment pruning.
+  StoreQuery broad;
+  broad.filter = "udp";
+  matched = 0;
+  stats = reader.read_merged(
+      broad, [&](const net::PcapngRecord&, std::uint32_t) { ++matched; });
+  EXPECT_EQ(matched, 40u);
+  EXPECT_EQ(stats.segments_skipped_filter, 0u);
+}
+
+// The vectored gather path and the packet-at-a-time path must produce
+// byte-equivalent record streams (timestamps, payloads, packet ids).
+TEST_F(StoreTest, VectoredChunkWriteMatchesPerPacketPath) {
+  const auto dir_scalar = dir_ / "scalar";
+  const auto dir_vector = dir_ / "vector";
+  std::filesystem::create_directories(dir_scalar);
+  std::filesystem::create_directories(dir_vector);
+  SegmentWriter::Options options;
+  options.segment_max_bytes = 4'000;  // several rotations either way
+
+  std::vector<std::unique_ptr<std::vector<std::byte>>> storage;
+  std::vector<engines::ChunkCaptureView> chunks;
+  for (int c = 0; c < 6; ++c) {
+    chunks.push_back(make_chunk(storage, 0,
+                                static_cast<std::uint64_t>(c) * 100, 8,
+                                Nanos{5'000LL * c + 1}));
+  }
+  {
+    SegmentWriter writer{dir_scalar, 0, options};
+    for (const auto& chunk : chunks) {
+      for (const auto& view : chunk.packets) {
+        writer.write(view.timestamp, view.bytes, view.wire_len, view.seq);
+      }
+    }
+    writer.finish();
+  }
+  {
+    SegmentWriter writer{dir_vector, 0, options};
+    for (const auto& chunk : chunks) writer.write_chunk(chunk.packets);
+    writer.finish();
+  }
+
+  StoreReader scalar{dir_scalar};
+  StoreReader vectored{dir_vector};
+  const auto a = scalar.read_all();
+  const auto b = vectored.read_all();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+    EXPECT_EQ(a[i].orig_len, b[i].orig_len);
+    ASSERT_TRUE(a[i].packet_id.has_value());
+    ASSERT_TRUE(b[i].packet_id.has_value());
+    EXPECT_EQ(*a[i].packet_id, *b[i].packet_id);
+    ASSERT_EQ(a[i].data.size(), b[i].data.size());
+    EXPECT_TRUE(std::equal(a[i].data.begin(), a[i].data.end(),
+                           b[i].data.begin()));
+  }
+}
+
 // --- Experiment integration: capture → spool → merged read-back ---
 
 TEST_F(StoreTest, ExperimentSpoolRoundTrip) {
@@ -437,6 +798,56 @@ TEST(StoreSoak, ConservationUnderFaults) {
   EXPECT_EQ(soak.seeds_run, 4u);
   EXPECT_GT(soak.total_spooled, 0u);
   EXPECT_TRUE(soak.clean()) << (soak.failures.empty()
+                                    ? "(no failure message)"
+                                    : soak.failures.front());
+}
+
+// The evict_ring in-flight bug class, driven from generated fault
+// plans: seeds whose schedule combines a slow disk (writes pile up
+// outstanding) with a queue reopen (ring close evicts mid-flight) are
+// exactly the interaction that used to double-release or leak.
+TEST(StoreSoak, SlowDiskPlusRingCloseFaultPlans) {
+  testing::FaultPlanConfig plan_config;
+  plan_config.num_queues = 2;
+  plan_config.spool_faults = true;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t seed = 1; seed <= 2'000 && seeds.size() < 5; ++seed) {
+    plan_config.seed = seed;
+    const auto plan = testing::FaultPlan::generate(plan_config);
+    bool slow = false, reopen = false;
+    for (const auto& event : plan.events()) {
+      slow = slow || event.kind == testing::FaultKind::kSlowDisk;
+      reopen = reopen || event.kind == testing::FaultKind::kQueueReopen;
+    }
+    if (slow && reopen) seeds.push_back(seed);
+  }
+  ASSERT_FALSE(seeds.empty())
+      << "no generated plan combines slow-disk with a ring close";
+  for (const std::uint64_t seed : seeds) {
+    testing::FaultHarnessConfig base;
+    base.plan = plan_config;
+    base.spool = true;
+    const auto soak = testing::run_fault_soak(seed, 1, base);
+    EXPECT_TRUE(soak.clean())
+        << "seed " << seed << ": "
+        << (soak.failures.empty() ? "(no failure message)"
+                                  : soak.failures.front());
+  }
+}
+
+// Acceptance gate: 100 seeds of slow-disk / disk-full / ring-close
+// faults against the multi-outstanding drain, chunk conservation
+// audited on every one.
+TEST(StoreSoak, ConservationHundredSeeds) {
+  testing::FaultHarnessConfig base;
+  base.plan.num_queues = 2;
+  base.plan.spool_faults = true;
+  base.spool = true;
+  const auto soak = testing::run_fault_soak(1, 100, base);
+  EXPECT_EQ(soak.seeds_run, 100u);
+  EXPECT_GT(soak.total_spooled, 0u);
+  EXPECT_TRUE(soak.clean()) << soak.failures.size() << " seed(s) failed; "
+                            << (soak.failures.empty()
                                     ? "(no failure message)"
                                     : soak.failures.front());
 }
