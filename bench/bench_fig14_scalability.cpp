@@ -19,13 +19,17 @@
 // Scale note: the paper sends 1e9 packets per NIC; we send 1e6 per NIC —
 // drop rates are rate-driven and scale-invariant here.
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/pkt_handler.hpp"
 #include "bench/bench_util.hpp"
 #include "core/wirecap_engine.hpp"
 #include "engines/baselines.hpp"
+#include "engines/tenant.hpp"
 #include "nic/wire.hpp"
 
 namespace {
@@ -43,7 +47,7 @@ struct EngineSpec {
 };
 
 double run_one(const EngineSpec& spec, std::uint32_t queues_per_nic,
-               std::uint32_t frame_bytes) {
+               std::uint32_t frame_bytes, std::uint32_t tenants = 1) {
   sim::Scheduler scheduler;
   sim::IoBus bus{scheduler, Rate{kBusTransactionsPerSecond}};
   const sim::CostModel costs;
@@ -107,11 +111,24 @@ double run_one(const EngineSpec& spec, std::uint32_t queues_per_nic,
   spawn(*engine1, *nic2, 0);
   spawn(*engine2, *nic1, 32);
 
+  // Partition each NIC's queues into `tenants` disjoint buddy groups via
+  // the tenant API (tenants = 1 reproduces the paper's single shared
+  // group).  Offloading never crosses a tenant boundary.
   if (spec.wirecap) {
-    std::vector<std::uint32_t> group;
-    for (std::uint32_t q = 0; q < queues_per_nic; ++q) group.push_back(q);
-    dynamic_cast<core::WirecapEngine*>(engine1.get())->set_buddy_group(group);
-    dynamic_cast<core::WirecapEngine*>(engine2.get())->set_buddy_group(group);
+    const auto register_tenants = [&](engines::CaptureEngine& engine) {
+      auto* wirecap = dynamic_cast<core::WirecapEngine*>(&engine);
+      for (std::uint32_t t = 0; t < tenants; ++t) {
+        engines::TenantSpec tenant;
+        tenant.name = "t";
+        tenant.name += std::to_string(t);
+        for (std::uint32_t q = 0; q < queues_per_nic; ++q) {
+          if (q * tenants / queues_per_nic == t) tenant.queues.push_back(q);
+        }
+        if (!tenant.queues.empty()) wirecap->register_tenant(tenant);
+      }
+    };
+    register_tenants(*engine1);
+    register_tenants(*engine2);
   }
 
   // One flow per queue, engineered onto its queue by the real RSS hash,
@@ -150,39 +167,225 @@ double run_one(const EngineSpec& spec, std::uint32_t queues_per_nic,
               : 0.0;
 }
 
-int run() {
-  bench::title("Figure 14: scalability (2 NICs, shared bus, forwarding)");
-  bench::note("bus model: 52M transactions/s; RX DMA + TX DMA each cost 1");
-  bench::note("1e6 packets/NIC (paper: 1e9; drop rates are rate-driven)");
+// --- multi-tenant fairness experiment ---
+//
+// One NIC, four queues, split between a victim tenant (queues 0-1,
+// drained by x=0 handlers) and an aggressor tenant (queues 2-3).  In the
+// baseline run the aggressor's queues are simply absent; in the stalled
+// run they are open and quota-capped but never drained, so the aggressor
+// pins its budget at the quota and stalls for the whole run.  The offered
+// load on the victim's queues is identical either way (one RSS-engineered
+// flow per queue, round-robin at wire rate), so any victim throughput
+// delta is cross-tenant interference.
 
-  const std::vector<EngineSpec> specs{
-      {"DNA", false},
-      {"WireCAP-A-(256,100,60%)", true, 256, 100},
-      {"WireCAP-A-(256,500,60%)", true, 256, 500},
-  };
+struct FairnessResult {
+  double victim_pps = 0.0;
+  std::uint64_t aggressor_quota_stalls = 0;
+  std::uint64_t aggressor_charged = 0;
+};
 
-  for (const std::uint32_t frame : {64u, 100u}) {
-    std::printf("\n-- %u-byte frames (aggregate %.1f Mp/s) --\n", frame,
-                2 * ethernet::wire_rate(10e9, frame).per_second() / 1e6);
-    std::printf("%-26s", "queues/NIC");
-    for (std::uint32_t q = 1; q <= 6; ++q) std::printf(" %8u", q);
-    std::printf("\n");
-    for (const auto& spec : specs) {
-      std::printf("%-26s", spec.label.c_str());
-      for (std::uint32_t q = 1; q <= 6; ++q) {
-        std::printf(" %8s", bench::percent(run_one(spec, q, frame)).c_str());
-      }
-      std::printf("\n");
+FairnessResult run_fairness_side(bool aggressor_present) {
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler, Rate{kBusTransactionsPerSecond}};
+  const sim::CostModel costs;
+
+  nic::NicConfig nic_config;
+  nic_config.nic_id = 1;
+  nic_config.num_rx_queues = 4;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+
+  core::WirecapConfig config;
+  config.cells_per_chunk = 64;
+  config.chunk_count = 32;
+  config.offload_threshold = 0.6;
+  core::WirecapEngine engine{scheduler, nic, config, costs};
+
+  std::vector<std::unique_ptr<sim::SimCore>> cores;
+  std::vector<std::unique_ptr<apps::PktHandler>> handlers;
+  for (std::uint32_t q = 0; q < 2; ++q) {
+    cores.push_back(std::make_unique<sim::SimCore>(scheduler, q));
+    engine.open(q, *cores.back());
+    apps::PktHandlerConfig handler_config;
+    handler_config.x = 0;
+    handler_config.filter = "";
+    handler_config.execute_filter = false;
+    handlers.push_back(std::make_unique<apps::PktHandler>(
+        *cores.back(), engine, q, handler_config, costs));
+  }
+  engines::TenantSpec victim;
+  victim.name = "victim";
+  victim.queues = {0, 1};
+  engine.register_tenant(victim);
+
+  engines::TenantId aggressor_id = engines::kNoTenant;
+  if (aggressor_present) {
+    for (std::uint32_t q = 2; q < 4; ++q) {
+      cores.push_back(std::make_unique<sim::SimCore>(scheduler, q));
+      engine.open(q, *cores.back());  // no handler: never drained
     }
+    engines::TenantSpec aggressor;
+    aggressor.name = "aggressor";
+    aggressor.queues = {2, 3};
+    aggressor.chunk_quota = 16;
+    aggressor_id = engine.register_tenant(aggressor);
   }
 
-  std::printf("\npaper shape: 0%% at 100B; at 64B the bus saturates — "
-              "WireCAP > DNA at 1 queue, similar at more queues, and "
-              "WireCAP-A-(256,500) degrades at 5-6 queues (memory "
-              "pressure)\n");
-  return 0;
+  // One flow per queue in both runs, so the victim's share of the wire
+  // is identical; packets for absent/stalled queues die at their rings.
+  trace::ConstantRateConfig source_config;
+  source_config.packet_count = 400'000;
+  source_config.frame_bytes = 64;
+  Xoshiro256 rng{0xFA17};
+  for (std::uint32_t q = 0; q < 4; ++q) {
+    source_config.flows.push_back(trace::flow_for_queue(rng, q, 4));
+  }
+  trace::ConstantRateSource source{source_config};
+  nic::TrafficInjector injector{scheduler, source, nic};
+  injector.start();
+
+  const double send_seconds =
+      static_cast<double>(source_config.packet_count) /
+      ethernet::wire_rate(10e9, source_config.frame_bytes).per_second();
+  scheduler.run_until(Nanos::from_seconds(send_seconds + 1.0));
+
+  FairnessResult result;
+  std::uint64_t processed = 0;
+  for (std::uint32_t q = 0; q < 2; ++q) processed += handlers[q]->stats().processed;
+  result.victim_pps = static_cast<double>(processed) / send_seconds;
+  if (aggressor_present) {
+    const engines::TenantAccount& account = engine.tenant_account(aggressor_id);
+    result.aggressor_quota_stalls = account.quota_stalls;
+    result.aggressor_charged = account.charged;
+  }
+  return result;
+}
+
+struct SweepPoint {
+  std::uint32_t tenants = 1;
+  double drop_rate = 0.0;
+};
+
+constexpr double kFairnessTarget = 0.9;
+
+void write_tenant_json(const std::string& path,
+                       const std::vector<SweepPoint>& sweep,
+                       const FairnessResult& solo,
+                       const FairnessResult& stalled, double ratio) {
+  std::ofstream out{path};
+  out << "{\n  \"benchmark\": \"tenant_fairness\",\n  \"tenants_sweep\": [";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"tenants\": %u, \"drop_rate\": %.6f}",
+                  i ? "," : "", sweep[i].tenants, sweep[i].drop_rate);
+    out << buf;
+  }
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\n  ],\n"
+      "  \"fairness\": {\n"
+      "    \"victim_solo_pps\": %.1f,\n"
+      "    \"victim_stalled_pps\": %.1f,\n"
+      "    \"ratio\": %.4f,\n"
+      "    \"target\": %.2f\n"
+      "  },\n"
+      "  \"aggressor_quota_stalls\": %llu,\n"
+      "  \"aggressor_charged\": %llu\n"
+      "}\n",
+      solo.victim_pps, stalled.victim_pps, ratio, kFairnessTarget,
+      static_cast<unsigned long long>(stalled.aggressor_quota_stalls),
+      static_cast<unsigned long long>(stalled.aggressor_charged));
+  out << buf;
+}
+
+int run(std::uint32_t max_tenants, const std::string& out_path,
+        bool fairness_only) {
+  const EngineSpec wirecap_spec{"WireCAP-A-(256,100,60%)", true, 256, 100};
+
+  if (!fairness_only) {
+    bench::title("Figure 14: scalability (2 NICs, shared bus, forwarding)");
+    bench::note("bus model: 52M transactions/s; RX DMA + TX DMA each cost 1");
+    bench::note("1e6 packets/NIC (paper: 1e9; drop rates are rate-driven)");
+
+    const std::vector<EngineSpec> specs{
+        {"DNA", false},
+        wirecap_spec,
+        {"WireCAP-A-(256,500,60%)", true, 256, 500},
+    };
+
+    for (const std::uint32_t frame : {64u, 100u}) {
+      std::printf("\n-- %u-byte frames (aggregate %.1f Mp/s) --\n", frame,
+                  2 * ethernet::wire_rate(10e9, frame).per_second() / 1e6);
+      std::printf("%-26s", "queues/NIC");
+      for (std::uint32_t q = 1; q <= 6; ++q) std::printf(" %8u", q);
+      std::printf("\n");
+      for (const auto& spec : specs) {
+        std::printf("%-26s", spec.label.c_str());
+        for (std::uint32_t q = 1; q <= 6; ++q) {
+          std::printf(" %8s", bench::percent(run_one(spec, q, frame)).c_str());
+        }
+        std::printf("\n");
+      }
+    }
+
+    std::printf("\npaper shape: 0%% at 100B; at 64B the bus saturates — "
+                "WireCAP > DNA at 1 queue, similar at more queues, and "
+                "WireCAP-A-(256,500) degrades at 5-6 queues (memory "
+                "pressure)\n");
+  }
+
+  // Multi-tenant sweep at the bus-saturation point (64B frames,
+  // 6 queues/NIC, ~30 Mp/s aggregate): the same NIC split into N
+  // disjoint buddy groups.  Fewer buddies per group means less slack
+  // for offloading, so drops may creep up slightly with tenant count.
+  bench::title("Multi-tenant sweep (64B frames, 6 queues/NIC, shared bus)");
+  std::vector<SweepPoint> sweep;
+  std::printf("  %-10s %10s\n", "tenants", "drop rate");
+  for (std::uint32_t t = 1; t <= std::min(max_tenants, 6u); ++t) {
+    SweepPoint point;
+    point.tenants = t;
+    point.drop_rate = run_one(wirecap_spec, 6, 64, t);
+    std::printf("  %-10u %10s\n", t, bench::percent(point.drop_rate).c_str());
+    sweep.push_back(point);
+  }
+
+  bench::title("Tenant fairness: victim throughput under co-tenant stall");
+  const FairnessResult solo = run_fairness_side(false);
+  const FairnessResult stalled = run_fairness_side(true);
+  const double ratio =
+      solo.victim_pps > 0.0 ? stalled.victim_pps / solo.victim_pps : 0.0;
+  std::printf("  victim solo:    %12.0f p/s\n", solo.victim_pps);
+  std::printf("  victim+stalled: %12.0f p/s (aggressor: %llu chunks "
+              "charged, %llu quota stalls)\n",
+              stalled.victim_pps,
+              static_cast<unsigned long long>(stalled.aggressor_charged),
+              static_cast<unsigned long long>(stalled.aggressor_quota_stalls));
+  std::printf("  ratio: %.4f (gate: >= %.2f)\n", ratio, kFairnessTarget);
+  bench::note("disjoint buddy groups + per-tenant quotas: a stalled "
+              "co-tenant exhausts only its own budget");
+
+  write_tenant_json(out_path, sweep, solo, stalled, ratio);
+  std::printf("  -> %s\n", out_path.c_str());
+  return ratio >= kFairnessTarget ? 0 : 1;
 }
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  std::uint32_t max_tenants = 2;
+  std::string out_path = "BENCH_tenant.json";
+  bool fairness_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--tenants=", 0) == 0) {
+      max_tenants = static_cast<std::uint32_t>(
+          std::stoul(std::string(arg.substr(10))));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = std::string(arg.substr(6));
+    } else if (arg == "--fairness-only") {
+      fairness_only = true;
+    }
+  }
+  return run(std::max(1u, max_tenants), out_path, fairness_only);
+}

@@ -30,6 +30,14 @@ inline apps::PipelineFlags& pipeline_flags() {
   return flags;
 }
 
+/// The --offload-policy/--handoff/--tenants/--tenant-quota flags parsed
+/// by telemetry_main(); enum conversion (with the allowed set in the
+/// error) happens at the CLI boundary, configs carry enums only.
+inline apps::EngineFlags& engine_flags() {
+  static apps::EngineFlags flags;
+  return flags;
+}
+
 /// "The traffic generator transmits P 64-byte packets at the wire rate
 /// (14.88 Mp/s)": single queue, one flow, pkt_handler with the given x.
 /// With `flags`, the run writes --metrics-out/--trace-out files
@@ -43,6 +51,7 @@ inline apps::ExperimentResult run_burst(
   config.x = x;
   if (flags) flags->apply(config);
   if (pipeline_flags().any()) pipeline_flags().apply(config);
+  if (engine_flags().any()) engine_flags().apply(config.engine);
   apps::Experiment experiment{config};
 
   trace::ConstantRateConfig trace_config;
@@ -71,6 +80,7 @@ inline apps::ExperimentResult run_border_trace(
   config.forward = forward;
   if (flags) flags->apply(config);
   if (pipeline_flags().any()) pipeline_flags().apply(config);
+  if (engine_flags().any()) engine_flags().apply(config.engine);
   apps::Experiment experiment{config};
 
   trace::BorderRouterConfig trace_config;
@@ -103,6 +113,7 @@ inline int telemetry_main(int argc, char** argv,
       apps::ExperimentConfig scratch;  // validate spec/steering up front
       pipeline_flags().apply(scratch);
     }
+    engine_flags() = apps::parse_engine_flags(argc, argv);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

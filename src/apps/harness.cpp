@@ -55,19 +55,10 @@ std::unique_ptr<engines::CaptureEngine> make_engine(
   config.cells_per_chunk = params.cells_per_chunk;
   config.chunk_count = params.chunk_count;
   config.offload_threshold = params.offload_threshold;
-  switch (params.offload_policy) {
-    case core::OffloadPolicy::kLeastBusy:
-      config.offload_policy = "least-busy";
-      break;
-    case core::OffloadPolicy::kRandomBuddy:
-      config.offload_policy = "random";
-      break;
-    case core::OffloadPolicy::kRoundRobin:
-      config.offload_policy = "round-robin";
-      break;
-  }
-  config.handoff =
-      params.handoff == HandoffMode::kLockFree ? "lock-free" : "mutex";
+  config.offload_policy = params.offload_policy;
+  config.handoff = params.handoff;
+  config.nic_numa_node = params.nic_numa_node;
+  config.queue_numa_node = params.queue_numa_node;
   return engines::make_engine(to_string(params.kind), nic, config);
 }
 
@@ -166,11 +157,21 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
 
   if (config_.engine.kind == EngineKind::kWirecapAdvanced) {
     // The paper's advanced-mode experiments: "the n queues form a single
-    // buddy group" (one multi_pkt_handler application).
+    // buddy group" (one multi_pkt_handler application) — generalized to
+    // `tenants` co-resident applications, each owning a contiguous slice
+    // of the queues as its own buddy group with its own quota.
     auto* wirecap = dynamic_cast<core::WirecapEngine*>(engine_.get());
-    std::vector<std::uint32_t> group;
-    for (std::uint32_t q = 0; q < config_.num_queues; ++q) group.push_back(q);
-    wirecap->set_buddy_group(group);
+    const std::uint32_t tenants = std::max(1u, config_.engine.tenants);
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+      engines::TenantSpec spec;
+      spec.name = "t";
+      spec.name += std::to_string(t);
+      spec.chunk_quota = config_.engine.tenant_quota;
+      for (std::uint32_t q = 0; q < config_.num_queues; ++q) {
+        if (q * tenants / config_.num_queues == t) spec.queues.push_back(q);
+      }
+      if (!spec.queues.empty()) wirecap->register_tenant(spec);
+    }
   }
   if (config_.engine.kind == EngineKind::kDpdkAppOffload) {
     auto* dpdk = dynamic_cast<engines::DpdkEngine*>(engine_.get());
@@ -285,6 +286,37 @@ void PipelineFlags::apply(ExperimentConfig& config) const {
   } else {
     throw std::invalid_argument("--steering must be broadcast, flow or bpf");
   }
+}
+
+EngineFlags parse_engine_flags(int argc, char** argv) {
+  EngineFlags flags;
+  constexpr std::string_view kPolicy = "--offload-policy=";
+  constexpr std::string_view kHandoff = "--handoff=";
+  constexpr std::string_view kTenants = "--tenants=";
+  constexpr std::string_view kQuota = "--tenant-quota=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with(kPolicy)) {
+      flags.offload_policy =
+          parse_offload_policy(arg.substr(kPolicy.size()));
+    } else if (arg.starts_with(kHandoff)) {
+      flags.handoff = parse_handoff_mode(arg.substr(kHandoff.size()));
+    } else if (arg.starts_with(kTenants)) {
+      flags.tenants = static_cast<std::uint32_t>(
+          std::stoul(std::string(arg.substr(kTenants.size()))));
+    } else if (arg.starts_with(kQuota)) {
+      flags.tenant_quota = static_cast<std::uint32_t>(
+          std::stoul(std::string(arg.substr(kQuota.size()))));
+    }
+  }
+  return flags;
+}
+
+void EngineFlags::apply(EngineParams& params) const {
+  if (offload_policy) params.offload_policy = *offload_policy;
+  if (handoff) params.handoff = *handoff;
+  if (tenants) params.tenants = std::max(1u, *tenants);
+  if (tenant_quota) params.tenant_quota = *tenant_quota;
 }
 
 TelemetryFlags parse_telemetry_flags(int argc, char** argv) {

@@ -49,6 +49,17 @@ struct EngineParams {
   /// Capture-queue handoff (WireCAP modes): lock-free SPSC/steal fast
   /// path or the mutex+condvar blocking baseline.
   HandoffMode handoff = HandoffMode::kLockFree;
+  /// Tenants sharing the NIC (kWirecapAdvanced only): the queues are
+  /// partitioned into `tenants` contiguous slices, each registered as
+  /// its own TenantSpec/buddy group.  1 keeps the paper's single
+  /// "multi_pkt_handler application" arrangement.
+  std::uint32_t tenants = 1;
+  /// Per-tenant chunk-pool quota (0 = each tenant's full pools).
+  std::uint32_t tenant_quota = 0;
+  /// NUMA node the NIC DMAs into, and per-queue placement of capture
+  /// pools/threads (empty = all on nic_numa_node).  WireCAP-only.
+  std::uint32_t nic_numa_node = 0;
+  std::vector<std::uint32_t> queue_numa_node;
 
   [[nodiscard]] std::string label() const;
 
@@ -147,6 +158,29 @@ struct PipelineFlags {
 };
 
 [[nodiscard]] PipelineFlags parse_pipeline_flags(int argc, char** argv);
+
+/// The engine command-line surface:
+///   --offload-policy=NAME   least-busy (default) | random | round-robin
+///   --handoff=NAME          lock-free (default) | mutex
+///   --tenants=N             partition the queues into N tenant groups
+///   --tenant-quota=N        per-tenant chunk quota (0 = uncapped)
+/// Strings are converted (and unknown values rejected with the allowed
+/// set spelled out) right here at the CLI boundary — EngineParams and
+/// EngineConfig carry enums only.
+struct EngineFlags {
+  std::optional<core::OffloadPolicy> offload_policy;
+  std::optional<HandoffMode> handoff;
+  std::optional<std::uint32_t> tenants;
+  std::optional<std::uint32_t> tenant_quota;
+
+  [[nodiscard]] bool any() const {
+    return offload_policy || handoff || tenants || tenant_quota;
+  }
+  void apply(EngineParams& params) const;
+};
+
+/// Throws std::invalid_argument on an unknown policy/mode name.
+[[nodiscard]] EngineFlags parse_engine_flags(int argc, char** argv);
 
 struct QueueResult {
   std::uint64_t arrived = 0;          // steered to this queue

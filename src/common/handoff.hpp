@@ -10,6 +10,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace wirecap {
 
@@ -51,6 +54,47 @@ enum class HandoffMode : std::uint8_t {
 
 [[nodiscard]] constexpr const char* to_string(HandoffMode mode) {
   return mode == HandoffMode::kMutex ? "mutex" : "lock-free";
+}
+
+/// How an overloaded capture thread picks the buddy to offload to.
+/// The paper's design targets "an idle or less busy receive queue"
+/// (least-busy); the alternatives exist for the ablation benchmarks.
+/// Lives here (not in core) so the engines-layer config and the
+/// per-tenant TenantSpec can carry it without linking core.
+enum class OffloadPolicy : std::uint8_t {
+  kLeastBusy,    // shortest buddy capture queue (the paper's policy)
+  kRandomBuddy,  // uniform random buddy
+  kRoundRobin,   // cycle through buddies
+};
+
+[[nodiscard]] constexpr const char* to_string(OffloadPolicy policy) {
+  switch (policy) {
+    case OffloadPolicy::kLeastBusy: return "least-busy";
+    case OffloadPolicy::kRandomBuddy: return "random";
+    case OffloadPolicy::kRoundRobin: return "round-robin";
+  }
+  return "least-busy";
+}
+
+// CLI-boundary parsers.  Engine configs carry the enums; only argv
+// handling converts strings, and an unknown value fails fast with the
+// allowed set spelled out.
+
+[[nodiscard]] inline OffloadPolicy parse_offload_policy(
+    std::string_view text) {
+  if (text == "least-busy") return OffloadPolicy::kLeastBusy;
+  if (text == "random") return OffloadPolicy::kRandomBuddy;
+  if (text == "round-robin") return OffloadPolicy::kRoundRobin;
+  throw std::invalid_argument("unknown offload policy \"" +
+                              std::string(text) +
+                              "\" (allowed: least-busy, random, round-robin)");
+}
+
+[[nodiscard]] inline HandoffMode parse_handoff_mode(std::string_view text) {
+  if (text == "lock-free") return HandoffMode::kLockFree;
+  if (text == "mutex") return HandoffMode::kMutex;
+  throw std::invalid_argument("unknown handoff mode \"" + std::string(text) +
+                              "\" (allowed: lock-free, mutex)");
 }
 
 }  // namespace wirecap

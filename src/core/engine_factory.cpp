@@ -15,29 +15,19 @@ namespace wirecap::engines {
 
 namespace {
 
-core::OffloadPolicy parse_policy(const std::string& policy) {
-  if (policy == "least-busy") return core::OffloadPolicy::kLeastBusy;
-  if (policy == "random") return core::OffloadPolicy::kRandomBuddy;
-  if (policy == "round-robin") return core::OffloadPolicy::kRoundRobin;
-  throw std::invalid_argument("make_engine: unknown offload policy \"" +
-                              policy + "\"");
-}
-
-HandoffMode parse_handoff(const std::string& handoff) {
-  if (handoff == "lock-free") return HandoffMode::kLockFree;
-  if (handoff == "mutex") return HandoffMode::kMutex;
-  throw std::invalid_argument("make_engine: unknown handoff mode \"" +
-                              handoff + "\"");
-}
-
+// Policy/handoff arrive as enums: strings are converted once at the
+// CLI boundary (parse_offload_policy / parse_handoff_mode in
+// common/handoff.hpp, which throw listing the allowed sets).
 std::unique_ptr<CaptureEngine> make_wirecap(nic::MultiQueueNic& nic,
                                             const EngineConfig& config,
                                             bool advanced) {
   core::WirecapConfig wirecap_config;
   wirecap_config.cells_per_chunk = config.cells_per_chunk;
   wirecap_config.chunk_count = config.chunk_count;
-  wirecap_config.offload_policy = parse_policy(config.offload_policy);
-  wirecap_config.handoff = parse_handoff(config.handoff);
+  wirecap_config.offload_policy = config.offload_policy;
+  wirecap_config.handoff = config.handoff;
+  wirecap_config.nic_numa_node = config.nic_numa_node;
+  wirecap_config.queue_numa_node = config.queue_numa_node;
   if (advanced) {
     wirecap_config.offload_threshold = config.offload_threshold;
   }

@@ -15,6 +15,16 @@ WirecapEngine::WirecapEngine(sim::Scheduler& scheduler,
     throw std::invalid_argument("WirecapEngine: T must be in (0, 1]");
   }
   queues_.resize(nic_.config().num_rx_queues);
+  // Seed every queue's effective knobs from the engine-wide config;
+  // TenantSpec registration overrides them per group.
+  for (std::uint32_t q = 0; q < queues_.size(); ++q) {
+    QueueState& qs = queues_[q];
+    qs.offload_policy = config_.offload_policy;
+    qs.offload_threshold = config_.offload_threshold;
+    qs.numa_node = q < config_.queue_numa_node.size()
+                       ? config_.queue_numa_node[q]
+                       : config_.nic_numa_node;
+  }
 }
 
 void WirecapEngine::open(std::uint32_t queue, sim::SimCore& /*app_core*/) {
@@ -27,6 +37,10 @@ void WirecapEngine::open(std::uint32_t queue, sim::SimCore& /*app_core*/) {
   driver_config.chunk_count = config_.chunk_count;
   driver_config.cell_size = config_.cell_size;
   driver_config.partial_chunk_timeout = costs_.partial_chunk_timeout;
+  // Pool placement follows the queue's (possibly tenant-overridden)
+  // NUMA node: the fresh pool is allocated where the capture thread
+  // runs, so only NIC-to-pool DMA distance shows up as a penalty.
+  driver_config.numa_node = qs.numa_node;
   qs.driver = std::make_unique<driver::WirecapQueueDriver>(nic_, queue,
                                                            driver_config);
 
@@ -41,8 +55,9 @@ void WirecapEngine::open(std::uint32_t queue, sim::SimCore& /*app_core*/) {
   // the chunks would be destroyed while their pools still count them
   // as captured.
   const auto recycle_stale = [this](const driver::ChunkMeta& meta) {
-    if (queues_[meta.ring_id].open) {
-      static_cast<void>(queues_[meta.ring_id].driver->recycle(meta));
+    if (queues_[meta.ring_id].open &&
+        queues_[meta.ring_id].driver->recycle(meta).is_ok()) {
+      credit_charged(meta.ring_id, 1);
     }
   };
   if (qs.capture_queue) {
@@ -114,6 +129,7 @@ void WirecapEngine::close(std::uint32_t queue) {
     if (!status.is_ok()) {
       throw std::logic_error("WirecapEngine: close-drain recycle failed");
     }
+    credit_charged(meta.ring_id, 1);
   };
   if (qs.capture_queue) {
     while (auto meta = qs.capture_queue->try_pop()) recycle_to_owner(*meta);
@@ -183,7 +199,12 @@ void WirecapEngine::close(std::uint32_t queue) {
   // Chunks still held by application threads (outstanding_) cannot be
   // reclaimed synchronously; bumping the epoch makes their final
   // done()/TX completion drop the stale metadata instead of recycling
-  // it into whatever pool a reopen creates.
+  // it into whatever pool a reopen creates.  Those strays can never
+  // return to this (torn-down) pool, so their quota charge is settled
+  // here, against the owning *tenant's* budget — leaving it on the
+  // account would leak the tenant's quota permanently: the epoch check
+  // in deref_n drops the metadata without another credit.
+  credit_charged(queue, qs.charged);
   ++qs.epoch;
   qs.driver->close();
 }
@@ -198,17 +219,103 @@ void WirecapEngine::drop_current(QueueState& qs) {
   for (std::uint32_t i = 0; i < undelivered; ++i) deref(key);
 }
 
-void WirecapEngine::set_buddy_group(const std::vector<std::uint32_t>& queues) {
-  for (const std::uint32_t q : queues) {
-    QueueState& qs = queues_.at(q);
-    if (!qs.open) {
+engines::TenantId WirecapEngine::register_tenant(
+    const engines::TenantSpec& spec) {
+  // The old set_buddy_group contract, preserved: grouped queues must be
+  // open (out-of-range ids surface as std::out_of_range from at()).
+  for (const std::uint32_t q : spec.queues) {
+    if (!queues_.at(q).open) {
       throw std::logic_error("WirecapEngine: buddy queue not open");
     }
+  }
+  const engines::TenantId id = engines::CaptureEngine::register_tenant(spec);
+  rebuild_tenant_wiring();
+  bind_tenant_telemetry(id);
+  return id;
+}
+
+void WirecapEngine::set_buddy_group(const std::vector<std::uint32_t>& queues) {
+  if (queues.empty()) return;  // the old call was a no-op on an empty group
+  engines::TenantSpec spec;
+  spec.queues = queues;
+  // Keyed on the lowest member so repeated calls over an evolving group
+  // upsert one tenant, while disjoint groups registered by separate
+  // calls coexist — both idioms the old API supported.
+  spec.name = "legacy-q" + std::to_string(*std::min_element(queues.begin(),
+                                                            queues.end()));
+  register_tenant(spec);
+}
+
+void WirecapEngine::rebuild_tenant_wiring() {
+  const std::vector<engines::TenantSpec>& specs = tenants();
+  accounts_.resize(specs.size());
+  // Reset every queue to the engine-wide defaults, then overlay each
+  // spec.  Queues released from a tenant (upsert shrank its group, or
+  // another spec claimed them) fall back to defaults with no buddies.
+  for (std::uint32_t q = 0; q < queues_.size(); ++q) {
+    QueueState& qs = queues_[q];
+    qs.tenant = engines::kNoTenant;
     qs.buddies.clear();
-    for (const std::uint32_t other : queues) {
-      if (other != q) qs.buddies.push_back(other);
+    qs.offload_policy = config_.offload_policy;
+    qs.offload_threshold = config_.offload_threshold;
+    qs.numa_node = q < config_.queue_numa_node.size()
+                       ? config_.queue_numa_node[q]
+                       : config_.nic_numa_node;
+  }
+  for (engines::TenantId id = 0; id < specs.size(); ++id) {
+    const engines::TenantSpec& spec = specs[id];
+    accounts_[id].quota = spec.chunk_quota;
+    for (const std::uint32_t q : spec.queues) {
+      QueueState& qs = queues_[q];
+      qs.tenant = id;
+      for (const std::uint32_t other : spec.queues) {
+        if (other != q) qs.buddies.push_back(other);
+      }
+      if (spec.offload_policy) qs.offload_policy = *spec.offload_policy;
+      if (spec.offload_threshold) qs.offload_threshold = spec.offload_threshold;
+      if (spec.numa_node) qs.numa_node = *spec.numa_node;
     }
   }
+  // Budgets follow their queues: recompute each account's charged sum
+  // so reassigning a queue moves its live chunks to the new owner.
+  for (engines::TenantAccount& account : accounts_) account.charged = 0;
+  for (const QueueState& qs : queues_) {
+    if (qs.tenant != engines::kNoTenant) {
+      accounts_[qs.tenant].charged += qs.charged;
+    }
+  }
+}
+
+const engines::TenantAccount& WirecapEngine::tenant_account(
+    engines::TenantId tenant) const {
+  return accounts_.at(tenant);
+}
+
+void WirecapEngine::credit_charged(std::uint32_t ring, std::uint64_t count) {
+  if (count == 0) return;
+  QueueState& owner = queues_[ring];
+  if (owner.charged < count) {
+    throw std::logic_error("WirecapEngine: tenant quota credit underflow");
+  }
+  owner.charged -= count;
+  if (owner.tenant != engines::kNoTenant) {
+    engines::TenantAccount& account = accounts_[owner.tenant];
+    if (account.charged < count) {
+      throw std::logic_error("WirecapEngine: tenant account underflow");
+    }
+    account.charged -= count;
+  }
+}
+
+std::size_t WirecapEngine::quota_headroom(const QueueState& qs) const {
+  if (qs.tenant == engines::kNoTenant) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  const engines::TenantAccount& account = accounts_[qs.tenant];
+  if (account.quota == 0) return std::numeric_limits<std::size_t>::max();
+  return account.charged >= account.quota
+             ? 0
+             : static_cast<std::size_t>(account.quota - account.charged);
 }
 
 void WirecapEngine::poll(std::uint32_t queue) {
@@ -229,19 +336,44 @@ void WirecapEngine::poll(std::uint32_t queue) {
     if (accepted != recycle_scratch_.size()) {
       throw std::logic_error("WirecapEngine: recycle of own chunk failed");
     }
+    // The recycle queue only ever carries this ring's own chunks, so
+    // the whole batch credits this queue's tenant budget.
+    credit_charged(queue, accepted);
     cost += Nanos{static_cast<std::int64_t>(accepted) *
                   costs_.recycle_chunk_cost.count()};
   }
 
   // 1. Capture filled chunks from the ring (zero-copy; the timeout path
-  // copies a partial chunk and reports how many packets it moved).
+  // copies a partial chunk and reports how many packets it moved).  The
+  // tenant quota throttles here, after the recycle drain freed budget:
+  // a tenant at its cap stops *capturing* — its rings back up and
+  // eventually drop at the NIC — without drawing down any other
+  // tenant's pools (fairness by construction).
   std::vector<driver::ChunkMeta> captured;
-  const std::uint32_t copied = qs.driver->capture(
-      scheduler_.now(), config_.max_chunks_per_capture, captured);
+  std::uint32_t copied = 0;
+  const std::size_t headroom = quota_headroom(qs);
+  if (headroom == 0) {
+    ++accounts_[qs.tenant].quota_stalls;
+  } else {
+    copied = qs.driver->capture(
+        scheduler_.now(),
+        std::min(config_.max_chunks_per_capture, headroom), captured);
+  }
+  qs.charged += captured.size();
+  if (qs.tenant != engines::kNoTenant) {
+    accounts_[qs.tenant].charged += captured.size();
+  }
   cost += Nanos{static_cast<std::int64_t>(copied) *
                 costs_.partial_copy_cost.count()};
   cost += Nanos{static_cast<std::int64_t>(captured.size()) *
                 costs_.capture_chunk_cost.count()};
+  if (qs.numa_node != config_.nic_numa_node) {
+    // Remote-socket capture: the chunk's descriptors and cell headers
+    // are read across the interconnect (pool lives with this thread,
+    // the NIC DMA'd into it from the other node).
+    cost += Nanos{static_cast<std::int64_t>(captured.size()) *
+                  costs_.numa_remote_capture_cost.count()};
+  }
 
   // Arrival + capture stamps.  capture() produces either full chunks
   // (copied == 0) or exactly one rescue chunk (copied > 0), so the flag
@@ -292,7 +424,7 @@ Nanos WirecapEngine::dispatch(std::uint32_t queue,
                               const driver::ChunkMeta& meta) {
   QueueState& qs = queues_[queue];
   const bool lockfree = config_.handoff == HandoffMode::kLockFree;
-  const Nanos handoff_cost =
+  Nanos handoff_cost =
       lockfree ? costs_.lockfree_handoff_cost : costs_.mutex_handoff_cost;
   std::uint32_t target = queue;
 
@@ -308,7 +440,9 @@ Nanos WirecapEngine::dispatch(std::uint32_t queue,
     return load;
   };
 
-  if (config_.offload_threshold && !qs.buddies.empty()) {
+  // Per-queue knobs: a TenantSpec may have overridden the engine-wide
+  // threshold/policy for this queue's group.
+  if (qs.offload_threshold && !qs.buddies.empty()) {
     // One observation of the home load drives both the threshold test
     // and the keep-home compare below.  The load is volatile (spool
     // probes, concurrent consumers): re-reading it for the compare
@@ -318,10 +452,10 @@ Nanos WirecapEngine::dispatch(std::uint32_t queue,
     const std::size_t home_load = effective_load(queue);
     const double fill = static_cast<double>(home_load) /
                         static_cast<double>(config_.chunk_count);
-    if (fill > *config_.offload_threshold) {
+    if (fill > *qs.offload_threshold) {
       // Long-term load imbalance indicator tripped: pick a buddy per the
       // configured policy (the paper's is least-busy).
-      switch (config_.offload_policy) {
+      switch (qs.offload_policy) {
         case OffloadPolicy::kLeastBusy: {
           std::size_t best_len = std::numeric_limits<std::size_t>::max();
           for (const std::uint32_t buddy : qs.buddies) {
@@ -428,6 +562,12 @@ Nanos WirecapEngine::dispatch(std::uint32_t queue,
   if (target != queue) {
     ++qs.stats.chunks_offloaded_out;
     ++queues_[target].stats.chunks_offloaded_in;
+    if (queues_[target].numa_node != qs.numa_node) {
+      // Cross-socket offload: the enqueue and the consumer's reads
+      // bounce cache lines over the interconnect.
+      ++qs.extra.numa_remote_handoffs;
+      handoff_cost += costs_.numa_remote_handoff_cost;
+    }
     // The Figure 11 mechanism, event by event: which queue shed which
     // chunk to which buddy.
     WIRECAP_TRACE(tracer_,
@@ -512,7 +652,9 @@ std::optional<engines::CaptureView> WirecapEngine::try_next(
     if (meta->pkt_count == 0) {
       // Defensive: an empty capture (nothing to deliver) goes straight
       // home rather than minting a zero-packet view.
-      static_cast<void>(queues_[meta->ring_id].driver->recycle(*meta));
+      if (queues_[meta->ring_id].driver->recycle(*meta).is_ok()) {
+        credit_charged(meta->ring_id, 1);
+      }
       continue;
     }
     qs.current = CurrentChunk{*meta, 0};
@@ -566,7 +708,9 @@ std::optional<engines::ChunkCaptureView> WirecapEngine::try_next_chunk(
       auto popped = pop_capture(qs);
       if (!popped) return std::nullopt;
       if (popped->pkt_count == 0) {
-        static_cast<void>(queues_[popped->ring_id].driver->recycle(*popped));
+        if (queues_[popped->ring_id].driver->recycle(*popped).is_ok()) {
+          credit_charged(popped->ring_id, 1);
+        }
         continue;
       }
       meta = *popped;
@@ -614,7 +758,9 @@ std::size_t WirecapEngine::try_next_batch(std::uint32_t queue,
     auto meta = pop_capture(qs);
     if (!meta) return 0;
     if (meta->pkt_count == 0) {
-      static_cast<void>(queues_[meta->ring_id].driver->recycle(*meta));
+      if (queues_[meta->ring_id].driver->recycle(*meta).is_ok()) {
+        credit_charged(meta->ring_id, 1);
+      }
       continue;
     }
     qs.current = CurrentChunk{*meta, 0};
@@ -899,7 +1045,50 @@ void WirecapEngine::bind_telemetry(telemetry::Telemetry& telemetry,
   for (std::uint32_t q = 0; q < num_queues && q < queues_.size(); ++q) {
     if (queues_[q].open) bind_queue_telemetry(q);
   }
+  // Tenants registered before bind_telemetry() publish like tenants
+  // registered after (register_tenant binds the late ones).
+  for (engines::TenantId id = 0; id < tenants().size(); ++id) {
+    bind_tenant_telemetry(id);
+  }
   telemetry.probes.push_back([this](Nanos now) { sample_depths(now); });
+}
+
+void WirecapEngine::bind_tenant_telemetry(engines::TenantId tenant) {
+  if (!telemetry_) return;
+  const std::string tp =
+      telemetry_prefix_ + ".tenant." + std::to_string(tenant) + ".";
+  telemetry::MetricRegistry& registry = telemetry_->registry;
+  // Upserting a tenant re-enters here; the existing bindings already
+  // resolve through live engine state, so rebinding would only churn.
+  if (registry.contains(tp + "charged")) return;
+  registry.bind_gauge(tp + "charged", [this, tenant] {
+    return tenant < accounts_.size()
+               ? static_cast<double>(accounts_[tenant].charged)
+               : 0.0;
+  });
+  registry.bind_gauge(tp + "quota", [this, tenant] {
+    return tenant < accounts_.size()
+               ? static_cast<double>(accounts_[tenant].quota)
+               : 0.0;
+  });
+  registry.bind_counter(tp + "quota_stalls", [this, tenant] {
+    return tenant < accounts_.size() ? accounts_[tenant].quota_stalls
+                                     : std::uint64_t{0};
+  });
+  registry.bind_gauge(tp + "queues", [this, tenant] {
+    return tenant < tenants().size()
+               ? static_cast<double>(tenants()[tenant].queues.size())
+               : 0.0;
+  });
+  registry.bind_counter(tp + "delivered", [this, tenant] {
+    std::uint64_t total = 0;
+    if (tenant < tenants().size()) {
+      for (const std::uint32_t q : tenants()[tenant].queues) {
+        if (q < queues_.size()) total += queues_[q].stats.delivered;
+      }
+    }
+    return total;
+  });
 }
 
 void WirecapEngine::bind_queue_telemetry(std::uint32_t queue) {
@@ -944,6 +1133,11 @@ void WirecapEngine::bind_queue_telemetry(std::uint32_t queue) {
                         [&qs] { return qs.extra.handoff_contended; });
   registry.bind_counter(qp + "handoff.fallbacks",
                         [&qs] { return qs.extra.handoff_fallbacks; });
+  registry.bind_counter(qp + "handoff.numa_remote",
+                        [&qs] { return qs.extra.numa_remote_handoffs; });
+  registry.bind_gauge(qp + "numa_node", [&qs] {
+    return static_cast<double>(qs.numa_node);
+  });
   const auto driver_counter = [&registry, &qs, &qp](
                                   const char* name,
                                   std::uint64_t driver::WirecapDriverStats::*
@@ -1027,6 +1221,22 @@ WirecapEngine::CapturedCensus WirecapEngine::captured_census(
     if (entry.meta.ring_id == ring && entry.epoch == owner.epoch) {
       ++census.outstanding;
     }
+  }
+  return census;
+}
+
+WirecapEngine::TenantCensus WirecapEngine::tenant_census(
+    engines::TenantId tenant) const {
+  TenantCensus census;
+  if (tenant < accounts_.size()) {
+    census.account_charged = accounts_[tenant].charged;
+  }
+  for (std::uint32_t q = 0; q < queues_.size(); ++q) {
+    const QueueState& qs = queues_[q];
+    if (qs.tenant != tenant || !qs.open) continue;
+    census.queue_charged += qs.charged;
+    census.pool_captured += qs.driver->pool().state_counts().captured;
+    census.engine_census += captured_census(q).total();
   }
   return census;
 }

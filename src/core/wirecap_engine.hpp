@@ -39,14 +39,10 @@
 
 namespace wirecap::core {
 
-/// How an overloaded capture thread picks the buddy to offload to.
-/// The paper's design targets "an idle or less busy receive queue"
-/// (least-busy); the alternatives exist for the ablation benchmarks.
-enum class OffloadPolicy : std::uint8_t {
-  kLeastBusy,   // shortest buddy capture queue (the paper's policy)
-  kRandomBuddy, // uniform random buddy
-  kRoundRobin,  // cycle through buddies
-};
+/// The offload-target policy now lives in common/handoff.hpp (the
+/// engines-layer config and TenantSpec carry it without linking core);
+/// the alias keeps core::OffloadPolicy spelling working.
+using OffloadPolicy = wirecap::OffloadPolicy;
 
 struct WirecapConfig {
   /// M — cells per chunk == descriptors per segment.
@@ -69,6 +65,15 @@ struct WirecapConfig {
   /// and the blocking-capture baseline.  The pool free-list (recycle
   /// queue) stays an MpmcQueue in both modes: any app thread recycles.
   HandoffMode handoff = HandoffMode::kLockFree;
+  /// NUMA node the NIC's DMA engine writes into (two-socket boxes).
+  std::uint32_t nic_numa_node = 0;
+  /// Per-queue NUMA placement of each queue's capture thread and ring
+  /// buffer pool; empty places every queue on nic_numa_node.  A queue
+  /// on a different node than the NIC pays numa_remote_capture_cost per
+  /// captured chunk; an offload whose target sits on a different node
+  /// than the dispatcher pays numa_remote_handoff_cost.  A
+  /// TenantSpec::numa_node overrides its member queues' entries.
+  std::vector<std::uint32_t> queue_numa_node;
 };
 
 struct WirecapQueueExtraStats {
@@ -87,6 +92,9 @@ struct WirecapQueueExtraStats {
   /// ... or could not place remotely at all (inbox full, target queue
   /// full or closed) and the chunk fell back to the home queue:
   std::uint64_t handoff_fallbacks = 0;
+  /// Offload handoffs whose target queue sits on a different NUMA node
+  /// than the dispatching queue (each paid numa_remote_handoff_cost).
+  std::uint64_t numa_remote_handoffs = 0;
 };
 
 class WirecapEngine final : public engines::CaptureEngine {
@@ -102,10 +110,26 @@ class WirecapEngine final : public engines::CaptureEngine {
   }
   [[nodiscard]] const WirecapConfig& config() const { return config_; }
 
-  /// Declares that `queues` belong to one application and may offload
-  /// to each other.  Each queue's buddy list becomes the group minus
-  /// itself.  Queues must already be open.
+  /// Registers (or upserts) a tenant: wires its queues into one buddy
+  /// group (each member's buddy list becomes the group minus itself —
+  /// offloading never crosses tenants), applies the spec's quota and
+  /// per-tenant policy/threshold/NUMA overrides to the member queues,
+  /// and releases queues the spec claims from any previous owner.
+  /// Member queues must already be open (std::logic_error otherwise —
+  /// the old set_buddy_group contract).
+  engines::TenantId register_tenant(const engines::TenantSpec& spec) override;
+
+  /// Deprecated single-application shim: forwards to register_tenant()
+  /// with a spec named after the group's lowest queue id, no quota and
+  /// no overrides — behaviorally identical (byte-identical dispatch) to
+  /// the pre-tenant API.  Distinct groups registered through repeated
+  /// calls coexist as distinct tenants.  Prefer register_tenant().
   void set_buddy_group(const std::vector<std::uint32_t>& queues);
+
+  /// Quota-side account of `tenant` (charged captured chunks, quota,
+  /// capture polls skipped at quota).
+  [[nodiscard]] const engines::TenantAccount& tenant_account(
+      engines::TenantId tenant) const;
 
   // --- CaptureEngine interface ---
   void open(std::uint32_t queue, sim::SimCore& app_core) override;
@@ -212,6 +236,21 @@ class WirecapEngine final : public engines::CaptureEngine {
   };
   [[nodiscard]] CapturedCensus captured_census(std::uint32_t ring) const;
 
+  /// Per-tenant conservation inputs, summed over the tenant's *open*
+  /// member queues.  For a quiesced engine all four agree:
+  ///   account_charged == queue_charged == pool_captured == engine_census
+  /// — the tenant extension of the conservation law.  account_charged
+  /// is the quota budget (what capture throttles on); queue_charged the
+  /// per-queue engine-side tally; pool_captured the pools' ground
+  /// truth; engine_census the sum of captured_census() totals.
+  struct TenantCensus {
+    std::uint64_t account_charged = 0;
+    std::uint64_t queue_charged = 0;
+    std::uint64_t pool_captured = 0;
+    std::uint64_t engine_census = 0;
+  };
+  [[nodiscard]] TenantCensus tenant_census(engines::TenantId tenant) const;
+
  private:
   struct CurrentChunk {
     driver::ChunkMeta meta;
@@ -247,6 +286,21 @@ class WirecapEngine final : public engines::CaptureEngine {
     std::unique_ptr<MpmcQueue<driver::ChunkMeta>> recycle_queue;
     std::deque<driver::ChunkMeta> pending;  // couldn't be enqueued yet
     std::vector<std::uint32_t> buddies;
+    /// Owning tenant (kNoTenant until a spec claims this queue).
+    engines::TenantId tenant = engines::kNoTenant;
+    /// Effective offload knobs: the engine config's values until a
+    /// TenantSpec override replaces them.  dispatch() reads these, not
+    /// config_, so tenants can differ per group.  Persist across
+    /// close()/open() cycles.
+    OffloadPolicy offload_policy = OffloadPolicy::kLeastBusy;
+    std::optional<double> offload_threshold;
+    /// NUMA node of this queue's capture thread + pool (config /
+    /// TenantSpec override; pools created by open() are placed here).
+    std::uint32_t numa_node = 0;
+    /// Captured chunks of this ring's pool currently charged against
+    /// the owning tenant's quota (== the pool's captured count while
+    /// open).  close() credits the remainder back to the tenant.
+    std::uint64_t charged = 0;
     /// Per-queue offload-policy state.  Engine-global state here skewed
     /// round-robin toward low indices with heterogeneous buddy lists and
     /// correlated the xorshift streams across queues; open() seeds the
@@ -326,6 +380,20 @@ class WirecapEngine final : public engines::CaptureEngine {
   /// resolves through QueueState at sample time.  No-op until
   /// bind_telemetry() has supplied the registry.
   void bind_queue_telemetry(std::uint32_t queue);
+  /// Publishes `<prefix>.tenant.<id>.*` (charged, quota, quota_stalls,
+  /// delivered, queues); same late-binding rules as queue telemetry.
+  void bind_tenant_telemetry(engines::TenantId tenant);
+  /// Rebuilds every queue's tenant membership, buddy list and override
+  /// knobs from the base-class registry, then recomputes the accounts'
+  /// charged sums — one idempotent pass that handles upserts and
+  /// cross-tenant queue releases alike.
+  void rebuild_tenant_wiring();
+  /// Credits `count` recycled (or close-stranded) chunks of `ring`'s
+  /// pool back to its queue tally and its tenant's budget.
+  void credit_charged(std::uint32_t ring, std::uint64_t count);
+  /// Capture headroom `queue`'s tenant quota leaves (SIZE_MAX when
+  /// unlimited).
+  [[nodiscard]] std::size_t quota_headroom(const QueueState& qs) const;
 
   // Journey stamping, one call per lifecycle transition.  Callers gate
   // on `latency_ && latency_->enabled()` so the disabled hot path pays
@@ -340,6 +408,8 @@ class WirecapEngine final : public engines::CaptureEngine {
   WirecapConfig config_;
   sim::CostModel costs_;
   std::vector<QueueState> queues_;
+  /// Quota accounts, indexed by TenantId (parallel to tenants()).
+  std::vector<engines::TenantAccount> accounts_;
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;
   /// Scratch for poll()'s batched recycle drain (reused across polls).
   std::vector<driver::ChunkMeta> recycle_scratch_;

@@ -14,12 +14,14 @@ std::uint64_t RingBufferPool::next_uid() {
 RingBufferPool::RingBufferPool(std::uint32_t nic_id, std::uint32_t ring_id,
                                std::uint32_t cells_per_chunk,
                                std::uint32_t chunk_count,
-                               std::uint32_t cell_size)
+                               std::uint32_t cell_size,
+                               std::uint32_t numa_node)
     : nic_id_(nic_id),
       ring_id_(ring_id),
       cells_per_chunk_(cells_per_chunk),
       chunk_count_(chunk_count),
-      cell_size_(cell_size) {
+      cell_size_(cell_size),
+      numa_node_(numa_node) {
   if (cells_per_chunk == 0 || chunk_count == 0 || cell_size == 0) {
     throw std::invalid_argument("RingBufferPool: M, R, cell size must be > 0");
   }

@@ -116,7 +116,7 @@ class RingBufferPool {
   /// implementation).
   RingBufferPool(std::uint32_t nic_id, std::uint32_t ring_id,
                  std::uint32_t cells_per_chunk, std::uint32_t chunk_count,
-                 std::uint32_t cell_size = 2048);
+                 std::uint32_t cell_size = 2048, std::uint32_t numa_node = 0);
 
   [[nodiscard]] std::uint32_t nic_id() const { return nic_id_; }
   [[nodiscard]] std::uint32_t ring_id() const { return ring_id_; }
@@ -128,6 +128,9 @@ class RingBufferPool {
   [[nodiscard]] std::uint32_t cells_per_chunk() const { return cells_per_chunk_; }
   [[nodiscard]] std::uint32_t chunk_count() const { return chunk_count_; }
   [[nodiscard]] std::uint32_t cell_size() const { return cell_size_; }
+  /// NUMA node the pool's memory is allocated on (placement decided by
+  /// the driver config; the cost model charges remote-socket access).
+  [[nodiscard]] std::uint32_t numa_node() const { return numa_node_; }
 
   /// Total buffering capacity in packets (R * M).
   [[nodiscard]] std::uint64_t capacity_packets() const {
@@ -252,6 +255,7 @@ class RingBufferPool {
   std::uint32_t cells_per_chunk_;
   std::uint32_t chunk_count_;
   std::uint32_t cell_size_;
+  std::uint32_t numa_node_ = 0;
   /// One contiguous allocation for all chunks: chunk c's cell i lives at
   /// offset ((c * M) + i) * cell_size — "physically contiguous memory".
   std::vector<std::byte> memory_;

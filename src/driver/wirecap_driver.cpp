@@ -12,7 +12,7 @@ WirecapQueueDriver::WirecapQueueDriver(nic::MultiQueueNic& nic,
       queue_(queue),
       config_(config),
       pool_(nic.nic_id(), queue, config.cells_per_chunk, config.chunk_count,
-            config.cell_size) {
+            config.cell_size, config.numa_node) {
   if (config_.cells_per_chunk > nic.config().rx_ring_size) {
     throw std::invalid_argument(
         "WirecapQueueDriver: segment size M exceeds the ring size");

@@ -39,6 +39,10 @@ struct WirecapDriverConfig {
   /// Timeout after which a partially filled chunk is copied out so
   /// packets are not held in the receive ring too long.
   Nanos partial_chunk_timeout = Nanos::from_millis(1.0);
+  /// NUMA node the ring buffer pool is allocated on (the node the
+  /// queue's capture thread is pinned to; remote-socket penalties are
+  /// charged by the engine's cost model, not by the driver).
+  std::uint32_t numa_node = 0;
 };
 
 struct WirecapDriverStats {

@@ -92,6 +92,26 @@ void DpdkEngine::set_peer_group(const std::vector<std::uint32_t>& queues) {
   }
 }
 
+TenantId DpdkEngine::register_tenant(const TenantSpec& spec) {
+  for (const std::uint32_t q : spec.queues) {
+    if (!queues_.at(q).open) {
+      throw std::logic_error("DpdkEngine: peer queue not open");
+    }
+  }
+  const TenantId id = CaptureEngine::register_tenant(spec);
+  // Rebuild every queue's peer list from the registry so queues a new
+  // spec claimed from another tenant drop their stale peers too.
+  for (std::uint32_t q = 0; q < queues_.size(); ++q) {
+    queues_[q].peers.clear();
+    const TenantId owner = tenant_of(q);
+    if (owner == kNoTenant) continue;
+    for (const std::uint32_t other : tenants()[owner].queues) {
+      if (other != q) queues_[q].peers.push_back(other);
+    }
+  }
+  return id;
+}
+
 std::uint32_t DpdkEngine::in_use(std::uint32_t queue) const {
   const QueueState& qs = queues_.at(queue);
   return config_.mempool_size -

@@ -94,6 +94,11 @@ class DpdkEngine final : public CaptureEngine {
   /// except the *application* owns all of it).
   void set_peer_group(const std::vector<std::uint32_t>& queues);
 
+  /// Tenant registration maps onto peer groups: each tenant's queues
+  /// exchange packets among themselves only.  Quotas and NUMA overrides
+  /// are WireCAP concepts and are ignored here.
+  TenantId register_tenant(const TenantSpec& spec) override;
+
   /// mbufs currently out of the free list (backlog indicator).
   [[nodiscard]] std::uint32_t in_use(std::uint32_t queue) const;
 

@@ -1,8 +1,62 @@
 #include "engines/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace wirecap::engines {
+
+TenantId CaptureEngine::register_tenant(const TenantSpec& spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("register_tenant: tenant name is empty");
+  }
+  if (spec.queues.empty()) {
+    throw std::invalid_argument("register_tenant: tenant \"" + spec.name +
+                                "\" owns no queues");
+  }
+  std::vector<std::uint32_t> sorted = spec.queues;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("register_tenant: tenant \"" + spec.name +
+                                "\" lists a queue twice");
+  }
+
+  // Upsert by name.
+  TenantId id = kNoTenant;
+  for (TenantId i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].name == spec.name) {
+      id = i;
+      break;
+    }
+  }
+  if (id == kNoTenant) {
+    id = static_cast<TenantId>(tenants_.size());
+    tenants_.emplace_back();
+  }
+
+  // Exclusive ownership: queues the new spec claims are released from
+  // their previous owner, keeping every pair of tenants disjoint.
+  for (TenantId i = 0; i < tenants_.size(); ++i) {
+    if (i == id) continue;
+    auto& owned = tenants_[i].queues;
+    owned.erase(std::remove_if(owned.begin(), owned.end(),
+                               [&spec](std::uint32_t q) {
+                                 return std::find(spec.queues.begin(),
+                                                  spec.queues.end(),
+                                                  q) != spec.queues.end();
+                               }),
+                owned.end());
+  }
+  tenants_[id] = spec;
+  return id;
+}
+
+TenantId CaptureEngine::tenant_of(std::uint32_t queue) const {
+  for (TenantId i = 0; i < tenants_.size(); ++i) {
+    const auto& owned = tenants_[i].queues;
+    if (std::find(owned.begin(), owned.end(), queue) != owned.end()) return i;
+  }
+  return kNoTenant;
+}
 
 std::optional<ChunkCaptureView> CaptureEngine::try_next_chunk(
     std::uint32_t queue, std::size_t max_packets) {

@@ -23,6 +23,7 @@
 
 #include "common/units.hpp"
 #include "engines/packet_view.hpp"
+#include "engines/tenant.hpp"
 #include "nic/device.hpp"
 #include "sim/core.hpp"
 #include "telemetry/telemetry.hpp"
@@ -55,6 +56,26 @@ class CaptureEngine {
   virtual void open(std::uint32_t queue, sim::SimCore& app_core) = 0;
 
   virtual void close(std::uint32_t queue) = 0;
+
+  /// Registers (or, for an existing `spec.name`, replaces) a tenant:
+  /// one application owning a disjoint set of this NIC's queues — its
+  /// buddy/peer group — plus a chunk quota and optional per-tenant
+  /// policy overrides (see engines/tenant.hpp).  Queues the spec claims
+  /// are released from any previous owner.  Returns the tenant's dense
+  /// id.  Throws std::invalid_argument on an empty name or an empty or
+  /// duplicate-carrying queue list.  The base
+  /// implementation only maintains the registry; engines override to
+  /// wire the group into their offload/peer machinery (and may add
+  /// preconditions, e.g. WireCAP requires the queues to be open).
+  virtual TenantId register_tenant(const TenantSpec& spec);
+
+  /// Registered tenant specs, indexed by TenantId.
+  [[nodiscard]] const std::vector<TenantSpec>& tenants() const {
+    return tenants_;
+  }
+
+  /// The tenant owning `queue`, or kNoTenant.
+  [[nodiscard]] TenantId tenant_of(std::uint32_t queue) const;
 
   /// Non-blocking read of the next packet of `queue`.
   virtual std::optional<CaptureView> try_next(std::uint32_t queue) = 0;
@@ -172,6 +193,11 @@ class CaptureEngine {
   /// Set by bind_telemetry; null (the default) keeps every trace site at
   /// its single-branch disabled cost.
   telemetry::EventTracer* tracer_ = nullptr;
+
+  /// Tenant registry maintained by the base register_tenant(); indexed
+  /// by TenantId.  Disjointness invariant: no queue appears in more
+  /// than one spec.
+  std::vector<TenantSpec> tenants_;
 };
 
 }  // namespace wirecap::engines

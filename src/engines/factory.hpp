@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/handoff.hpp"
 #include "engines/engine.hpp"
 #include "sim/costs.hpp"
 
@@ -39,13 +40,22 @@ struct EngineConfig {
   std::uint32_t chunk_count = 100;
   /// T — offloading threshold ("WireCAP-A" / "DPDK+app-offload" only).
   double offload_threshold = 0.6;
-  /// Offload target selection: "least-busy" (the paper's policy),
-  /// "random", or "round-robin" (ablations).
-  std::string offload_policy = "least-busy";
-  /// Capture-queue handoff: "lock-free" (per-queue SPSC ring + steal
-  /// inbox, non-blocking dispatch) or "mutex" (MpmcQueue work-queue
+  /// Offload target selection (the paper's policy is least-busy; the
+  /// others are ablations).  Enum, not a string: argv is converted once
+  /// at the CLI boundary via parse_offload_policy() — see
+  /// common/handoff.hpp — which throws listing the allowed set.
+  OffloadPolicy offload_policy = OffloadPolicy::kLeastBusy;
+  /// Capture-queue handoff: kLockFree (per-queue SPSC ring + steal
+  /// inbox, non-blocking dispatch) or kMutex (MpmcQueue work-queue
   /// pair — the blocking baseline and the §5e shared-queue paradigm).
-  std::string handoff = "lock-free";
+  /// CLI strings go through parse_handoff_mode().
+  HandoffMode handoff = HandoffMode::kLockFree;
+  /// NUMA node of the NIC's DMA target (two-socket capture boxes).
+  std::uint32_t nic_numa_node = 0;
+  /// Per-queue NUMA placement of capture threads + pools; empty keeps
+  /// every queue on nic_numa_node.  WireCAP-only (other engines ignore
+  /// placement; the paper's testbed is single-socket).
+  std::vector<std::uint32_t> queue_numa_node;
 };
 
 using EngineFactoryFn = std::function<std::unique_ptr<CaptureEngine>(

@@ -1,0 +1,72 @@
+// Multi-tenant registration: several applications (an IDS, a flow-stats
+// collector, a capture-to-disk spool) share one NIC, each owning a
+// disjoint set of its receive queues.
+//
+// A TenantSpec replaces the old single-application
+// WirecapEngine::set_buddy_group(queues) call: the tenant's queues form
+// its buddy group (offloading never crosses tenants), `chunk_quota`
+// caps how many captured chunks the tenant may hold engine-wide at once
+// (a stalled tenant exhausts only its own budget, not the NIC), and the
+// optional per-tenant knobs override the engine-wide defaults for the
+// tenant's queues only.
+//
+// Registration is an upsert keyed on `name`: re-registering a name
+// replaces that tenant's spec.  Queue ownership is exclusive — a queue
+// claimed by a new spec is released from its previous owner (whose
+// buddy lists shrink accordingly), so the disjointness invariant holds
+// at every moment without making reconfiguration a two-step dance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/handoff.hpp"
+
+namespace wirecap::engines {
+
+/// Index of a registered tenant (dense, assigned by registration order;
+/// stable across upserts of the same name).
+using TenantId = std::uint32_t;
+
+/// A queue that belongs to no tenant (the state every queue starts in).
+inline constexpr TenantId kNoTenant = 0xFFFFFFFFu;
+
+struct TenantSpec {
+  /// Upsert key; also the telemetry label under `tenant.<id>.*`.
+  std::string name;
+
+  /// The receive queues this tenant owns — its buddy group.  Must be
+  /// non-empty and duplicate-free; queues claimed here are released
+  /// from any other tenant.
+  std::vector<std::uint32_t> queues;
+
+  /// Cap on captured chunks the tenant may hold at once, summed over
+  /// its queues (in capture queues, parked, awaiting recycle, or held
+  /// by the application).  0 means unlimited.  A tenant at its quota
+  /// stops capturing — its rings back up and drop — without touching
+  /// any other tenant's pools.
+  std::uint32_t chunk_quota = 0;
+
+  /// Per-tenant overrides of the engine-wide defaults; nullopt keeps
+  /// the engine config's value, so a spec with every optional empty is
+  /// behaviorally identical to the old set_buddy_group call.
+  std::optional<OffloadPolicy> offload_policy;
+  std::optional<double> offload_threshold;
+
+  /// Pins every member queue's capture thread and pool to this NUMA
+  /// node (applied to pools created by subsequent open() calls; the
+  /// cost-model penalties apply immediately).
+  std::optional<std::uint32_t> numa_node;
+};
+
+/// Quota-side account of one tenant, exposed for tests / benches /
+/// the lifecycle auditor's per-tenant conservation check.
+struct TenantAccount {
+  std::uint32_t quota = 0;          ///< 0 = unlimited
+  std::uint64_t charged = 0;        ///< captured chunks currently held
+  std::uint64_t quota_stalls = 0;   ///< capture polls skipped at quota
+};
+
+}  // namespace wirecap::engines

@@ -96,6 +96,21 @@ struct CostModel {
   /// receive ring for too long").
   Nanos partial_chunk_timeout = Nanos::from_millis(1.0);
 
+  // --- NUMA placement (two-socket capture boxes) ---
+
+  /// Extra capture-ioctl cost per chunk when the queue's capture thread
+  /// (and its ring buffer pool) sit on a different socket than the NIC:
+  /// the DMA'd descriptors and cell headers are read across the
+  /// interconnect instead of from the local LLC.  ~0.3 µs/chunk keeps
+  /// the per-packet penalty (÷M) around the measured 1-2 ns remote-read
+  /// tax at M = 256 while making misplacement visible at small M.
+  Nanos numa_remote_capture_cost = Nanos{300};
+
+  /// Extra handoff cost per chunk when an offload target's socket
+  /// differs from the dispatching queue's: the enqueue and the
+  /// consumer's subsequent reads bounce cache lines across sockets.
+  Nanos numa_remote_handoff_cost = Nanos{120};
+
   // --- capture-to-disk spool (src/store) ---
 
   /// Sustained simulated-disk cost per byte spooled (0.25 ns/B ≈ 4 GB/s,

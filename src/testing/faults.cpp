@@ -40,6 +40,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kQueueReopen: return "queue-reopen";
     case FaultKind::kSlowDisk: return "slow-disk";
     case FaultKind::kDiskFull: return "disk-full";
+    case FaultKind::kTenantExhaust: return "tenant-exhaust";
   }
   return "?";
 }
@@ -59,6 +60,12 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config) {
     kinds.push_back(FaultKind::kSlowDisk);
     kinds.push_back(FaultKind::kDiskFull);
   }
+  if (config.num_tenants > 1) kinds.push_back(FaultKind::kTenantExhaust);
+
+  const std::uint32_t fault_queues =
+      config.fault_queue_limit == 0
+          ? config.num_queues
+          : std::min(config.fault_queue_limit, config.num_queues);
 
   const double window = static_cast<double>(config.horizon.count());
   for (std::uint32_t i = 0; i < config.event_count; ++i) {
@@ -67,8 +74,7 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config) {
     event.at = Nanos{static_cast<std::int64_t>(
         window * (0.05 + 0.90 * rng.next_double()))};
     event.kind = kinds[rng.next_below(kinds.size())];
-    event.queue = static_cast<std::uint32_t>(
-        rng.next_below(config.num_queues));
+    event.queue = static_cast<std::uint32_t>(rng.next_below(fault_queues));
     switch (event.kind) {
       case FaultKind::kDelayedRecycle:
         event.duration = Nanos::from_micros(
@@ -88,6 +94,7 @@ FaultPlan FaultPlan::generate(const FaultPlanConfig& config) {
         event.magnitude = static_cast<std::uint32_t>(rng.next_in(16, 64));
         break;
       case FaultKind::kPoolExhaust:
+      case FaultKind::kTenantExhaust:
         event.duration = Nanos::from_micros(
             static_cast<double>(rng.next_in(50, 300)));
         break;
@@ -166,6 +173,8 @@ FaultHarness::FaultHarness(FaultHarnessConfig config)
   for (std::uint32_t q = 0; q < queues; ++q) {
     app_cores_.push_back(std::make_unique<sim::SimCore>(scheduler_, 2000 + q));
     flows_.push_back(trace::flows_for_queue(rng_, q, queues, 4));
+    queue_rngs_.emplace_back(config_.plan.seed ^
+                             (0x9E3779B97F4A7C15ULL * (q + 1)));
   }
 
   if (config_.spool) {
@@ -207,13 +216,31 @@ void FaultHarness::open_queue(std::uint32_t queue) {
   rebind_buddies();
 }
 
+std::uint32_t FaultHarness::tenant_of(std::uint32_t queue) const {
+  const std::uint32_t tenants = std::max(1u, config_.plan.num_tenants);
+  return queue * tenants / config_.plan.num_queues;
+}
+
 void FaultHarness::rebind_buddies() {
   if (!config_.advanced_mode) return;
-  std::vector<std::uint32_t> open;
-  for (std::uint32_t q = 0; q < queue_open_.size(); ++q) {
-    if (queue_open_[q]) open.push_back(q);
+  // Each tenant re-registers over its currently-open member queues
+  // (registration is an upsert by name, so reopen cycles just refresh
+  // the spec).  A tenant with every queue closed keeps its stale spec;
+  // the engine already ignores closed buddies in dispatch.
+  const std::uint32_t tenants = std::max(1u, config_.plan.num_tenants);
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    engines::TenantSpec spec;
+    spec.name = "t";
+    spec.name += std::to_string(t);
+    spec.chunk_quota = config_.tenant_quota;
+    for (std::uint32_t q = 0; q < queue_open_.size(); ++q) {
+      if (queue_open_[q] && tenant_of(q) == t) spec.queues.push_back(q);
+    }
+    // The single-tenant harness keeps the historical behaviour: no
+    // buddy group until at least two queues are up.
+    const std::size_t min_queues = tenants == 1 ? 2 : 1;
+    if (spec.queues.size() >= min_queues) engine_->register_tenant(spec);
   }
-  if (open.size() >= 2) engine_->set_buddy_group(open);
 }
 
 void FaultHarness::schedule_traffic(std::uint32_t queue, Nanos at) {
@@ -221,12 +248,13 @@ void FaultHarness::schedule_traffic(std::uint32_t queue, Nanos at) {
   scheduler_.schedule_at(at, [this, queue] {
     AppState& app = apps_[queue];
     const auto& flows = flows_[queue];
+    Xoshiro256& rng = queue_rngs_[queue];
     const std::uint32_t wire_len =
-        64 + static_cast<std::uint32_t>(rng_.next_below(200));
+        64 + static_cast<std::uint32_t>(rng.next_below(200));
     nic_->receive(net::WirePacket::make(
-        scheduler_.now(), flows[rng_.next_below(flows.size())], wire_len,
+        scheduler_.now(), flows[rng.next_below(flows.size())], wire_len,
         app.seq++));
-    const double jitter = 0.2 + 1.6 * rng_.next_double();
+    const double jitter = 0.2 + 1.6 * rng.next_double();
     schedule_traffic(queue,
                      scheduler_.now() +
                          Nanos{static_cast<std::int64_t>(
@@ -301,7 +329,8 @@ void FaultHarness::app_poll(std::uint32_t queue) {
     }
   }
   if (now < end_of_run_) {
-    const Nanos jitter{static_cast<std::int64_t>(rng_.next_below(1000))};
+    const Nanos jitter{
+        static_cast<std::int64_t>(queue_rngs_[queue].next_below(1000))};
     scheduler_.schedule_after(kAppPollInterval + jitter,
                               [this, queue] { app_poll(queue); });
   }
@@ -414,6 +443,17 @@ void FaultHarness::apply(const FaultEvent& event) {
     case FaultKind::kPoolExhaust:
       app.exhaust_until = std::max(app.exhaust_until, now + event.duration);
       break;
+    case FaultKind::kTenantExhaust:
+      // Every queue of the hit tenant withholds at once: the whole
+      // tenant burns through its quota while its neighbours' budgets
+      // must stay untouched (the per-tenant conservation audit checks).
+      for (std::uint32_t q = 0; q < apps_.size(); ++q) {
+        if (tenant_of(q) == tenant_of(event.queue)) {
+          apps_[q].exhaust_until =
+              std::max(apps_[q].exhaust_until, now + event.duration);
+        }
+      }
+      break;
     case FaultKind::kTimeoutStorm: {
       // Sub-chunk bursts spaced past the partial-chunk timeout: each
       // one can only leave the ring via the rescue path.
@@ -480,9 +520,25 @@ void FaultHarness::audit_tick() {
     // intentionally strands app-held chunks behind the epoch bump.
     if (queue_open_[q]) auditor_.check_conservation(*engine_, q);
   }
+  audit_tenants();
   if (scheduler_.now() < end_of_run_) {
     scheduler_.schedule_after(config_.check_interval,
                               [this] { audit_tick(); });
+  }
+}
+
+void FaultHarness::audit_tenants() {
+  if (config_.plan.num_tenants <= 1) return;
+  // The per-tenant census is only well-defined while all the tenant's
+  // member queues are open (close() settles the account by crediting
+  // the stranded charge).
+  const auto& specs = engine_->tenants();
+  for (std::uint32_t t = 0; t < specs.size(); ++t) {
+    bool all_open = !specs[t].queues.empty();
+    for (const std::uint32_t q : specs[t].queues) {
+      if (q >= queue_open_.size() || !queue_open_[q]) all_open = false;
+    }
+    if (all_open) auditor_.check_tenant_conservation(*engine_, t);
   }
 }
 
@@ -536,6 +592,7 @@ FaultRunResult FaultHarness::run() {
   for (std::uint32_t q = 0; q < queue_open_.size(); ++q) {
     if (queue_open_[q]) auditor_.check_conservation(*engine_, q);
   }
+  audit_tenants();
 
   FaultRunResult result;
   result.seed = plan_.seed();
@@ -544,8 +601,13 @@ FaultRunResult FaultHarness::run() {
   result.reopens = reopens_;
   result.late_releases = late_releases_;
   result.violations = auditor_.violations();
+  result.queue_delivered.resize(config_.plan.num_queues, 0);
+  result.tenant_delivered.resize(std::max(1u, config_.plan.num_tenants), 0);
   for (std::uint32_t q = 0; q < config_.plan.num_queues; ++q) {
-    result.delivered += engine_->queue_stats(q).delivered;
+    const std::uint64_t delivered = engine_->queue_stats(q).delivered;
+    result.delivered += delivered;
+    result.queue_delivered[q] = delivered;
+    result.tenant_delivered[tenant_of(q)] += delivered;
   }
   if (spool_) result.spool = verify_spool();
   return result;
@@ -625,6 +687,7 @@ SoakResult run_fault_soak(std::uint64_t first_seed, std::uint32_t count,
     soak.total_violations += result.auditor.violations;
     soak.total_transitions += result.auditor.transitions;
     soak.total_conservation_checks += result.auditor.conservation_checks;
+    soak.total_tenant_checks += result.auditor.tenant_checks;
     soak.total_delivered += result.delivered;
     soak.total_reopens += result.reopens;
     if (result.spool) {

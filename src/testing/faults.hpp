@@ -58,6 +58,7 @@ enum class FaultKind : std::uint8_t {
   kQueueReopen,     // close() + later open() while chunks are in flight
   kSlowDisk,        // one spool shard's disk slows by `magnitude`x
   kDiskFull,        // one spool shard's disk reports ENOSPC for a while
+  kTenantExhaust,   // every queue of the hit tenant holds chunks at once
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -83,6 +84,15 @@ struct FaultPlanConfig {
   /// Adds the simulated-disk adversities (kSlowDisk / kDiskFull) to the
   /// schedule — only meaningful with FaultHarnessConfig::spool.
   bool spool_faults = false;
+  /// Tenants sharing the NIC: the queues are partitioned into
+  /// `num_tenants` contiguous slices, each registered as its own
+  /// TenantSpec/buddy group.  >1 adds kTenantExhaust to the schedule
+  /// and enables the per-tenant conservation audit.
+  std::uint32_t num_tenants = 1;
+  /// Restricts fault targeting to queues [0, fault_queue_limit); 0 hits
+  /// every queue.  The isolation soaks aim all adversity at tenant 0's
+  /// queues and assert tenant 1's delivery is untouched.
+  std::uint32_t fault_queue_limit = 0;
 };
 
 class FaultPlan {
@@ -116,6 +126,11 @@ struct FaultHarnessConfig {
   /// + steal inbox under every fault; set kMutex to soak the blocking
   /// MpmcQueue pair.
   HandoffMode handoff = HandoffMode::kLockFree;
+  /// Per-tenant chunk quota handed to every registered TenantSpec
+  /// (0 = uncapped).  Only meaningful with plan.num_tenants > 1, where
+  /// it is what makes a stalled tenant exhaust *its own* budget while
+  /// its neighbours keep capturing.
+  std::uint32_t tenant_quota = 0;
   /// Mean inter-arrival of background traffic, per queue.
   Nanos mean_gap = Nanos::from_micros(2);
   /// Cadence of the conservation audit.
@@ -171,6 +186,11 @@ struct FaultRunResult {
   /// done() calls that landed after the owning queue had closed —
   /// exercised epoch-drop paths.
   std::uint64_t late_releases = 0;
+  /// Delivered packets split by queue and by tenant (the partition of
+  /// FaultPlanConfig::num_tenants) — the isolation soaks compare a
+  /// victim tenant's slice across baseline and faulted runs.
+  std::vector<std::uint64_t> queue_delivered;
+  std::vector<std::uint64_t> tenant_delivered;
   std::vector<std::string> violations;
   /// Present when the harness ran in spool mode.
   std::optional<SpoolRunSummary> spool;
@@ -218,12 +238,17 @@ class FaultHarness {
 
   void open_queue(std::uint32_t queue);
   void rebind_buddies();
+  /// The contiguous-slice tenant partition (matches the registration in
+  /// rebind_buddies and the tenant_delivered aggregation).
+  [[nodiscard]] std::uint32_t tenant_of(std::uint32_t queue) const;
   void apply(const FaultEvent& event);
   void schedule_traffic(std::uint32_t queue, Nanos at);
   void app_poll(std::uint32_t queue);
   void consume(std::uint32_t queue, const engines::CaptureView& view);
   void release_due(std::uint32_t queue);
   void audit_tick();
+  /// Per-tenant conservation over every fully-open tenant.
+  void audit_tenants();
   // --- spool mode ---
   void spool_poll(std::uint32_t queue);
   void offer_chunk(std::uint32_t queue, engines::ChunkCaptureView&& chunk);
@@ -238,6 +263,11 @@ class FaultHarness {
   FaultHarnessConfig config_;
   FaultPlan plan_;
   Xoshiro256 rng_;
+  /// Per-queue traffic/poll-jitter streams, seeded from (seed, queue):
+  /// a fault that burns shared-RNG draws on tenant A's queues must not
+  /// reshuffle tenant B's workload, or the isolation comparison between
+  /// a baseline and a faulted run measures RNG drift, not interference.
+  std::vector<Xoshiro256> queue_rngs_;
   sim::Scheduler scheduler_;
   /// Shared by the engine and the spool shards (which hold a reference).
   sim::CostModel costs_;
@@ -270,6 +300,7 @@ struct SoakResult {
   std::uint64_t total_violations = 0;
   std::uint64_t total_transitions = 0;
   std::uint64_t total_conservation_checks = 0;
+  std::uint64_t total_tenant_checks = 0;
   std::uint64_t total_delivered = 0;
   std::uint64_t total_reopens = 0;
   /// Spool-mode totals (zero when the soak ran without a spool).

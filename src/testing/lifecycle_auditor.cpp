@@ -243,6 +243,41 @@ void ChunkLifecycleAuditor::check_conservation(
   }
 }
 
+void ChunkLifecycleAuditor::tenant_violation(engines::TenantId tenant,
+                                             const std::string& message) {
+  ++stats_.violations;
+  const std::string text =
+      "tenant " + std::to_string(tenant) + ": " + message;
+  if (violation_log_.size() < config_.max_recorded_violations) {
+    violation_log_.push_back(text);
+  }
+  if (tracer_ && tracer_->enabled() && clock_) {
+    tracer_->instant("auditor.tenant_violation", "auditor", clock_(), tenant,
+                     "count", stats_.violations);
+  }
+  if (config_.throw_on_violation) {
+    throw std::logic_error("ChunkLifecycleAuditor: " + text);
+  }
+}
+
+void ChunkLifecycleAuditor::check_tenant_conservation(
+    const core::WirecapEngine& engine, engines::TenantId tenant) {
+  ++stats_.tenant_checks;
+  const core::WirecapEngine::TenantCensus census =
+      engine.tenant_census(tenant);
+  if (census.account_charged != census.queue_charged ||
+      census.account_charged != census.pool_captured ||
+      census.account_charged != census.engine_census) {
+    tenant_violation(
+        tenant,
+        "per-tenant conservation: account charged " +
+            std::to_string(census.account_charged) + ", queue charged " +
+            std::to_string(census.queue_charged) + ", pool captured " +
+            std::to_string(census.pool_captured) + ", engine census " +
+            std::to_string(census.engine_census) + " disagree");
+  }
+}
+
 void ChunkLifecycleAuditor::bind_telemetry(telemetry::Telemetry& telemetry,
                                            const std::string& prefix,
                                            std::function<Nanos()> clock) {
@@ -261,6 +296,8 @@ void ChunkLifecycleAuditor::bind_telemetry(telemetry::Telemetry& telemetry,
                                   [this] { return stats_.share_releases; });
   telemetry.registry.bind_counter(p + "conservation_checks",
                                   [this] { return stats_.conservation_checks; });
+  telemetry.registry.bind_counter(p + "tenant_checks",
+                                  [this] { return stats_.tenant_checks; });
   telemetry.registry.bind_gauge(p + "tracked_pools", [this] {
     return static_cast<double>(shadows_.size());
   });

@@ -27,6 +27,7 @@
 
 #include "common/units.hpp"
 #include "driver/chunk_pool.hpp"
+#include "engines/tenant.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace wirecap::core {
@@ -56,6 +57,8 @@ struct AuditorStats {
   std::uint64_t share_grants = 0;
   std::uint64_t share_releases = 0;
   std::uint64_t conservation_checks = 0;
+  /// Per-tenant census agreements audited (multi-tenant harnesses).
+  std::uint64_t tenant_checks = 0;
   std::uint64_t violations = 0;
 };
 
@@ -86,6 +89,16 @@ class ChunkLifecycleAuditor final : public driver::PoolObserver {
   void check_conservation(const core::WirecapEngine& engine,
                           std::uint32_t ring);
 
+  /// The per-tenant extension of the conservation law: the tenant's
+  /// quota account, the sum of its queues' charge counters, the sum of
+  /// its pools' captured populations and the engine-side census must
+  /// all agree — a stalled tenant can only be debited for chunks that
+  /// really sit in its own pools, never a neighbour's.  Only meaningful
+  /// while every member queue is open (close() strands are settled by
+  /// the close()-time credit).
+  void check_tenant_conservation(const core::WirecapEngine& engine,
+                                 engines::TenantId tenant);
+
   // --- results ---
   [[nodiscard]] const AuditorStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<std::string>& violations() const {
@@ -114,6 +127,7 @@ class ChunkLifecycleAuditor final : public driver::PoolObserver {
                      bool* first_sight);
   void violation(const driver::RingBufferPool& pool, std::uint32_t chunk_id,
                  const std::string& message);
+  void tenant_violation(engines::TenantId tenant, const std::string& message);
 
   AuditorConfig config_;
   AuditorStats stats_;

@@ -4,6 +4,8 @@
 // cross-engine conservation (sent == delivered + dropped after drain).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "apps/harness.hpp"
@@ -202,6 +204,69 @@ TEST(Harness, LabelsAreStable) {
   EXPECT_EQ(params.label(), "WireCAP-A-(256,500,60%)");
   params.kind = EngineKind::kDna;
   EXPECT_EQ(params.label(), "DNA");
+}
+
+// --- the CLI boundary: strings become enums exactly once ---
+
+TEST(CliParsing, OffloadPolicyRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_offload_policy("least-busy"), OffloadPolicy::kLeastBusy);
+  EXPECT_EQ(parse_offload_policy("random"), OffloadPolicy::kRandomBuddy);
+  EXPECT_EQ(parse_offload_policy("round-robin"), OffloadPolicy::kRoundRobin);
+  for (const OffloadPolicy policy :
+       {OffloadPolicy::kLeastBusy, OffloadPolicy::kRandomBuddy,
+        OffloadPolicy::kRoundRobin}) {
+    EXPECT_EQ(parse_offload_policy(to_string(policy)), policy);
+  }
+  try {
+    static_cast<void>(parse_offload_policy("fastest"));
+    FAIL() << "unknown policy accepted";
+  } catch (const std::invalid_argument& error) {
+    // The message names the offender and lists the allowed set.
+    EXPECT_NE(std::string(error.what()).find("fastest"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("least-busy"),
+              std::string::npos);
+  }
+}
+
+TEST(CliParsing, HandoffModeRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_handoff_mode("lock-free"), HandoffMode::kLockFree);
+  EXPECT_EQ(parse_handoff_mode("mutex"), HandoffMode::kMutex);
+  try {
+    static_cast<void>(parse_handoff_mode("spinlock"));
+    FAIL() << "unknown handoff mode accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("spinlock"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("lock-free"),
+              std::string::npos);
+  }
+}
+
+TEST(EngineFactory, TenantRegistrationWorksAcrossEngineKinds) {
+  // register_tenant is part of the CaptureEngine surface: the WireCAP
+  // engine maps it onto buddy groups + quotas, the DPDK model onto its
+  // app-layer peer groups, and the base class rejects bad specs for
+  // engines with no grouping concept at all.
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.num_rx_queues = 2;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  sim::SimCore core{scheduler, 0};
+
+  auto dpdk = engines::make_engine("DPDK+app-offload", nic);
+  dpdk->open(0, core);
+  dpdk->open(1, core);
+  engines::TenantSpec spec;
+  spec.name = "pair";
+  spec.queues = {0, 1};
+  const engines::TenantId id = dpdk->register_tenant(spec);
+  EXPECT_EQ(dpdk->tenant_of(0), id);
+  EXPECT_EQ(dpdk->tenant_of(1), id);
+  ASSERT_EQ(dpdk->tenants().size(), 1u);
+
+  engines::TenantSpec bad;
+  bad.queues = {0};
+  EXPECT_THROW(dpdk->register_tenant(bad), std::invalid_argument);
 }
 
 // --- batch read API ---

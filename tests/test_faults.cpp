@@ -309,6 +309,74 @@ TEST_F(CloseLifecycleFixture, QueueOpenedAfterBindPublishesMetrics) {
   EXPECT_DOUBLE_EQ(entry.gauge_fn(), 2.0);
 }
 
+// --- regression: close() must return the queue's quota charge to the
+// owning tenant's budget (bug 4) ---
+
+TEST(CloseQuota, CloseReturnsChargedChunksToTenantBudget) {
+  // A tenant at its quota closes one queue while the application still
+  // holds views: the stranded chunks can never recycle (the epoch bump
+  // drops their metadata), so close() itself must settle the charge.
+  // With the credit missing, the reopened queue starts life already at
+  // quota and captures nothing ever again.
+  sim::Scheduler scheduler;
+  sim::IoBus bus{scheduler};
+  nic::NicConfig nic_config;
+  nic_config.nic_id = 1;
+  nic_config.num_rx_queues = 2;
+  nic_config.rx_ring_size = 32;
+  nic::MultiQueueNic nic{scheduler, bus, nic_config};
+  core::WirecapConfig engine_config;
+  engine_config.cells_per_chunk = 8;
+  engine_config.chunk_count = 6;
+  core::WirecapEngine engine{scheduler, nic, engine_config};
+  sim::SimCore app_core{scheduler, 0};
+  engine.open(0, app_core);
+  engine.open(1, app_core);
+
+  engines::TenantSpec spec;
+  spec.name = "capped";
+  spec.queues = {0, 1};
+  spec.chunk_quota = 3;
+  const engines::TenantId tenant = engine.register_tenant(spec);
+
+  // RSS on a two-queue NIC: pick a flow that definitely lands on queue 0.
+  Xoshiro256 rng{99};
+  const net::FlowKey flow = trace::flow_for_queue(rng, 0, 2);
+  std::uint64_t seq = 0;
+  const auto inject = [&](std::uint32_t count) {
+    for (std::uint32_t p = 0; p < count; ++p) {
+      nic.receive(net::WirePacket::make(scheduler.now(), flow, 64, seq++));
+    }
+    scheduler.run_until(scheduler.now() + Nanos::from_millis(1));
+  };
+
+  inject(24);  // three full chunks: the whole budget
+  EXPECT_EQ(engine.tenant_account(tenant).charged, 3u);
+
+  // The app holds views across the close: their chunks stay captured.
+  std::vector<engines::CaptureView> held;
+  for (int i = 0; i < 10; ++i) {
+    auto view = engine.try_next(0);
+    ASSERT_TRUE(view.has_value());
+    held.push_back(*view);
+  }
+
+  engine.close(0);
+  EXPECT_EQ(engine.tenant_account(tenant).charged, 0u)
+      << "close() leaked the queue's quota charge";
+
+  // Late done() on pre-close views is epoch-dropped and must not
+  // double-credit the account either.
+  for (const engines::CaptureView& view : held) engine.done(0, view);
+  EXPECT_EQ(engine.tenant_account(tenant).charged, 0u);
+
+  // The reopened queue has its full budget back.
+  engine.open(0, app_core);
+  inject(24);
+  EXPECT_EQ(engine.tenant_account(tenant).charged, 3u);
+  EXPECT_EQ(engine.pool(0).state_counts().captured, 3u);
+}
+
 // --- fault harness ---
 
 TEST(FaultHarness, SingleSeedRunsCleanAndIsDeterministic) {
@@ -403,6 +471,74 @@ TEST(FaultSoak, ConservationHoldsAcross100Seeds) {
   EXPECT_GT(soak.total_reopens, 0u);
   EXPECT_GT(soak.total_conservation_checks, 1000u);
   EXPECT_GT(soak.total_transitions, 10'000u);
+}
+
+TEST(FaultPlan, TenantConfigShapesSchedule) {
+  FaultPlanConfig config;
+  config.num_queues = 4;
+  config.num_tenants = 2;
+  config.fault_queue_limit = 2;
+  config.event_count = 64;
+  const FaultPlan plan = FaultPlan::generate(config);
+  ASSERT_EQ(plan.events().size(), 64u);
+  bool saw_tenant_exhaust = false;
+  for (const FaultEvent& event : plan.events()) {
+    EXPECT_LT(event.queue, 2u);  // adversity confined to tenant 0
+    if (event.kind == FaultKind::kTenantExhaust) saw_tenant_exhaust = true;
+  }
+  EXPECT_TRUE(saw_tenant_exhaust);
+}
+
+TEST(FaultSoak, MultiTenantConservationHoldsAcross100Seeds) {
+  // Two tenants of two queues each, tight per-tenant quotas, the whole
+  // adversity menu including kTenantExhaust: the per-ring law AND the
+  // per-tenant four-way census must hold on every seed.
+  FaultHarnessConfig base;
+  base.plan.num_queues = 4;
+  base.plan.num_tenants = 2;
+  base.tenant_quota = 10;
+  const SoakResult soak = run_fault_soak(1, 100, base);
+  EXPECT_EQ(soak.seeds_run, 100u);
+  EXPECT_EQ(soak.total_violations, 0u)
+      << (soak.failures.empty() ? "" : soak.failures.front());
+  EXPECT_EQ(soak.seeds_clean, soak.seeds_run);
+  EXPECT_GT(soak.total_delivered, 0u);
+  EXPECT_GT(soak.total_reopens, 0u);
+  EXPECT_GT(soak.total_conservation_checks, 1000u);
+  EXPECT_GT(soak.total_tenant_checks, 1000u);
+}
+
+TEST(FaultSoak, TenantFaultsNeverReduceNeighborDelivery) {
+  // Isolation, 100 paired seeds: a quiet run (no faults) vs the same
+  // seed with every adversity — pool exhaustion, tenant exhaustion,
+  // stalls, reopens — aimed exclusively at tenant 0's queues.  Tenant
+  // 1's workload derives from its own RNG streams and its own quota, so
+  // its delivered count must never go down when its neighbour suffers.
+  std::uint64_t victim_delivered = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    FaultHarnessConfig stormy;
+    stormy.plan.seed = seed;
+    stormy.plan.num_queues = 4;
+    stormy.plan.num_tenants = 2;
+    stormy.plan.fault_queue_limit = 2;  // tenant 0 owns queues {0, 1}
+    stormy.tenant_quota = 6;
+    FaultHarnessConfig quiet = stormy;
+    quiet.plan.event_count = 0;
+
+    const FaultRunResult calm = FaultHarness{quiet}.run();
+    const FaultRunResult hit = FaultHarness{stormy}.run();
+    ASSERT_TRUE(calm.clean()) << "seed " << seed;
+    ASSERT_TRUE(hit.clean())
+        << "seed " << seed << ": "
+        << (hit.violations.empty() ? "" : hit.violations.front());
+    ASSERT_EQ(calm.tenant_delivered.size(), 2u);
+    ASSERT_EQ(hit.tenant_delivered.size(), 2u);
+    EXPECT_GE(hit.tenant_delivered[1], calm.tenant_delivered[1])
+        << "seed " << seed << ": tenant 0's faults cost tenant 1 "
+        << calm.tenant_delivered[1] - hit.tenant_delivered[1] << " packets";
+    victim_delivered += hit.tenant_delivered[1];
+  }
+  EXPECT_GT(victim_delivered, 0u);
 }
 
 TEST(FaultSoak, ConservationHoldsWithMutexHandoff) {
